@@ -1,0 +1,72 @@
+package extrapdnn
+
+import (
+	"io"
+
+	"extrapdnn/internal/design"
+	"extrapdnn/internal/profile"
+)
+
+// Application profiles: complete measurement campaigns with one measurement
+// set per kernel, the shape in which instrumented applications deliver data.
+type (
+	// Profile is a complete application measurement campaign.
+	Profile = profile.Profile
+	// ProfileEntry is the measurements of one kernel and metric.
+	ProfileEntry = profile.Entry
+)
+
+// ReadProfile parses and validates an application profile from JSON (as
+// written by Profile.Write or cmd/appsim).
+func ReadProfile(r io.Reader) (*Profile, error) {
+	return profile.Read(r)
+}
+
+// ModelProfile models every entry of an application profile with the
+// adaptive modeler and returns the reports in entry order. Entries that fail
+// to model carry a nil report and the error.
+func (m *AdaptiveModeler) ModelProfile(p *Profile) ([]ProfileReport, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]ProfileReport, 0, len(p.Entries))
+	for _, e := range p.Entries {
+		rep, err := m.Model(e.Set)
+		pr := ProfileReport{Kernel: e.Kernel, Metric: e.Metric, Err: err}
+		if err == nil {
+			pr.Report = &rep
+		}
+		out = append(out, pr)
+	}
+	return out, nil
+}
+
+// ProfileReport is the outcome of modeling one profile entry.
+type ProfileReport struct {
+	Kernel string
+	Metric string
+	Report *Report
+	Err    error
+}
+
+// Experiment design: planning which measurement points to run.
+type (
+	// Design is a planned set of measurement points with repetitions.
+	Design = design.Design
+	// CostModel estimates campaign cost in core-hours.
+	CostModel = design.CostModel
+)
+
+// FullGridDesign plans the cartesian product of all parameter values — the
+// thorough (and expensive) campaign layout.
+func FullGridDesign(values [][]float64, reps int) Design {
+	return design.FullGrid(values, reps)
+}
+
+// CrossingLinesDesign plans the cheapest valid layout: one measurement line
+// per parameter at the lowest values of the other parameters, plus one
+// interaction point so additive and multiplicative parameter effects can be
+// distinguished.
+func CrossingLinesDesign(values [][]float64, reps int) (Design, error) {
+	return design.CrossingLines(values, reps, true)
+}

@@ -1,0 +1,126 @@
+package extrapdnn
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func demoProfile(t *testing.T) *Profile {
+	t.Helper()
+	prof := &Profile{Application: "demo", ParamNames: []string{"p"}}
+	set := linearSet(0.05, 21)
+	prof.Entries = append(prof.Entries, ProfileEntry{
+		Kernel: "main", Metric: "runtime", RuntimeShare: 0.9, Set: set,
+	})
+	return prof
+}
+
+func TestModelProfilePublicAPI(t *testing.T) {
+	m := apiTestModeler(t)
+	reports, err := m.ModelProfile(demoProfile(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 || reports[0].Kernel != "main" {
+		t.Fatalf("reports = %+v", reports)
+	}
+	if reports[0].Err != nil || reports[0].Report == nil {
+		t.Fatalf("modeling failed: %v", reports[0].Err)
+	}
+}
+
+func TestModelProfileInvalid(t *testing.T) {
+	m := apiTestModeler(t)
+	if _, err := m.ModelProfile(&Profile{}); err == nil {
+		t.Fatal("invalid profile should fail")
+	}
+}
+
+func TestReadProfilePublicAPI(t *testing.T) {
+	var buf bytes.Buffer
+	if err := demoProfile(t).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	prof, err := ReadProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Application != "demo" {
+		t.Fatalf("profile = %+v", prof)
+	}
+}
+
+func TestDesignsPublicAPI(t *testing.T) {
+	values := [][]float64{{1, 2, 3, 4, 5}, {10, 20, 30, 40, 50}}
+	grid := FullGridDesign(values, 3)
+	if len(grid.Points) != 25 {
+		t.Fatalf("grid = %d points", len(grid.Points))
+	}
+	lines, err := CrossingLinesDesign(values, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines.Points) >= len(grid.Points) {
+		t.Fatal("crossing lines should be cheaper than the grid")
+	}
+	cm := CostModel{ProcessParam: 0}
+	if cm.CoreHours(lines) >= cm.CoreHours(grid) {
+		t.Fatal("line cost should undercut grid cost")
+	}
+}
+
+func TestAnalyzeScalingPublicAPI(t *testing.T) {
+	res, err := RegressionModel(linearSet(0, 22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := AnalyzeScaling(res.Model, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Verdict != Bottleneck {
+		t.Fatalf("linear model verdict = %v", a.Verdict)
+	}
+	at, err := AnalyzeScalingAt(res.Model, 0, nil, []float64{4096}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at.Verdict != Bottleneck {
+		t.Fatalf("AnalyzeScalingAt verdict = %v", at.Verdict)
+	}
+	eff, err := ParallelEfficiency(res.Model, 0, []float64{64, 128}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eff) != 2 || eff[0] != 1 || eff[1] >= 1 {
+		t.Fatalf("efficiency = %v", eff)
+	}
+}
+
+func TestPredictionIntervalPublicAPI(t *testing.T) {
+	ci, err := PredictionInterval(linearSet(0.2, 23), Point{256}, 60, 0.9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := 3 + 2*256.0
+	if !(ci.Lo <= truth && truth <= ci.Hi) {
+		t.Fatalf("interval %+v misses %v", ci, truth)
+	}
+}
+
+func TestReadMeasurementsExtraPPublicAPI(t *testing.T) {
+	input := "PARAMETER p\nPOINTS 4 8 16 32 64\nDATA 9\nDATA 17\nDATA 33\nDATA 65\nDATA 129\n"
+	set, err := ReadMeasurementsExtraP(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RegressionModel(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Model.Eval([]float64{128})-257) > 1 {
+		t.Fatalf("model %v", res.Model)
+	}
+}

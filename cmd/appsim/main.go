@@ -1,0 +1,62 @@
+// Command appsim generates the simulated measurement campaigns of the
+// paper's case studies (Kripke, FASTEST, RELeARN) as application profiles,
+// so the modeling tools can be exercised on realistic data:
+//
+//	appsim -app Kripke -o kripke.json
+//	perfmodeler-style per-kernel modeling: perfmodeler -profile kripke.json
+//	appsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"extrapdnn/internal/apps"
+)
+
+func main() {
+	var (
+		appName = flag.String("app", "", "case study to simulate (Kripke, FASTEST, RELeARN)")
+		out     = flag.String("o", "-", `output file ("-" for stdout)`)
+		seed    = flag.Int64("seed", 1, "random seed for the simulated noise")
+		list    = flag.Bool("list", false, "list the available case studies and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range apps.All() {
+			fmt.Printf("%-10s %d kernels, %d measurement points, %d reps, noise [%.2f%%, %.2f%%]\n",
+				a.Name, len(a.Kernels), len(a.ModelPoints), a.Reps, a.NoiseLo*100, a.NoiseHi*100)
+		}
+		return
+	}
+
+	app := apps.ByName(*appName)
+	if app == nil {
+		fatal(fmt.Errorf("unknown case study %q (use -list)", *appName))
+	}
+	p := app.Profile(rand.New(rand.NewSource(*seed)))
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := p.Write(w); err != nil {
+		fatal(err)
+	}
+	if *out != "-" {
+		fmt.Fprintf(os.Stderr, "wrote %s profile (%d kernels) to %s\n", app.Name, len(p.Entries), *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "appsim:", err)
+	os.Exit(1)
+}

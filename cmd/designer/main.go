@@ -1,0 +1,93 @@
+// Command designer plans a measurement campaign for performance modeling:
+// given the candidate values of every execution parameter, it emits the
+// measurement points of either the cheapest valid layout (crossing lines
+// plus one interaction point) or the full grid, with an estimated
+// core-hour cost:
+//
+//	designer -values "16,32,64,128,256;8192,16384,32768,65536,131072" -reps 5
+//	designer -values "8,64,512,4096,32768;2,4,6,8,10" -layout grid -procs 1
+//
+// The -procs flag names the 1-based index of the process-count parameter
+// used by the cost model (0 = serial runs).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"extrapdnn/internal/design"
+)
+
+func main() {
+	var (
+		valuesFlag = flag.String("values", "", `parameter values: lists separated by ";", values by "," (required)`)
+		layout     = flag.String("layout", "lines", `"lines" (crossing lines + extra point) or "grid"`)
+		reps       = flag.Int("reps", 5, "repetitions per measurement point")
+		procsParam = flag.Int("procs", 1, "1-based index of the process-count parameter for the cost model (0 = serial)")
+		extra      = flag.Bool("extra-point", true, "with -layout lines: include the additive/multiplicative interaction point")
+	)
+	flag.Parse()
+
+	if *valuesFlag == "" {
+		fatal(fmt.Errorf("-values is required"))
+	}
+	values, err := parseValues(*valuesFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	var d design.Design
+	switch *layout {
+	case "grid":
+		d = design.FullGrid(values, *reps)
+	case "lines":
+		d, err = design.CrossingLines(values, *reps, *extra)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown layout %q", *layout))
+	}
+	if err := d.Validate(); err != nil {
+		fatal(err)
+	}
+
+	cm := design.CostModel{ProcessParam: *procsParam - 1}
+	fmt.Printf("layout:       %s (%d parameters)\n", *layout, len(values))
+	fmt.Printf("points:       %d (%d experiments at %d repetitions)\n",
+		len(d.Points), d.NumExperiments(), d.Reps)
+	fmt.Printf("cost:         %.0f core-hours (assuming 1h wall-clock per run)\n", cm.CoreHours(d))
+	fmt.Println("measurement points:")
+	for _, p := range d.Points {
+		fields := make([]string, len(p))
+		for i, v := range p {
+			fields[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		fmt.Println("  " + strings.Join(fields, " "))
+	}
+}
+
+// parseValues parses "1,2,3;10,20,30" into per-parameter value lists.
+func parseValues(s string) ([][]float64, error) {
+	var out [][]float64
+	for _, part := range strings.Split(s, ";") {
+		var vals []float64
+		for _, f := range strings.Split(part, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("invalid value %q: %w", f, err)
+			}
+			vals = append(vals, v)
+		}
+		out = append(out, vals)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "designer:", err)
+	os.Exit(1)
+}

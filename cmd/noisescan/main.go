@@ -1,0 +1,90 @@
+// Command noisescan estimates the noise level of a measurement set with the
+// range-of-relative-deviation heuristic and prints the per-point noise
+// distribution (the analysis behind Fig. 5 of the paper).
+//
+//	noisescan -in measurements.txt -params 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"extrapdnn/internal/measurement"
+	"extrapdnn/internal/noise"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "-", `input file ("-" for stdin)`)
+		format = flag.String("format", "text", `input format: "text", "json" or "extrap"`)
+		params = flag.Int("params", 0, "number of execution parameters (text format without header)")
+		bins   = flag.Int("bins", 10, "histogram bins")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	var set *measurement.Set
+	var err error
+	switch *format {
+	case "json":
+		set, err = measurement.ReadJSON(r)
+	case "text":
+		set, err = measurement.ReadText(r, *params)
+	case "extrap":
+		set, err = measurement.ReadExtraP(r)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	a := noise.Analyze(set)
+	fmt.Printf("points:            %d (max %d repetitions)\n", len(set.Data), set.Repetitions())
+	fmt.Printf("combined estimate: %.2f%% (range of relative deviation)\n", a.Global*100)
+	fmt.Printf("per-point levels:  mean %.2f%%  median %.2f%%  min %.2f%%  max %.2f%%\n",
+		a.Mean*100, a.Median*100, a.Min*100, a.Max*100)
+
+	if *bins > 0 && a.Max > a.Min {
+		fmt.Println("distribution:")
+		width := (a.Max - a.Min) / float64(*bins)
+		counts := make([]int, *bins)
+		for _, l := range a.PointLevels {
+			b := int((l - a.Min) / width)
+			if b >= *bins {
+				b = *bins - 1
+			}
+			counts[b]++
+		}
+		maxCount := 0
+		for _, c := range counts {
+			if c > maxCount {
+				maxCount = c
+			}
+		}
+		for b, c := range counts {
+			bar := ""
+			if maxCount > 0 {
+				bar = strings.Repeat("#", c*40/maxCount)
+			}
+			fmt.Printf("  %6.2f%% – %6.2f%% | %-40s %d\n",
+				(a.Min+float64(b)*width)*100, (a.Min+float64(b+1)*width)*100, bar, c)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "noisescan:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,225 @@
+// Command perfmodeler creates a performance model from measurement data.
+//
+//	perfmodeler -in measurements.txt -params 2
+//	perfmodeler -in measurements.json -format json -net network.bin
+//	perfmodeler -in measurements.txt -params 1 -regression-only
+//
+// The text format holds one measurement point per line: the parameter
+// values, then one or more repeated measured values. An optional
+// "# params: p size" header names the parameters.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"extrapdnn/internal/cliutil"
+	"extrapdnn/internal/core"
+	"extrapdnn/internal/dnnmodel"
+	"extrapdnn/internal/measurement"
+	"extrapdnn/internal/pmnf"
+	"extrapdnn/internal/profile"
+	"extrapdnn/internal/regression"
+	"extrapdnn/internal/scaling"
+)
+
+func main() {
+	var (
+		in             = flag.String("in", "-", `input file ("-" for stdin)`)
+		format         = flag.String("format", "text", `input format: "text", "json" or "extrap"`)
+		profilePath    = flag.String("profile", "", "application profile (from appsim): model every kernel")
+		kernelFilter   = flag.String("kernel", "", "with -profile: model only this kernel")
+		params         = flag.Int("params", 0, "number of execution parameters (text format without header)")
+		netPath        = flag.String("net", "", "pretrained network file (from traingen); pretrains ad hoc when empty")
+		topology       = flag.String("topology", "default", "topology for ad-hoc pretraining")
+		samples        = flag.Int("pretrain-samples", 300, "ad-hoc pretraining samples per class")
+		epochs         = flag.Int("pretrain-epochs", 3, "ad-hoc pretraining epochs")
+		adaptSamples   = flag.Int("adapt-samples", 200, "domain-adaptation samples per class")
+		adaptEpochs    = flag.Int("adapt-epochs", 1, "domain-adaptation epochs")
+		threshold      = flag.Float64("threshold", core.DefaultNoiseThreshold, "noise level above which the regression modeler is switched off")
+		regressionOnly = flag.Bool("regression-only", false, "use only the classic regression modeler")
+		seed           = flag.Int64("seed", 1, "random seed")
+		predict        = flag.String("predict", "", `comma-separated parameter values to predict after modeling, e.g. "4096,1e6"`)
+		scalingParam   = flag.Int("scaling", 0, "1-based index of the process-count parameter: grade the model's scalability (0 = off)")
+		interval       = flag.Bool("interval", false, "with -predict: bootstrap a 95% prediction interval (regression refits)")
+		jsonOut        = flag.Bool("json", false, "emit the selected model as JSON instead of the text report")
+	)
+	flag.Parse()
+
+	var err error
+	var pretrained *dnnmodel.Modeler
+	if !*regressionOnly {
+		pretrained, err = cliutil.LoadOrPretrain(*netPath, *topology, *samples, *epochs, *seed)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	modeler, err := core.New(pretrained, core.Config{
+		NoiseThreshold: *threshold,
+		Adapt:          dnnmodel.AdaptConfig{SamplesPerClass: *adaptSamples, Epochs: *adaptEpochs},
+		DisableDNN:     *regressionOnly,
+		Seed:           *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *profilePath != "" {
+		if err := modelProfile(modeler, *profilePath, *kernelFilter); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	set, err := readInput(*in, *format, *params)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := modeler.Model(set)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *jsonOut {
+		out := struct {
+			Model          pmnf.Model `json:"model"`
+			SMAPE          float64    `json:"smape_pct"`
+			NoiseGlobal    float64    `json:"noise_global"`
+			SelectedDNN    bool       `json:"selected_dnn"`
+			UsedRegression bool       `json:"used_regression"`
+		}{rep.Model.Model, rep.Model.SMAPE, rep.Noise.Global, rep.SelectedDNN, rep.UsedRegression}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("measurements:      %d points, %d repetitions max\n", len(set.Data), set.Repetitions())
+	fmt.Printf("estimated noise:   %.2f%% (per-point mean %.2f%%, range [%.2f%%, %.2f%%])\n",
+		rep.Noise.Global*100, rep.Noise.Mean*100, rep.Noise.Min*100, rep.Noise.Max*100)
+	fmt.Printf("modelers used:     regression=%v dnn=%v (selected: %s)\n",
+		rep.UsedRegression, rep.UsedDNN, selectedName(rep))
+	fmt.Printf("model:             %s\n", rep.Model.Model)
+	fmt.Printf("cross-val SMAPE:   %.3f%%\n", rep.Model.SMAPE)
+	if rep.Regression != nil && rep.DNN != nil {
+		fmt.Printf("  regression:      %s  (SMAPE %.3f%%)\n", rep.Regression.Model, rep.Regression.SMAPE)
+		fmt.Printf("  dnn:             %s  (SMAPE %.3f%%)\n", rep.DNN.Model, rep.DNN.SMAPE)
+	}
+	fmt.Printf("modeling time:     %v (adaptation %v)\n", rep.Durations.Total, rep.Durations.Adapt)
+
+	if *predict != "" {
+		pt, err := parsePoint(*predict, rep.Model.Model.NumParams())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("prediction at %v:  %g\n", pt, rep.Model.Model.Eval(pt))
+		if *interval {
+			ci, err := regression.PredictionInterval(set, pt, 200, 0.95, *seed, nil)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("95%% interval:      [%g, %g]\n", ci.Lo, ci.Hi)
+		}
+	}
+	if *scalingParam > 0 {
+		analysis, err := scaling.Analyze(rep.Model.Model, *scalingParam-1, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("scaling:           %s in x%d → %s\n",
+			analysis.GrowthClass, *scalingParam, analysis.Verdict)
+	}
+}
+
+// parsePoint parses "4096,1e6" into a parameter-value vector of length m.
+func parsePoint(s string, m int) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != m {
+		return nil, fmt.Errorf("-predict has %d values, model has %d parameters", len(parts), m)
+	}
+	out := make([]float64, m)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("invalid value %q: %w", p, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// modelProfile models every kernel of an application profile (or a single
+// kernel when filter is nonempty) and prints one line per kernel.
+func modelProfile(modeler *core.Modeler, path, filter string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	prof, err := profile.Read(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("application: %s (%d kernels, %d parameters)\n",
+		prof.Application, len(prof.Kernels()), prof.NumParams())
+	fmt.Printf("%-22s | %-8s | %-9s | %s\n", "kernel", "noise", "SMAPE", "model")
+	matched := 0
+	for _, e := range prof.Entries {
+		if filter != "" && e.Kernel != filter {
+			continue
+		}
+		matched++
+		rep, err := modeler.Model(e.Set)
+		if err != nil {
+			fmt.Printf("%-22s | modeling failed: %v\n", e.Kernel, err)
+			continue
+		}
+		fmt.Printf("%-22s | %6.2f%% | %8.3f%% | %s\n",
+			e.Kernel, rep.Noise.Global*100, rep.Model.SMAPE, rep.Model.Model)
+	}
+	if matched == 0 {
+		return fmt.Errorf("no kernel matched %q", filter)
+	}
+	return nil
+}
+
+func readInput(path, format string, params int) (*measurement.Set, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	switch format {
+	case "json":
+		return measurement.ReadJSON(r)
+	case "text":
+		return measurement.ReadText(r, params)
+	case "extrap":
+		return measurement.ReadExtraP(r)
+	default:
+		return nil, fmt.Errorf("unknown format %q (want text, json or extrap)", format)
+	}
+}
+
+func selectedName(rep core.Report) string {
+	if rep.SelectedDNN {
+		return "dnn"
+	}
+	return "regression"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "perfmodeler:", err)
+	os.Exit(1)
+}

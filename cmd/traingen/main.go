@@ -1,0 +1,59 @@
+// Command traingen pretrains the DNN modeler's classification network on
+// synthetic PMNF data and saves it to a file, so the modeling tools can skip
+// pretraining:
+//
+//	traingen -o network.bin -topology default -samples 1000 -epochs 4
+//	perfmodeler -net network.bin -in measurements.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"extrapdnn/internal/cliutil"
+	"extrapdnn/internal/dnnmodel"
+)
+
+func main() {
+	var (
+		out      = flag.String("o", "network.bin", "output file for the trained network")
+		topology = flag.String("topology", "default", `hidden layers: "default", "paper", "tiny", or "256,128,64"`)
+		samples  = flag.Int("samples", 1000, "training samples per exponent class")
+		epochs   = flag.Int("epochs", 4, "training epochs")
+		reps     = flag.Int("reps", 5, "simulated measurement repetitions per point")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	hidden, err := cliutil.ParseTopology(*topology)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "pretraining: topology %v, %d samples/class, %d epochs\n", hidden, *samples, *epochs)
+	m, stats := dnnmodel.Pretrain(dnnmodel.PretrainConfig{
+		Hidden:          hidden,
+		SamplesPerClass: *samples,
+		Epochs:          *epochs,
+		Reps:            *reps,
+		Seed:            *seed,
+	})
+	for e, loss := range stats.EpochLoss {
+		fmt.Fprintf(os.Stderr, "  epoch %d: loss %.4f\n", e+1, loss)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := m.Net.Save(f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("saved network with %d parameters to %s\n", m.Net.NumParams(), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "traingen:", err)
+	os.Exit(1)
+}

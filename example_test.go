@@ -1,0 +1,63 @@
+package extrapdnn_test
+
+import (
+	"fmt"
+	"strings"
+
+	"extrapdnn"
+)
+
+// ExampleRegressionModel models noise-free measurements with the classic
+// Extra-P regression search and prints the discovered model.
+func ExampleRegressionModel() {
+	input := `# params: p
+4 11
+8 19
+16 35
+32 67
+64 131
+`
+	set, err := extrapdnn.ReadMeasurementsText(strings.NewReader(input), 0)
+	if err != nil {
+		panic(err)
+	}
+	res, err := extrapdnn.RegressionModel(set)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Model.String())
+	// Output: 3 + 2*p
+}
+
+// ExampleEstimateNoise quantifies run-to-run variability with the
+// range-of-relative-deviation heuristic.
+func ExampleEstimateNoise() {
+	set := &extrapdnn.MeasurementSet{Data: []extrapdnn.Measurement{
+		{Point: extrapdnn.Point{4}, Values: []float64{95, 105}},
+		{Point: extrapdnn.Point{8}, Values: []float64{190, 210}},
+		{Point: extrapdnn.Point{16}, Values: []float64{380, 420}},
+		{Point: extrapdnn.Point{32}, Values: []float64{760, 840}},
+		{Point: extrapdnn.Point{64}, Values: []float64{1520, 1680}},
+	}}
+	a := extrapdnn.EstimateNoise(set)
+	fmt.Printf("estimated noise level: %.0f%%\n", a.Global*100)
+	// Output: estimated noise level: 10%
+}
+
+// ExampleModel_Eval evaluates a performance model at a larger scale than
+// was measured.
+func ExampleModel_Eval() {
+	set := &extrapdnn.MeasurementSet{Data: []extrapdnn.Measurement{
+		{Point: extrapdnn.Point{10}, Values: []float64{100}},
+		{Point: extrapdnn.Point{20}, Values: []float64{400}},
+		{Point: extrapdnn.Point{30}, Values: []float64{900}},
+		{Point: extrapdnn.Point{40}, Values: []float64{1600}},
+		{Point: extrapdnn.Point{50}, Values: []float64{2500}},
+	}}
+	res, err := extrapdnn.RegressionModel(set)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("f(100) = %.0f\n", res.Model.Eval([]float64{100}))
+	// Output: f(100) = 10000
+}

@@ -1,0 +1,91 @@
+// Campaign walkthrough: the full workflow a performance engineer follows —
+// plan the experiment design, run the (here: simulated) measurement
+// campaign, estimate noise, model every kernel, and predict at scale.
+//
+//	go run ./examples/campaign
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"extrapdnn"
+)
+
+func main() {
+	// 1. Plan the campaign: two parameters, crossing-lines layout.
+	values := [][]float64{
+		{16, 32, 64, 128, 256},         // processes
+		{1000, 2000, 3000, 4000, 5000}, // problem size
+	}
+	plan, err := extrapdnn.CrossingLinesDesign(values, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cost := extrapdnn.CostModel{ProcessParam: 0}
+	fmt.Printf("plan: %d points x %d reps = %d runs, ~%.0f core-hours\n",
+		len(plan.Points), plan.Reps, plan.NumExperiments(), cost.CoreHours(plan))
+
+	// 2. "Run" the campaign. Here a simulated machine executes the plan for
+	// two kernels with known behavior and ±15% run-to-run variation.
+	rng := rand.New(rand.NewSource(11))
+	kernels := map[string]func(p, n float64) float64{
+		"solve":    func(p, n float64) float64 { return 2 + 0.01*n + 0.4*p },
+		"exchange": func(p, n float64) float64 { return 1 + 0.002*n + 3*log2(p) },
+	}
+	prof := &extrapdnn.Profile{Application: "demo", ParamNames: []string{"p", "n"}}
+	for name, truth := range kernels {
+		set := &extrapdnn.MeasurementSet{ParamNames: prof.ParamNames, Metric: "runtime"}
+		for _, pt := range plan.Points {
+			vals := make([]float64, plan.Reps)
+			for r := range vals {
+				vals[r] = truth(pt[0], pt[1]) * (1 + 0.15*(rng.Float64()-0.5))
+			}
+			set.Data = append(set.Data, extrapdnn.Measurement{
+				Point:  extrapdnn.Point(pt.Clone()),
+				Values: vals,
+			})
+		}
+		prof.Entries = append(prof.Entries, extrapdnn.ProfileEntry{
+			Kernel: name, Metric: "runtime", RuntimeShare: 0.4, Set: set,
+		})
+	}
+
+	// 3. Model every kernel adaptively.
+	modeler, err := extrapdnn.NewAdaptiveModeler(extrapdnn.Options{
+		Topology:                []int{64, 48},
+		PretrainSamplesPerClass: 200,
+		PretrainEpochs:          4,
+		Seed:                    2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	reports, err := modeler.ModelProfile(prof)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Report models and predictions at 4096 processes.
+	for _, pr := range reports {
+		if pr.Err != nil {
+			fmt.Printf("%-9s modeling failed: %v\n", pr.Kernel, pr.Err)
+			continue
+		}
+		model := pr.Report.Model.Model
+		pred := model.Eval([]float64{1024, 5000})
+		truth := kernels[pr.Kernel](1024, 5000)
+		fmt.Printf("%-9s noise %4.1f%%  model %-40s  f(1024,5000)=%7.1f (true %7.1f)\n",
+			pr.Kernel, pr.Report.Noise.Global*100, model.String(), pred, truth)
+	}
+}
+
+// log2 avoids importing math for one call.
+func log2(x float64) float64 {
+	n := 0.0
+	for ; x > 1; x /= 2 {
+		n++
+	}
+	return n
+}

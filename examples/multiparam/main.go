@@ -1,0 +1,68 @@
+// Multi-parameter modeling from sparse crossing lines: the cheapest valid
+// experiment design for two parameters (the layout the paper uses for
+// FASTEST and RELeARN) — one line per parameter, nine points in total,
+// loaded from the text measurement format.
+//
+//	go run ./examples/multiparam
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"extrapdnn"
+)
+
+// measurements holds two crossing lines for a solver whose runtime is
+// ~ 2 + 0.004*n + 0.5*log2(p): a per-process problem-size term plus a
+// tree-reduction term. Values carry ~5% noise over three repetitions.
+const measurements = `
+# params: p n
+# line 1: scale the process count at n = 65536
+16  65536 266.1 270.9 263.7
+32  65536 264.8 265.9 270.3
+64  65536 266.0 272.1 268.2
+128 65536 270.5 265.5 268.9
+256 65536 268.3 273.0 266.4
+# line 2: scale the problem size at p = 256
+256 8192  37.3 36.4 37.0
+256 16384 69.5 67.7 68.4
+256 32768 134.3 136.2 132.8
+256 131072 527.3 536.1 531.0
+`
+
+func main() {
+	set, err := extrapdnn.ReadMeasurementsText(strings.NewReader(measurements), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d measurement points over parameters %v\n",
+		len(set.Data), set.ParamNames)
+
+	na := extrapdnn.EstimateNoise(set)
+	fmt.Printf("estimated noise: %.1f%%\n", na.Global*100)
+
+	modeler, err := extrapdnn.NewAdaptiveModeler(extrapdnn.Options{
+		Topology:                []int{64, 48},
+		PretrainSamplesPerClass: 200,
+		PretrainEpochs:          4,
+		Seed:                    5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := modeler.Model(set)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("model: %s\n", report.Model.Model)
+	fmt.Printf("       (generated from ~2 + 0.004*n + 0.5*log2(p))\n")
+
+	// Predict a configuration that was never measured: both parameters
+	// beyond their lines' fixed values.
+	pred := report.Model.Model.Eval([]float64{1024, 262144})
+	truth := 2 + 0.004*262144 + 0.5*10 // log2(1024) = 10
+	fmt.Printf("prediction at P+(p=1024, n=262144): %.1f (true ~%.1f)\n", pred, truth)
+}

@@ -1,0 +1,65 @@
+// Quickstart: model the scaling behavior of an application from five noisy
+// measurements and predict its runtime at a larger scale.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"extrapdnn"
+)
+
+func main() {
+	// Pretend we benchmarked an application at 5 process counts with 5
+	// repetitions each. The "true" scaling is 3 + 2*p*log2(p) (e.g. a
+	// tree-based exchange per process), perturbed by ±10% run-to-run noise.
+	rng := rand.New(rand.NewSource(7))
+	truth := func(p float64) float64 {
+		lg := 0.0
+		for v := p; v > 1; v /= 2 {
+			lg++
+		}
+		return 3 + 2*p*lg
+	}
+	set := &extrapdnn.MeasurementSet{ParamNames: []string{"p"}, Metric: "runtime"}
+	for _, p := range []float64{4, 8, 16, 32, 64} {
+		vals := make([]float64, 5)
+		for r := range vals {
+			vals[r] = truth(p) * (1 + 0.2*(rng.Float64()-0.5))
+		}
+		set.Data = append(set.Data, extrapdnn.Measurement{
+			Point:  extrapdnn.Point{p},
+			Values: vals,
+		})
+	}
+
+	// How noisy are the measurements?
+	na := extrapdnn.EstimateNoise(set)
+	fmt.Printf("estimated noise level: %.1f%%\n", na.Global*100)
+
+	// Build the adaptive modeler. The small topology keeps this example
+	// fast; drop Topology (or use extrapdnn.PaperTopology()) for real use.
+	modeler, err := extrapdnn.NewAdaptiveModeler(extrapdnn.Options{
+		Topology:                []int{64, 48},
+		PretrainSamplesPerClass: 200,
+		PretrainEpochs:          4,
+		Seed:                    1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	report, err := modeler.Model(set)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("performance model:     %s\n", report.Model.Model)
+	fmt.Printf("cross-val SMAPE:       %.2f%%\n", report.Model.SMAPE)
+
+	// Extrapolate to 1024 processes — 4 doublings beyond the measurements.
+	pred := report.Model.Model.Eval([]float64{1024})
+	fmt.Printf("predicted runtime at p=1024:  %.0f (true value %.0f)\n", pred, truth(1024))
+}

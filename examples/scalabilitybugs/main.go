@@ -1,0 +1,103 @@
+// Scalability-bug hunt: the motivating use case of empirical performance
+// modeling (and of Extra-P itself) — model every kernel of an application
+// from small-scale runs, then flag the kernels whose growth with the
+// process count diverges from what the algorithm promises.
+//
+//	go run ./examples/scalabilitybugs
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"extrapdnn"
+)
+
+// kernel describes one code region of the demo application: its true
+// behavior on the simulated machine and the complexity its algorithm
+// promises on paper.
+type kernel struct {
+	name     string
+	truth    func(p float64) float64
+	promised extrapdnn.Exponents
+}
+
+func main() {
+	kernels := []kernel{
+		// A compute kernel: perfectly scalable (constant per-process work).
+		{"stencil", func(p float64) float64 { return 40 }, extrapdnn.Exponents{}},
+		// A tree reduction: promised O(log p) and behaving.
+		{"reduce", func(p float64) float64 { return 2 + 1.5*math.Log2(p) }, extrapdnn.Exponents{J: 1}},
+		// The bug: promised O(log p), but a serialized gather makes it
+		// linear in p.
+		{"gather", func(p float64) float64 { return 1 + 0.08*p }, extrapdnn.Exponents{J: 1}},
+	}
+
+	modeler, err := extrapdnn.NewAdaptiveModeler(extrapdnn.Options{
+		Topology:                []int{64, 48},
+		PretrainSamplesPerClass: 200,
+		PretrainEpochs:          4,
+		Seed:                    4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(9))
+	fmt.Printf("%-8s | %-24s | %-12s | %-10s | %s\n",
+		"kernel", "model", "growth", "verdict", "diverges from promise?")
+	for _, k := range kernels {
+		// Small-scale measurement campaign: 5 process counts, 5 reps, ±10%.
+		set := &extrapdnn.MeasurementSet{ParamNames: []string{"p"}}
+		for _, p := range []float64{32, 64, 128, 256, 512} {
+			vals := make([]float64, 5)
+			for r := range vals {
+				vals[r] = k.truth(p) * (1 + 0.05*(rng.Float64()-0.5))
+			}
+			set.Data = append(set.Data, extrapdnn.Measurement{
+				Point:  extrapdnn.Point{p},
+				Values: vals,
+			})
+		}
+		rep, err := modeler.Model(set)
+		if err != nil {
+			log.Fatal(err)
+		}
+		promised := k.promised
+		// Grade the growth at the target scale (32768 processes), ignoring
+		// terms that contribute less than 1% there.
+		analysis, err := extrapdnn.AnalyzeScalingAt(rep.Model.Model, 0, &promised, []float64{32768}, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		divergence := "no"
+		if analysis.Diverges {
+			divergence = "YES — scalability bug"
+		}
+		fmt.Printf("%-8s | %-24s | %-12s | %-10s | %s\n",
+			k.name, rep.Model.Model, analysis.GrowthClass, analysis.Verdict, divergence)
+	}
+
+	// Project the bug's impact: parallel efficiency of the gather at scale.
+	set := &extrapdnn.MeasurementSet{}
+	for _, p := range []float64{32, 64, 128, 256, 512} {
+		set.Data = append(set.Data, extrapdnn.Measurement{
+			Point: extrapdnn.Point{p}, Values: []float64{kernels[2].truth(p)},
+		})
+	}
+	res, err := extrapdnn.RegressionModel(set)
+	if err != nil {
+		log.Fatal(err)
+	}
+	procs := []float64{512, 2048, 8192, 32768}
+	eff, err := extrapdnn.ParallelEfficiency(res.Model, 0, procs, []float64{0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nprojected weak-scaling efficiency of the gather kernel:")
+	for i, p := range procs {
+		fmt.Printf("  p=%-6.0f E=%.2f\n", p, eff[i])
+	}
+}

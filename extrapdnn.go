@@ -1,0 +1,184 @@
+// Package extrapdnn is a noise-resilient empirical performance modeler for
+// HPC applications, reproducing Ritter et al., "Noise-Resilient Empirical
+// Performance Modeling with Deep Neural Networks" (IPDPS 2021).
+//
+// Given a set of small-scale performance experiments — measurement points
+// over execution parameters such as process count or problem size, with
+// repeated measured values per point — it produces a human-readable
+// performance model in Extra-P's performance model normal form (PMNF), e.g.
+//
+//	8.51 + 0.11*x1^(1/3)*x2*x3^(4/5)
+//
+// Two modelers are combined adaptively: the classic regression modeler
+// (exhaustive PMNF hypothesis search, best on calm data) and a DNN modeler
+// (a 43-class exponent classifier retrained per task via domain adaptation,
+// far more robust on noisy data). A noise-estimation heuristic decides which
+// modelers run; cross-validated SMAPE picks the final model.
+//
+// Typical use:
+//
+//	m, err := extrapdnn.NewAdaptiveModeler(extrapdnn.Options{Seed: 1})
+//	...
+//	set, err := extrapdnn.ReadMeasurementsText(file, 2)
+//	report, err := m.Model(set)
+//	fmt.Println(report.Model.Model) // the performance model
+package extrapdnn
+
+import (
+	"fmt"
+	"io"
+
+	"extrapdnn/internal/core"
+	"extrapdnn/internal/dnnmodel"
+	"extrapdnn/internal/measurement"
+	"extrapdnn/internal/nn"
+	"extrapdnn/internal/noise"
+	"extrapdnn/internal/pmnf"
+	"extrapdnn/internal/regression"
+	"extrapdnn/internal/stats"
+)
+
+// Re-exported data types. They alias the internal implementations so values
+// flow freely between the public API and the internal packages.
+type (
+	// Point is one measurement point P(x1..xm).
+	Point = measurement.Point
+	// Measurement is the repeated measured values at one point.
+	Measurement = measurement.Measurement
+	// MeasurementSet is a complete experiment set for one modeling task.
+	MeasurementSet = measurement.Set
+	// Model is a PMNF performance model.
+	Model = pmnf.Model
+	// Exponents is one (i, j) exponent pair of a PMNF factor.
+	Exponents = pmnf.Exponents
+	// NoiseAnalysis summarizes the noise found in a measurement set.
+	NoiseAnalysis = noise.Analysis
+	// Report is the full outcome of one adaptive modeling run.
+	Report = core.Report
+	// ModelResult is a model plus its cross-validated SMAPE.
+	ModelResult = regression.Result
+	// Interval is a two-sided confidence interval.
+	Interval = stats.Interval
+)
+
+// Options configures NewAdaptiveModeler.
+type Options struct {
+	// Topology selects the hidden-layer sizes of the classification network.
+	// Nil uses a reduced default; PaperTopology selects the exact layer
+	// sizes of the publication (slower to pretrain and adapt).
+	Topology []int
+	// PretrainSamplesPerClass and PretrainEpochs control the generic
+	// pretraining run (defaults 500 and 3).
+	PretrainSamplesPerClass int
+	PretrainEpochs          int
+	// AdaptSamplesPerClass and AdaptEpochs control per-task domain
+	// adaptation (defaults 200 and 1; the paper uses 2000 and 1).
+	AdaptSamplesPerClass int
+	AdaptEpochs          int
+	// NoiseThreshold switches the regression modeler off above this
+	// estimated noise level (default 0.20; negative disables regression).
+	NoiseThreshold float64
+	// Seed makes pretraining and adaptation deterministic.
+	Seed int64
+}
+
+// PaperTopology is the hidden-layer configuration of the publication.
+func PaperTopology() []int { return append([]int(nil), dnnmodel.PaperTopology...) }
+
+// AdaptiveModeler is the noise-resilient adaptive performance modeler: the
+// primary contribution of the paper. Create one with NewAdaptiveModeler (or
+// NewAdaptiveModelerFromNetwork to reuse a saved network); it can then model
+// any number of measurement sets, cloning and retraining its pretrained
+// network per task.
+type AdaptiveModeler struct {
+	inner      *core.Modeler
+	pretrained *dnnmodel.Modeler
+}
+
+// NewAdaptiveModeler pretrains the classification network on synthetic PMNF
+// data and wraps it in the adaptive modeling pipeline. Pretraining takes
+// seconds to minutes depending on Options.Topology; reuse the modeler (or
+// save the network) rather than recreating it.
+func NewAdaptiveModeler(opts Options) (*AdaptiveModeler, error) {
+	pre, _ := dnnmodel.Pretrain(dnnmodel.PretrainConfig{
+		Hidden:          opts.Topology,
+		SamplesPerClass: opts.PretrainSamplesPerClass,
+		Epochs:          opts.PretrainEpochs,
+		Seed:            opts.Seed,
+	})
+	return newAdaptive(pre, opts)
+}
+
+// NewAdaptiveModelerFromNetwork builds an adaptive modeler around a network
+// previously saved with SaveNetwork, skipping pretraining.
+func NewAdaptiveModelerFromNetwork(r io.Reader, opts Options) (*AdaptiveModeler, error) {
+	net, err := nn.Load(r)
+	if err != nil {
+		return nil, fmt.Errorf("extrapdnn: %w", err)
+	}
+	return newAdaptive(&dnnmodel.Modeler{Net: net}, opts)
+}
+
+func newAdaptive(pre *dnnmodel.Modeler, opts Options) (*AdaptiveModeler, error) {
+	inner, err := core.New(pre, core.Config{
+		NoiseThreshold: opts.NoiseThreshold,
+		Adapt: dnnmodel.AdaptConfig{
+			SamplesPerClass: opts.AdaptSamplesPerClass,
+			Epochs:          opts.AdaptEpochs,
+		},
+		Seed: opts.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("extrapdnn: %w", err)
+	}
+	return &AdaptiveModeler{inner: inner, pretrained: pre}, nil
+}
+
+// Model runs the adaptive modeling pipeline on a measurement set.
+func (m *AdaptiveModeler) Model(set *MeasurementSet) (Report, error) {
+	return m.inner.Model(set)
+}
+
+// SaveNetwork writes the pretrained classification network so later runs can
+// skip pretraining (see NewAdaptiveModelerFromNetwork).
+func (m *AdaptiveModeler) SaveNetwork(w io.Writer) error {
+	return m.pretrained.Net.Save(w)
+}
+
+// RegressionModel runs the classic Extra-P regression modeler alone — the
+// paper's baseline. It needs no pretrained network.
+func RegressionModel(set *MeasurementSet) (ModelResult, error) {
+	return regression.Model(set, regression.Options{})
+}
+
+// EstimateNoise analyzes the noise level of a measurement set using the
+// range-of-relative-deviation heuristic.
+func EstimateNoise(set *MeasurementSet) NoiseAnalysis {
+	return noise.Analyze(set)
+}
+
+// PredictionInterval estimates a two-sided confidence interval for the
+// regression model's prediction at an extrapolation point by bootstrapping
+// the measurement repetitions (resamples refits; level e.g. 0.95).
+func PredictionInterval(set *MeasurementSet, point Point, resamples int, level float64, seed int64) (Interval, error) {
+	return regression.PredictionInterval(set, point, resamples, level, seed, nil)
+}
+
+// ReadMeasurementsJSON parses a measurement set from JSON.
+func ReadMeasurementsJSON(r io.Reader) (*MeasurementSet, error) {
+	return measurement.ReadJSON(r)
+}
+
+// ReadMeasurementsText parses the whitespace-separated text format: each
+// line holds numParams parameter values followed by one or more repetition
+// values; "# params: a b" headers and comments are honored.
+func ReadMeasurementsText(r io.Reader, numParams int) (*MeasurementSet, error) {
+	return measurement.ReadText(r, numParams)
+}
+
+// ReadMeasurementsExtraP parses the Extra-P-style text format (PARAMETER /
+// POINTS / DATA blocks), easing interop with campaigns prepared for the
+// original tool.
+func ReadMeasurementsExtraP(r io.Reader) (*MeasurementSet, error) {
+	return measurement.ReadExtraP(r)
+}

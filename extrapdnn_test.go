@@ -1,0 +1,152 @@
+package extrapdnn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	apiOnce    sync.Once
+	apiModeler *AdaptiveModeler
+	apiErr     error
+)
+
+// smallOptions keeps API tests fast.
+func smallOptions() Options {
+	return Options{
+		Topology:                []int{48, 32},
+		PretrainSamplesPerClass: 120,
+		PretrainEpochs:          6,
+		AdaptSamplesPerClass:    40,
+		AdaptEpochs:             1,
+		Seed:                    1,
+	}
+}
+
+func apiTestModeler(t *testing.T) *AdaptiveModeler {
+	t.Helper()
+	apiOnce.Do(func() {
+		apiModeler, apiErr = NewAdaptiveModeler(smallOptions())
+	})
+	if apiErr != nil {
+		t.Fatal(apiErr)
+	}
+	return apiModeler
+}
+
+func linearSet(noise float64, seed int64) *MeasurementSet {
+	rng := rand.New(rand.NewSource(seed))
+	set := &MeasurementSet{ParamNames: []string{"p"}, Metric: "runtime"}
+	for _, x := range []float64{4, 8, 16, 32, 64} {
+		vals := make([]float64, 5)
+		for r := range vals {
+			vals[r] = (3 + 2*x) * (1 + noise*(rng.Float64()-0.5))
+		}
+		set.Data = append(set.Data, Measurement{Point: Point{x}, Values: vals})
+	}
+	return set
+}
+
+func TestEndToEndModeling(t *testing.T) {
+	m := apiTestModeler(t)
+	rep, err := m.Model(linearSet(0.02, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The model should predict well beyond the measured range.
+	pred := rep.Model.Model.Eval([]float64{256})
+	want := 3 + 2*256.0
+	if math.Abs(pred-want)/want > 0.2 {
+		t.Fatalf("extrapolation %v, want ~%v (model %v)", pred, want, rep.Model.Model)
+	}
+}
+
+func TestSaveAndReloadNetwork(t *testing.T) {
+	m := apiTestModeler(t)
+	var buf bytes.Buffer
+	if err := m.SaveNetwork(&buf); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := NewAdaptiveModelerFromNetwork(&buf, smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reloaded.Model(linearSet(0.05, 3)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewAdaptiveModelerFromNetworkBadData(t *testing.T) {
+	if _, err := NewAdaptiveModelerFromNetwork(strings.NewReader("garbage"), Options{}); err == nil {
+		t.Fatal("expected error for invalid network data")
+	}
+}
+
+func TestRegressionModelBaseline(t *testing.T) {
+	res, err := RegressionModel(linearSet(0, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lead := res.Model.LeadExponents()
+	if lead[0].I != 1 || lead[0].J != 0 {
+		t.Fatalf("noiseless linear data modeled as %v", res.Model)
+	}
+}
+
+func TestEstimateNoise(t *testing.T) {
+	a := EstimateNoise(linearSet(0.4, 5))
+	if a.Global < 0.15 || a.Global > 0.7 {
+		t.Fatalf("estimated noise %v for injected 40%%", a.Global)
+	}
+	calm := EstimateNoise(linearSet(0, 6))
+	if calm.Global != 0 {
+		t.Fatalf("noiseless set estimated at %v", calm.Global)
+	}
+}
+
+func TestReadMeasurementsText(t *testing.T) {
+	input := "# params: p\n4 9.8 10.2\n8 18.7 19.3\n16 38.1 37.9\n32 75.5 76.5\n64 150.3 149.7\n"
+	set, err := ReadMeasurementsText(strings.NewReader(input), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.NumParams() != 1 || len(set.Data) != 5 {
+		t.Fatalf("parsed %+v", set)
+	}
+	res, err := RegressionModel(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SMAPE > 5 {
+		t.Fatalf("SMAPE %v for near-linear data", res.SMAPE)
+	}
+}
+
+func TestReadMeasurementsJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := linearSet(0.1, 7).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	set, err := ReadMeasurementsJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Data) != 5 {
+		t.Fatalf("round trip lost data: %d", len(set.Data))
+	}
+}
+
+func TestPaperTopologyCopy(t *testing.T) {
+	topo := PaperTopology()
+	if len(topo) != 5 || topo[0] != 1500 || topo[4] != 250 {
+		t.Fatalf("paper topology = %v", topo)
+	}
+	topo[0] = 1 // must not corrupt the shared default
+	if PaperTopology()[0] != 1500 {
+		t.Fatal("PaperTopology returned shared storage")
+	}
+}

@@ -1,0 +1,3 @@
+module extrapdnn
+
+go 1.22

@@ -1,0 +1,126 @@
+package extrapdnn
+
+// End-to-end integration tests: the full pipeline from simulated application
+// campaigns through noise estimation, adaptive modeling and extrapolation,
+// exercising the same paths as the CLI tools.
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"extrapdnn/internal/apps"
+	"extrapdnn/internal/design"
+	"extrapdnn/internal/pmnf"
+	"extrapdnn/internal/profile"
+)
+
+// TestIntegrationProfilePipeline simulates a RELeARN campaign, serializes it
+// as a profile, reads it back, models every kernel with the adaptive
+// modeler, and checks the extrapolations against the generating truth.
+func TestIntegrationProfilePipeline(t *testing.T) {
+	app := apps.RELeARN()
+	prof := app.Profile(rand.New(rand.NewSource(42)))
+
+	var buf bytes.Buffer
+	if err := prof.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := profile.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	modeler := apiTestModeler(t)
+	for _, entry := range loaded.Entries {
+		rep, err := modeler.Model(entry.Set)
+		if err != nil {
+			t.Fatalf("%s: %v", entry.Kernel, err)
+		}
+		var truth pmnf.Model
+		for _, k := range app.Kernels {
+			if k.Name == entry.Kernel {
+				truth = k.Truth
+			}
+		}
+		want := truth.Eval(app.EvalPoint)
+		got := rep.Model.Model.Eval(app.EvalPoint)
+		if relErr := math.Abs(got-want) / want; relErr > 0.25 {
+			t.Errorf("%s: extrapolation error %.1f%% (model %v)", entry.Kernel, relErr*100, rep.Model.Model)
+		}
+	}
+}
+
+// TestIntegrationDesignedCampaign plans a crossing-lines design, simulates
+// measurements of a known function on it, and verifies the regression
+// modeler recovers the function from exactly those points.
+func TestIntegrationDesignedCampaign(t *testing.T) {
+	values := [][]float64{
+		{16, 32, 64, 128, 256},
+		{10, 20, 30, 40, 50},
+	}
+	d, err := design.CrossingLines(values, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := func(p, n float64) float64 { return 4 + 0.5*p + 2*n }
+
+	rng := rand.New(rand.NewSource(7))
+	set := &MeasurementSet{ParamNames: []string{"p", "n"}}
+	for _, pt := range d.Points {
+		vals := make([]float64, d.Reps)
+		for r := range vals {
+			vals[r] = truth(pt[0], pt[1]) * (1 + 0.02*(rng.Float64()-0.5))
+		}
+		set.Data = append(set.Data, Measurement{Point: Point(pt.Clone()), Values: vals})
+	}
+
+	res, err := RegressionModel(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Model.Eval([]float64{1024, 100})
+	want := truth(1024, 100)
+	if math.Abs(got-want)/want > 0.1 {
+		t.Fatalf("designed-campaign extrapolation %v, want %v (model %v)", got, want, res.Model)
+	}
+}
+
+// TestIntegrationNoiseDrivenSwitch verifies the adaptive modeler switches
+// the regression path off exactly when the estimated noise crosses the
+// threshold.
+func TestIntegrationNoiseDrivenSwitch(t *testing.T) {
+	modeler := apiTestModeler(t)
+	makeSet := func(level float64) *MeasurementSet {
+		rng := rand.New(rand.NewSource(3))
+		set := &MeasurementSet{}
+		for _, x := range []float64{4, 8, 16, 32, 64} {
+			vals := make([]float64, 5)
+			for r := range vals {
+				vals[r] = (1 + 2*x) * (1 + level*(rng.Float64()-0.5))
+			}
+			set.Data = append(set.Data, Measurement{Point: Point{x}, Values: vals})
+		}
+		return set
+	}
+
+	calm, err := modeler.Model(makeSet(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !calm.UsedRegression {
+		t.Fatal("calm data must use the regression modeler")
+	}
+	noisy, err := modeler.Model(makeSet(0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy.UsedRegression {
+		t.Fatalf("noisy data (estimated %.0f%%) must not use the regression modeler",
+			noisy.Noise.Global*100)
+	}
+	if !noisy.SelectedDNN {
+		t.Fatal("noisy data must be modeled by the DNN")
+	}
+}

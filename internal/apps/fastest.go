@@ -1,0 +1,127 @@
+package apps
+
+import (
+	"fmt"
+
+	"extrapdnn/internal/measurement"
+	"extrapdnn/internal/pmnf"
+)
+
+// FASTEST simulates the CFD flow-solver case study measured on SuperMUC.
+// Parameters: x1 = processes, x2 = problem size per process. Modeling uses
+// the paper's two crossing lines — x1 ∈ (16..256) at x2 = 131072 and
+// x2 ∈ (8192..131072) at x1 = 256, nine points in total — and evaluates at
+// P+(2048, 8192). The noise profile reproduces Fig. 5: levels in
+// [7.51%, 160.27%] with mean ≈ 49.6%, the highest of the three studies,
+// which is why the adaptive modeler helps most here.
+func FASTEST() *App {
+	const m = 2
+	lin := pmnf.Exponents{I: 1}
+	log1 := pmnf.Exponents{J: 1}
+	sqrt := pmnf.Exponents{I: 0.5}
+	linlog := pmnf.Exponents{I: 1, J: 1}
+
+	// 20 performance-relevant kernels in four families typical for a
+	// structured multigrid CFD code. Every family carries a substantial
+	// process-count term: the evaluation point extrapolates x1 three
+	// doublings beyond the measured line, so misidentifying the x1 exponent
+	// under the ~50% measurement noise is what separates the modelers here
+	// (the paper reports a 69.79% regression error on FASTEST).
+	var kernels []Kernel
+	type family struct {
+		name   string
+		shares []float64
+		build  func(i int) pmnf.Model
+	}
+	e23 := pmnf.Exponents{I: 2.0 / 3}
+	e34 := pmnf.Exponents{I: 3.0 / 4}
+	families := []family{
+		{
+			// Per-cell work plus a square-root communication component.
+			name:   "smoother",
+			shares: []float64{0.11, 0.09, 0.08, 0.07, 0.06},
+			build: func(i int) pmnf.Model {
+				return pmnf.Model{Constant: 0.5 + float64(i)*0.3, Terms: []pmnf.Term{
+					term(0.00002*float64(i+1), m, map[int]pmnf.Exponents{1: lin}),
+					term(0.35*float64(i+1), m, map[int]pmnf.Exponents{0: sqrt}),
+				}}
+			},
+		},
+		{
+			// Multigrid cycles: problem size with a log factor, plus a
+			// coarse-grid solve that scales as x1^(3/4).
+			name:   "mgcycle",
+			shares: []float64{0.06, 0.05, 0.05, 0.04, 0.04},
+			build: func(i int) pmnf.Model {
+				return pmnf.Model{Constant: 0.4 + float64(i)*0.2, Terms: []pmnf.Term{
+					term(0.000002*float64(i+1), m, map[int]pmnf.Exponents{1: linlog}),
+					term(0.12*float64(i+1), m, map[int]pmnf.Exponents{0: e34}),
+				}}
+			},
+		},
+		{
+			// Halo exchange: surface-to-volume data volume times a
+			// process-count factor from network contention.
+			name:   "halo",
+			shares: []float64{0.04, 0.03, 0.03, 0.03, 0.02},
+			build: func(i int) pmnf.Model {
+				return pmnf.Model{Constant: 0.3 + float64(i)*0.2, Terms: []pmnf.Term{
+					term(0.002*float64(i+1), m, map[int]pmnf.Exponents{0: e23, 1: sqrt}),
+				}}
+			},
+		},
+		{
+			// Global reductions and a serialized coarse solve: linear in the
+			// processes at scale.
+			name:   "reduce",
+			shares: []float64{0.02, 0.02, 0.02, 0.015, 0.015},
+			build: func(i int) pmnf.Model {
+				return pmnf.Model{Constant: 0.2 + float64(i)*0.1, Terms: []pmnf.Term{
+					term(0.02*float64(i+1), m, map[int]pmnf.Exponents{0: lin}),
+					term(0.01*float64(i+1), m, map[int]pmnf.Exponents{1: sqrt}),
+				}}
+			},
+		},
+	}
+	for _, fam := range families {
+		for i, share := range fam.shares {
+			kernels = append(kernels, Kernel{
+				Name:         fmt.Sprintf("%s_%d", fam.name, i+1),
+				Truth:        fam.build(i),
+				RuntimeShare: share,
+			})
+		}
+	}
+	// Two sub-1% kernels excluded by the runtime-share filter.
+	kernels = append(kernels,
+		Kernel{
+			Name: "io_small",
+			Truth: pmnf.Model{Constant: 0.05, Terms: []pmnf.Term{
+				term(0.001, m, map[int]pmnf.Exponents{0: log1}),
+			}},
+			RuntimeShare: 0.004,
+		},
+		Kernel{
+			Name: "stats_tiny",
+			Truth: pmnf.Model{Constant: 0.02, Terms: []pmnf.Term{
+				term(0.0005, m, map[int]pmnf.Exponents{0: lin}),
+			}},
+			RuntimeShare: 0.001,
+		},
+	)
+
+	return &App{
+		Name:       "FASTEST",
+		ParamNames: []string{"x1", "x2"},
+		ModelPoints: crossLines(
+			[]float64{16, 32, 64, 128, 256}, 131072,
+			256, []float64{8192, 16384, 32768, 65536, 131072},
+		),
+		EvalPoint: measurement.Point{2048, 8192},
+		Reps:      5,
+		NoiseLo:   0.0751,
+		NoiseHi:   1.6027,
+		NoiseSkew: 2.5, // mean ≈ 49.6% (paper)
+		Kernels:   kernels,
+	}
+}

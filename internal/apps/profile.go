@@ -1,0 +1,26 @@
+package apps
+
+import (
+	"math/rand"
+
+	"extrapdnn/internal/profile"
+)
+
+// Profile generates the complete simulated measurement campaign of the app
+// as an application profile: one entry per kernel, all over the app's
+// modeling points with its noise profile.
+func (a *App) Profile(rng *rand.Rand) *profile.Profile {
+	p := &profile.Profile{
+		Application: a.Name,
+		ParamNames:  a.ParamNames,
+	}
+	for _, k := range a.Kernels {
+		p.Entries = append(p.Entries, profile.Entry{
+			Kernel:       k.Name,
+			Metric:       "runtime",
+			RuntimeShare: k.RuntimeShare,
+			Set:          a.Generate(rng, k),
+		})
+	}
+	return p
+}

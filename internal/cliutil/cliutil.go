@@ -1,0 +1,91 @@
+// Package cliutil provides the small shared pieces of the command-line
+// tools: loading or pretraining classification networks, parsing topology
+// flags, and table formatting.
+package cliutil
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"extrapdnn/internal/dnnmodel"
+	"extrapdnn/internal/nn"
+)
+
+// ParseTopology parses a -topology flag value: "default", "paper", "tiny",
+// or a comma-separated list of hidden-layer sizes such as "256,128,64".
+func ParseTopology(s string) ([]int, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "default":
+		return dnnmodel.DefaultTopology, nil
+	case "paper":
+		return dnnmodel.PaperTopology, nil
+	case "tiny":
+		return dnnmodel.TinyTopology, nil
+	}
+	parts := strings.Split(s, ",")
+	sizes := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("invalid topology %q: each entry must be a positive integer", s)
+		}
+		sizes = append(sizes, v)
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("invalid topology %q", s)
+	}
+	return sizes, nil
+}
+
+// LoadOrPretrain returns a DNN modeler: loaded from netPath when given,
+// otherwise pretrained with the supplied settings (progress goes to stderr,
+// keeping stdout clean for results).
+func LoadOrPretrain(netPath, topology string, samplesPerClass, epochs int, seed int64) (*dnnmodel.Modeler, error) {
+	if netPath != "" {
+		f, err := os.Open(netPath)
+		if err != nil {
+			return nil, fmt.Errorf("open network: %w", err)
+		}
+		defer f.Close()
+		net, err := nn.Load(f)
+		if err != nil {
+			return nil, fmt.Errorf("load network %s: %w", netPath, err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded pretrained network from %s (%d parameters)\n", netPath, net.NumParams())
+		return &dnnmodel.Modeler{Net: net}, nil
+	}
+	hidden, err := ParseTopology(topology)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "pretraining network (topology %v, %d samples/class, %d epochs)...\n",
+		hidden, samplesPerClass, epochs)
+	m, stats := dnnmodel.Pretrain(dnnmodel.PretrainConfig{
+		Hidden:          hidden,
+		SamplesPerClass: samplesPerClass,
+		Epochs:          epochs,
+		Seed:            seed,
+	})
+	fmt.Fprintf(os.Stderr, "pretraining done, final loss %.4f\n", stats.FinalLoss())
+	return m, nil
+}
+
+// ParseLevels parses a comma-separated list of noise percentages
+// ("2,5,10,20") into fractions.
+func ParseLevels(s string) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("invalid noise level %q", p)
+		}
+		out = append(out, v/100)
+	}
+	return out, nil
+}

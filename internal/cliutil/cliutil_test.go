@@ -1,0 +1,84 @@
+package cliutil
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"extrapdnn/internal/dnnmodel"
+)
+
+func TestParseTopology(t *testing.T) {
+	cases := map[string][]int{
+		"":        dnnmodel.DefaultTopology,
+		"default": dnnmodel.DefaultTopology,
+		"paper":   dnnmodel.PaperTopology,
+		"tiny":    dnnmodel.TinyTopology,
+	}
+	for in, want := range cases {
+		got, err := ParseTopology(in)
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		if len(got) != len(want) || got[0] != want[0] {
+			t.Errorf("ParseTopology(%q) = %v, want %v", in, got, want)
+		}
+	}
+	got, err := ParseTopology("64, 32,16")
+	if err != nil || len(got) != 3 || got[0] != 64 || got[2] != 16 {
+		t.Fatalf("custom topology = %v, %v", got, err)
+	}
+	for _, bad := range []string{"0", "a,b", "-5", "64,,32"} {
+		if _, err := ParseTopology(bad); err == nil {
+			t.Errorf("ParseTopology(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseLevels(t *testing.T) {
+	got, err := ParseLevels("2, 50,100")
+	if err != nil || len(got) != 3 || got[0] != 0.02 || got[2] != 1.0 {
+		t.Fatalf("levels = %v, %v", got, err)
+	}
+	if got, err := ParseLevels(""); err != nil || got != nil {
+		t.Fatal("empty levels should give nil")
+	}
+	if _, err := ParseLevels("2,x"); err == nil {
+		t.Fatal("invalid level should fail")
+	}
+	if _, err := ParseLevels("-3"); err == nil {
+		t.Fatal("negative level should fail")
+	}
+}
+
+func TestLoadOrPretrainRoundTrip(t *testing.T) {
+	m, err := LoadOrPretrain("", "tiny", 5, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "net.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Net.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	loaded, err := LoadOrPretrain(path, "", 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Net.NumParams() != m.Net.NumParams() {
+		t.Fatal("loaded network differs")
+	}
+}
+
+func TestLoadOrPretrainErrors(t *testing.T) {
+	if _, err := LoadOrPretrain("/nonexistent/net.bin", "", 0, 0, 0); err == nil {
+		t.Fatal("missing file should fail")
+	}
+	if _, err := LoadOrPretrain("", "bogus-topo", 5, 1, 1); err == nil {
+		t.Fatal("bad topology should fail")
+	}
+}

@@ -1,0 +1,231 @@
+// Package core implements the paper's primary contribution: the adaptive
+// performance modeler (Section IV-A). Given a measurement set it
+//
+//  1. estimates the noise level with the range-of-relative-deviation
+//     heuristic;
+//  2. extracts the task properties (parameter-value sets, measurement-point
+//     layout, repetition count);
+//  3. retrains the pretrained DNN on synthetic data mirroring those
+//     properties (domain adaptation);
+//  4. models with the DNN — and, when the estimated noise is below the
+//     switching threshold, additionally with the classic regression
+//     modeler;
+//  5. returns the model with the smaller cross-validated SMAPE.
+//
+// Above the threshold the regression modeler is switched off entirely
+// because its tight in-sample fit of noisy data destroys extrapolation
+// accuracy, while the DNN's class prior keeps predictions stable.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"extrapdnn/internal/dnnmodel"
+	"extrapdnn/internal/measurement"
+	"extrapdnn/internal/noise"
+	"extrapdnn/internal/regression"
+)
+
+// DefaultNoiseThreshold is the estimated noise level (fraction) above which
+// the regression modeler is switched off. The synthetic evaluation
+// (cmd/evalsynth) locates the accuracy crossover of the two modelers in the
+// 10–20% band, matching the paper's analysis.
+const DefaultNoiseThreshold = 0.20
+
+// Config tunes the adaptive modeler.
+type Config struct {
+	// NoiseThreshold switches the regression modeler off when the estimated
+	// noise level exceeds it. Zero means DefaultNoiseThreshold; a negative
+	// value disables the regression modeler entirely.
+	NoiseThreshold float64
+	// Adapt configures the per-task domain adaptation.
+	Adapt dnnmodel.AdaptConfig
+	// DisableAdaptation skips the per-task retraining and uses the
+	// pretrained network as-is (for ablation).
+	DisableAdaptation bool
+	// DisableDNN turns the adaptive modeler into a plain regression modeler
+	// (for ablation and for the paper's baseline column).
+	DisableDNN bool
+	// TopK bounds the hypotheses per parameter (default 3).
+	TopK int
+	// Seed makes the synthetic adaptation data deterministic.
+	Seed int64
+}
+
+func (c Config) threshold() float64 {
+	if c.NoiseThreshold == 0 {
+		return DefaultNoiseThreshold
+	}
+	return c.NoiseThreshold
+}
+
+// Modeler is the adaptive performance modeler. It is safe for concurrent
+// use: each Model call draws from an independently seeded random stream.
+type Modeler struct {
+	pretrained *dnnmodel.Modeler
+	cfg        Config
+
+	mu      sync.Mutex
+	callSeq int64
+}
+
+// New builds an adaptive modeler around a pretrained DNN modeler. The
+// pretrained network is never mutated; domain adaptation always works on a
+// clone. pretrained may be nil only when cfg.DisableDNN is set.
+func New(pretrained *dnnmodel.Modeler, cfg Config) (*Modeler, error) {
+	if pretrained == nil && !cfg.DisableDNN {
+		return nil, fmt.Errorf("core: a pretrained DNN modeler is required unless DisableDNN is set")
+	}
+	if cfg.TopK > 0 && pretrained != nil {
+		pretrained = &dnnmodel.Modeler{Net: pretrained.Net, TopK: cfg.TopK}
+	}
+	return &Modeler{pretrained: pretrained, cfg: cfg}, nil
+}
+
+// Report is the complete outcome of one adaptive modeling run.
+type Report struct {
+	// Model is the selected performance model and SMAPE its cross-validated
+	// score.
+	Model regression.Result
+	// Noise is the noise analysis of the input measurements.
+	Noise noise.Analysis
+	// UsedRegression and UsedDNN record which modelers ran.
+	UsedRegression bool
+	UsedDNN        bool
+	// SelectedDNN reports whether the final model came from the DNN modeler.
+	SelectedDNN bool
+	// Regression and DNN hold the individual results when the respective
+	// modeler ran.
+	Regression *regression.Result
+	DNN        *regression.Result
+	// Durations breaks down where the modeling time went.
+	Durations Durations
+}
+
+// Durations breaks the modeling time down (Fig. 6 of the paper).
+type Durations struct {
+	Adapt      time.Duration // domain adaptation (DNN retraining)
+	DNN        time.Duration // DNN classification + hypothesis fitting
+	Regression time.Duration // regression search
+	Total      time.Duration
+}
+
+// Model runs the adaptive modeling process on a measurement set.
+func (m *Modeler) Model(set *measurement.Set) (Report, error) {
+	start := time.Now()
+	var rep Report
+	if err := set.Validate(); err != nil {
+		return rep, err
+	}
+
+	// Step 1: noise estimation.
+	rep.Noise = noise.Analyze(set)
+
+	// Step 2: task properties for domain adaptation.
+	lines, err := regression.SelectLines(set)
+	if err != nil {
+		return rep, err
+	}
+	// The adaptation noise range is clamped at 100%: beyond that level the
+	// synthetic labels are essentially random and retraining on them would
+	// degrade the classifier (the paper pretrains on n ∈ [0, 100%]).
+	noiseMax := rep.Noise.Max
+	if noiseMax > 1 {
+		noiseMax = 1
+	}
+	noiseMin := rep.Noise.Min
+	if noiseMin > noiseMax {
+		noiseMin = noiseMax
+	}
+	// Per-point noise levels in the adaptation data mirror real campaigns,
+	// whose run-to-run variability differs between configurations.
+	task := dnnmodel.TaskInfo{
+		Reps:          set.Repetitions(),
+		NoiseMin:      noiseMin,
+		NoiseMax:      noiseMax,
+		PerPointNoise: true,
+	}
+	for _, line := range lines {
+		task.ParamValues = append(task.ParamValues, line.Xs)
+	}
+
+	useRegression := m.cfg.DisableDNN || rep.Noise.Global <= m.threshold()
+	useDNN := !m.cfg.DisableDNN
+
+	// Steps 3 and 4: domain adaptation and DNN modeling.
+	var dnnRes *regression.Result
+	if useDNN {
+		rng := m.nextRng()
+		adaptStart := time.Now()
+		modeler := m.pretrained
+		if !m.cfg.DisableAdaptation {
+			modeler = m.pretrained.DomainAdapt(rng, task, m.cfg.Adapt)
+		}
+		rep.Durations.Adapt = time.Since(adaptStart)
+		dnnStart := time.Now()
+		res, err := modeler.Model(set)
+		rep.Durations.DNN = time.Since(dnnStart)
+		if err != nil {
+			return rep, fmt.Errorf("core: DNN modeler: %w", err)
+		}
+		dnnRes = &res
+		rep.UsedDNN = true
+		rep.DNN = dnnRes
+	}
+
+	// Regression modeling (only below the noise threshold).
+	var regRes *regression.Result
+	if useRegression {
+		regStart := time.Now()
+		res, err := regression.Model(set, regression.Options{TopK: m.cfg.TopK})
+		rep.Durations.Regression = time.Since(regStart)
+		if err != nil {
+			if dnnRes == nil {
+				return rep, fmt.Errorf("core: regression modeler: %w", err)
+			}
+		} else {
+			regRes = &res
+			rep.UsedRegression = true
+			rep.Regression = regRes
+		}
+	}
+
+	// Step 5: select the best model by cross-validated SMAPE.
+	switch {
+	case dnnRes != nil && regRes != nil:
+		if dnnRes.SMAPE <= regRes.SMAPE {
+			rep.Model, rep.SelectedDNN = *dnnRes, true
+		} else {
+			rep.Model = *regRes
+		}
+	case dnnRes != nil:
+		rep.Model, rep.SelectedDNN = *dnnRes, true
+	case regRes != nil:
+		rep.Model = *regRes
+	default:
+		return rep, fmt.Errorf("core: no modeler produced a result")
+	}
+	rep.Durations.Total = time.Since(start)
+	return rep, nil
+}
+
+// threshold returns the effective switching threshold.
+func (m *Modeler) threshold() float64 {
+	t := m.cfg.threshold()
+	if t < 0 {
+		return -1 // regression never runs
+	}
+	return t
+}
+
+// nextRng returns a deterministic, per-call random stream.
+func (m *Modeler) nextRng() *rand.Rand {
+	m.mu.Lock()
+	m.callSeq++
+	seq := m.callSeq
+	m.mu.Unlock()
+	return rand.New(rand.NewSource(m.cfg.Seed*1_000_003 + seq))
+}

@@ -1,0 +1,175 @@
+// Package design generates experiment designs for empirical performance
+// modeling: which measurement points to run, given the modeling
+// requirements Extra-P imposes (at least five values per parameter along a
+// line where all other parameters are fixed, plus at least one point
+// outside the lines to separate additive from multiplicative parameter
+// interaction — Section III of the paper). It also estimates campaign cost
+// in core-hours so designs can be compared, in the spirit of the
+// cost-effective sampling strategies the paper builds on.
+package design
+
+import (
+	"fmt"
+	"sort"
+
+	"extrapdnn/internal/measurement"
+)
+
+// Design is a set of measurement points to run, each with the planned
+// repetition count.
+type Design struct {
+	Points []measurement.Point
+	Reps   int
+}
+
+// NumExperiments returns the total number of application runs.
+func (d Design) NumExperiments() int { return len(d.Points) * d.Reps }
+
+// Validate checks the design satisfies the modeling requirements: at least
+// MinPointsPerParameter distinct values on some line per parameter.
+func (d Design) Validate() error {
+	if len(d.Points) == 0 {
+		return fmt.Errorf("design: no points")
+	}
+	if d.Reps < 1 {
+		return fmt.Errorf("design: repetitions must be >= 1")
+	}
+	m := len(d.Points[0])
+	for _, p := range d.Points {
+		if len(p) != m {
+			return fmt.Errorf("design: inconsistent parameter counts")
+		}
+	}
+	for l := 0; l < m; l++ {
+		if longestLine(d.Points, l) < measurement.MinPointsPerParameter {
+			return fmt.Errorf("design: parameter %d has no %d-point line",
+				l, measurement.MinPointsPerParameter)
+		}
+	}
+	return nil
+}
+
+// longestLine returns the length of the longest single-parameter line for
+// parameter l.
+func longestLine(points []measurement.Point, l int) int {
+	groups := map[string]map[float64]bool{}
+	for _, p := range points {
+		key := ""
+		for k, v := range p {
+			if k == l {
+				continue
+			}
+			key += fmt.Sprintf("%g,", v)
+		}
+		if groups[key] == nil {
+			groups[key] = map[float64]bool{}
+		}
+		groups[key][p[l]] = true
+	}
+	best := 0
+	for _, g := range groups {
+		if len(g) > best {
+			best = len(g)
+		}
+	}
+	return best
+}
+
+// FullGrid designs the cartesian product of all parameter values — the
+// layout of the paper's Kripke campaign and synthetic evaluation. Cost grows
+// with the product of the value counts.
+func FullGrid(values [][]float64, reps int) Design {
+	pts := []measurement.Point{{}}
+	for _, vs := range values {
+		var next []measurement.Point
+		for _, p := range pts {
+			for _, v := range vs {
+				np := make(measurement.Point, len(p)+1)
+				copy(np, p)
+				np[len(p)] = v
+				next = append(next, np)
+			}
+		}
+		pts = next
+	}
+	return Design{Points: pts, Reps: reps}
+}
+
+// CrossingLines designs the cheapest valid layout: one line per parameter,
+// each at the *lowest* values of the other parameters (the cheapest
+// configurations), overlapping at the common corner, plus one extra point
+// off the lines — at the second-lowest value of every parameter — so the
+// modeler can distinguish additive from multiplicative interaction. This is
+// the layout of the paper's FASTEST and RELeARN campaigns (which omit the
+// extra point) extended per Section III's requirement.
+func CrossingLines(values [][]float64, reps int, withExtraPoint bool) (Design, error) {
+	m := len(values)
+	if m == 0 {
+		return Design{}, fmt.Errorf("design: no parameters")
+	}
+	for l, vs := range values {
+		if len(vs) < measurement.MinPointsPerParameter {
+			return Design{}, fmt.Errorf("design: parameter %d has only %d values, need %d",
+				l, len(vs), measurement.MinPointsPerParameter)
+		}
+		sorted := append([]float64(nil), vs...)
+		sort.Float64s(sorted)
+		values[l] = sorted
+	}
+	seen := map[string]bool{}
+	var pts []measurement.Point
+	add := func(p measurement.Point) {
+		key := p.String()
+		if !seen[key] {
+			seen[key] = true
+			pts = append(pts, p)
+		}
+	}
+	// One line per parameter at the minimum of the others.
+	for l := 0; l < m; l++ {
+		for _, v := range values[l] {
+			p := make(measurement.Point, m)
+			for k := 0; k < m; k++ {
+				p[k] = values[k][0]
+			}
+			p[l] = v
+			add(p)
+		}
+	}
+	if withExtraPoint && m > 1 {
+		p := make(measurement.Point, m)
+		for k := 0; k < m; k++ {
+			p[k] = values[k][1]
+		}
+		add(p)
+	}
+	return Design{Points: pts, Reps: reps}, nil
+}
+
+// CostModel estimates the cost of running a design, in core-hours: the
+// process-count parameter times the estimated per-run wall-clock hours.
+type CostModel struct {
+	// ProcessParam is the index of the parameter holding the process count
+	// (-1 when runs are serial).
+	ProcessParam int
+	// HoursPerRun estimates the wall-clock hours of one run at a point; nil
+	// means a constant 1h.
+	HoursPerRun func(p measurement.Point) float64
+}
+
+// CoreHours returns the estimated total core-hours of the design.
+func (c CostModel) CoreHours(d Design) float64 {
+	total := 0.0
+	for _, p := range d.Points {
+		procs := 1.0
+		if c.ProcessParam >= 0 && c.ProcessParam < len(p) {
+			procs = p[c.ProcessParam]
+		}
+		hours := 1.0
+		if c.HoursPerRun != nil {
+			hours = c.HoursPerRun(p)
+		}
+		total += procs * hours * float64(d.Reps)
+	}
+	return total
+}

@@ -1,0 +1,116 @@
+package design
+
+import (
+	"math"
+	"testing"
+
+	"extrapdnn/internal/measurement"
+)
+
+var vals2 = [][]float64{
+	{16, 32, 64, 128, 256},
+	{8192, 16384, 32768, 65536, 131072},
+}
+
+func TestFullGrid(t *testing.T) {
+	d := FullGrid(vals2, 5)
+	if len(d.Points) != 25 {
+		t.Fatalf("grid has %d points", len(d.Points))
+	}
+	if d.NumExperiments() != 125 {
+		t.Fatalf("experiments = %d", d.NumExperiments())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossingLines(t *testing.T) {
+	d, err := CrossingLines(vals2, 5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 + 5 - 1 shared corner + 1 extra = 10.
+	if len(d.Points) != 10 {
+		t.Fatalf("crossing lines have %d points, want 10", len(d.Points))
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Extra point must be off both lines.
+	extra := measurement.Point{32, 16384}
+	found := false
+	for _, p := range d.Points {
+		if p.Equal(extra) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("extra point %v missing from %v", extra, d.Points)
+	}
+}
+
+func TestCrossingLinesWithoutExtra(t *testing.T) {
+	d, err := CrossingLines(vals2, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Points) != 9 {
+		t.Fatalf("%d points, want 9 (the paper's FASTEST/RELeARN layout)", len(d.Points))
+	}
+}
+
+func TestCrossingLinesErrors(t *testing.T) {
+	if _, err := CrossingLines(nil, 5, false); err == nil {
+		t.Fatal("no parameters should fail")
+	}
+	if _, err := CrossingLines([][]float64{{1, 2}}, 5, false); err == nil {
+		t.Fatal("too few values should fail")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	if err := (Design{}).Validate(); err == nil {
+		t.Fatal("empty design should fail")
+	}
+	if err := (Design{Points: []measurement.Point{{1}}, Reps: 0}).Validate(); err == nil {
+		t.Fatal("zero reps should fail")
+	}
+	short := Design{Points: []measurement.Point{{1}, {2}, {3}}, Reps: 1}
+	if err := short.Validate(); err == nil {
+		t.Fatal("3-point line should fail")
+	}
+	mixed := Design{Points: []measurement.Point{{1}, {2, 3}}, Reps: 1}
+	if err := mixed.Validate(); err == nil {
+		t.Fatal("mixed arity should fail")
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	d, err := CrossingLines(vals2, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := FullGrid(vals2, 5)
+
+	cm := CostModel{ProcessParam: 0}
+	lineCost := cm.CoreHours(d)
+	gridCost := cm.CoreHours(grid)
+	if lineCost >= gridCost {
+		t.Fatalf("crossing lines (%v core-h) should be cheaper than the grid (%v core-h)",
+			lineCost, gridCost)
+	}
+	// Manual check: lines at x1 minimum except the x1-line itself.
+	want := 5.0 * (16 + 32 + 64 + 128 + 256 + 4*16)
+	if math.Abs(lineCost-want) > 1e-9 {
+		t.Fatalf("line cost = %v, want %v", lineCost, want)
+	}
+}
+
+func TestCostModelCustomHours(t *testing.T) {
+	d := FullGrid([][]float64{{1, 2, 3, 4, 5}}, 1)
+	cm := CostModel{ProcessParam: -1, HoursPerRun: func(p measurement.Point) float64 { return p[0] }}
+	if got := cm.CoreHours(d); got != 15 {
+		t.Fatalf("core hours = %v, want 15", got)
+	}
+}

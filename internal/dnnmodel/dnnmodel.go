@@ -1,0 +1,257 @@
+// Package dnnmodel implements the paper's DNN performance modeler
+// (Section IV-D): a feed-forward network classifies the exponent pair of
+// each parameter's PMNF term from a fixed 11-value encoding of the
+// measurement line; the top-3 predicted classes form the hypothesis set,
+// whose coefficients are then fitted with linear regression and selected by
+// cross-validated SMAPE — the same combination machinery the regression
+// modeler uses, with the exhaustive class search replaced by the network's
+// prediction. Domain adaptation (Section IV-E) retrains a pretrained generic
+// network on synthetic data generated from the properties of the concrete
+// modeling task.
+package dnnmodel
+
+import (
+	"fmt"
+	"math/rand"
+
+	"extrapdnn/internal/mat"
+	"extrapdnn/internal/measurement"
+	"extrapdnn/internal/nn"
+	"extrapdnn/internal/pmnf"
+	"extrapdnn/internal/preprocess"
+	"extrapdnn/internal/regression"
+	"extrapdnn/internal/synth"
+)
+
+// PaperTopology is the hidden-layer configuration of the paper: five dense
+// layers of 1500, 1500, 750, 250 and 250 neurons.
+var PaperTopology = []int{1500, 1500, 750, 250, 250}
+
+// DefaultTopology is a reduced configuration of the same architecture family
+// that keeps per-task domain adaptation tractable on a laptop while
+// preserving the qualitative behavior (see DESIGN.md §4).
+var DefaultTopology = []int{256, 256, 128, 64, 64}
+
+// TinyTopology is for fast tests.
+var TinyTopology = []int{48, 32}
+
+// Modeler couples a trained classification network with the hypothesis
+// machinery.
+type Modeler struct {
+	Net *nn.Network
+	// TopK is the number of predicted classes per parameter turned into
+	// hypotheses (default 3, per the paper).
+	TopK int
+}
+
+func (m *Modeler) topK() int {
+	if m.TopK <= 0 {
+		return regression.DefaultTopK
+	}
+	return m.TopK
+}
+
+// TrainSpec describes how to generate a synthetic training set.
+type TrainSpec struct {
+	SamplesPerClass int     // samples generated per exponent class
+	Reps            int     // measurement repetitions simulated per point
+	NoiseMin        float64 // lower bound of the uniform noise-level draw
+	NoiseMax        float64 // upper bound (paper: 1.0 = 100% for pretraining)
+	// ParamValues optionally fixes the parameter-value sequences, one line
+	// drawn per sample from this list; nil generates random sequences of
+	// 5–11 points (pretraining). Domain adaptation passes the task's own
+	// parameter-value sets here.
+	ParamValues [][]float64
+	// PerPointNoise draws a fresh noise level per measurement point instead
+	// of per line, matching campaigns with heterogeneous run-to-run
+	// variability across configurations.
+	PerPointNoise bool
+}
+
+// BuildDataset generates an encoded training set: one row per sample, one
+// label per row. Samples whose line cannot be encoded (degenerate sequences)
+// are skipped, so the result may hold slightly fewer rows than
+// 43*SamplesPerClass.
+func BuildDataset(rng *rand.Rand, spec TrainSpec) (*mat.Matrix, []int) {
+	perClass := spec.SamplesPerClass
+	if perClass < 1 {
+		perClass = 1
+	}
+	reps := spec.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	var rows [][]float64
+	var labels []int
+	for class := 0; class < pmnf.NumClasses; class++ {
+		for s := 0; s < perClass; s++ {
+			var xs []float64
+			if len(spec.ParamValues) > 0 {
+				xs = spec.ParamValues[rng.Intn(len(spec.ParamValues))]
+			}
+			sample := synth.GenLineSampleOpts(rng, class, xs, reps, spec.NoiseMin, spec.NoiseMax, spec.PerPointNoise)
+			enc, err := preprocess.Encode(sample.Xs, sample.Values)
+			if err != nil {
+				continue
+			}
+			rows = append(rows, enc[:])
+			labels = append(labels, class)
+		}
+	}
+	return mat.NewFromRows(rows), labels
+}
+
+// PretrainConfig configures the generic pretraining run.
+type PretrainConfig struct {
+	Hidden          []int // hidden layer sizes; nil means DefaultTopology
+	SamplesPerClass int   // default 500
+	Reps            int   // default 5
+	Epochs          int   // default 3
+	BatchSize       int   // default 64
+	LearningRate    float64
+	Seed            int64
+}
+
+func (c PretrainConfig) withDefaults() PretrainConfig {
+	if c.Hidden == nil {
+		c.Hidden = DefaultTopology
+	}
+	if c.SamplesPerClass <= 0 {
+		c.SamplesPerClass = 500
+	}
+	if c.Reps <= 0 {
+		c.Reps = 5
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 3
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	return c
+}
+
+// Pretrain trains a generic modeler on randomly generated lines covering the
+// full noise range [0, 100%], the first stage of the paper's transfer
+// learning.
+func Pretrain(cfg PretrainConfig) (*Modeler, nn.TrainStats) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sizes := append([]int{preprocess.InputSize}, cfg.Hidden...)
+	sizes = append(sizes, pmnf.NumClasses)
+	net := nn.NewNetwork(sizes, rng)
+	x, labels := BuildDataset(rng, TrainSpec{
+		SamplesPerClass: cfg.SamplesPerClass,
+		Reps:            cfg.Reps,
+		NoiseMin:        0,
+		NoiseMax:        1,
+	})
+	stats := net.Train(x, labels, nn.TrainOptions{
+		Epochs:       cfg.Epochs,
+		BatchSize:    cfg.BatchSize,
+		LearningRate: cfg.LearningRate,
+		Rng:          rng,
+	})
+	return &Modeler{Net: net}, stats
+}
+
+// AdaptConfig configures per-task domain adaptation.
+type AdaptConfig struct {
+	SamplesPerClass int     // default 200 (paper: 2000)
+	Epochs          int     // default 1 (paper: 1)
+	BatchSize       int     // default 64
+	LearningRate    float64 // default nn default
+}
+
+func (c AdaptConfig) withDefaults() AdaptConfig {
+	if c.SamplesPerClass <= 0 {
+		c.SamplesPerClass = 200
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 1
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	return c
+}
+
+// TaskInfo carries the properties of a concrete modeling task extracted from
+// its measurements: the parameter-value sets of its lines, the repetition
+// count, and the estimated noise range.
+type TaskInfo struct {
+	ParamValues [][]float64
+	Reps        int
+	NoiseMin    float64
+	NoiseMax    float64
+	// PerPointNoise mirrors tasks whose noise level varies per measurement
+	// point (see TrainSpec.PerPointNoise).
+	PerPointNoise bool
+}
+
+// DomainAdapt returns a copy of the modeler retrained on synthetic data that
+// mirrors the task: the same parameter-value sequences, repetition count,
+// and the noise range estimated from the measurements. The receiver is not
+// modified, so one pretrained network serves many tasks.
+func (m *Modeler) DomainAdapt(rng *rand.Rand, task TaskInfo, cfg AdaptConfig) *Modeler {
+	cfg = cfg.withDefaults()
+	x, labels := BuildDataset(rng, TrainSpec{
+		SamplesPerClass: cfg.SamplesPerClass,
+		Reps:            task.Reps,
+		NoiseMin:        task.NoiseMin,
+		NoiseMax:        task.NoiseMax,
+		ParamValues:     task.ParamValues,
+		PerPointNoise:   task.PerPointNoise,
+	})
+	adapted := m.Net.Clone()
+	adapted.Train(x, labels, nn.TrainOptions{
+		Epochs:       cfg.Epochs,
+		BatchSize:    cfg.BatchSize,
+		LearningRate: cfg.LearningRate,
+		Rng:          rng,
+	})
+	return &Modeler{Net: adapted, TopK: m.TopK}
+}
+
+// ClassifyLine returns the network's top-k exponent classes for one
+// measurement line.
+func (m *Modeler) ClassifyLine(xs, vs []float64) ([]pmnf.Exponents, error) {
+	enc, err := preprocess.Encode(xs, vs)
+	if err != nil {
+		return nil, err
+	}
+	top := m.Net.TopK(enc[:], m.topK())
+	exps := make([]pmnf.Exponents, len(top))
+	for i, cls := range top {
+		exps[i] = pmnf.Class(cls)
+	}
+	return exps, nil
+}
+
+// Model builds a performance model for a measurement set: each parameter's
+// line is classified by the network, the top-k classes become hypotheses
+// whose coefficients are fitted by linear regression, and the best
+// single-parameter hypotheses are combined exactly as in the regression
+// modeler (additive and multiplicative combinations, cross-validated SMAPE).
+func (m *Modeler) Model(set *measurement.Set) (regression.Result, error) {
+	if err := set.Validate(); err != nil {
+		return regression.Result{}, err
+	}
+	lines, err := regression.SelectLines(set)
+	if err != nil {
+		return regression.Result{}, err
+	}
+	perParam := make([][]regression.Candidate, len(lines))
+	for l, line := range lines {
+		classes, err := m.ClassifyLine(line.Xs, line.Vs)
+		if err != nil {
+			return regression.Result{}, fmt.Errorf("dnnmodel: parameter %d: %w", l, err)
+		}
+		cands, err := regression.FitLine(line.Xs, line.Vs, classes, m.topK())
+		if err != nil {
+			return regression.Result{}, fmt.Errorf("dnnmodel: parameter %d: %w", l, err)
+		}
+		perParam[l] = cands
+	}
+	return regression.Combine(set, perParam)
+}

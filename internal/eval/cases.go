@@ -1,0 +1,176 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"extrapdnn/internal/apps"
+	"extrapdnn/internal/core"
+	"extrapdnn/internal/dnnmodel"
+	"extrapdnn/internal/noise"
+	"extrapdnn/internal/pmnf"
+	"extrapdnn/internal/stats"
+)
+
+// CaseConfig configures one case-study evaluation (Figs. 4–6).
+type CaseConfig struct {
+	Pretrained     *dnnmodel.Modeler
+	Adapt          dnnmodel.AdaptConfig
+	Seed           int64
+	NoiseThreshold float64 // 0 means core.DefaultNoiseThreshold
+	// Campaigns repeats the whole simulated measurement campaign this many
+	// times (default 1) and pools the per-kernel prediction errors: a single
+	// draw of the noisy 9-point layouts is volatile, and the paper's Fig. 4
+	// error bars likewise aggregate over resamples.
+	Campaigns int
+}
+
+// KernelOutcome is the result of modeling one kernel with both approaches.
+type KernelOutcome struct {
+	Kernel string
+	// Relative prediction error in percent at the evaluation point P+,
+	// against the (noisy) evaluation measurement, as in the paper.
+	RegErr, AdaptErr float64
+	// The models found.
+	RegModel, AdaptModel pmnf.Model
+	// SelectedDNN reports whether the adaptive modeler picked the DNN model.
+	SelectedDNN bool
+	// Relevant is the paper's >1% runtime-share filter.
+	Relevant bool
+}
+
+// CaseResult summarizes one case study.
+type CaseResult struct {
+	App     string
+	Kernels []KernelOutcome
+
+	// Median and mean relative prediction error over the
+	// performance-relevant kernels (Fig. 4 reports the medians).
+	RegMedianErr, AdaptMedianErr float64
+	RegMeanErr, AdaptMeanErr     float64
+
+	// Modeling wall-clock time over the main kernels (Fig. 6).
+	RegTime, AdaptTime time.Duration
+
+	// Noise is the estimator's analysis over all generated measurements
+	// (Fig. 5).
+	Noise noise.Analysis
+}
+
+// RunCaseStudy generates the measurements of one simulated application and
+// evaluates the regression and adaptive modelers end to end, mirroring
+// Section VI of the paper.
+func RunCaseStudy(app *apps.App, cfg CaseConfig) (CaseResult, error) {
+	if cfg.Pretrained == nil {
+		return CaseResult{}, fmt.Errorf("eval: CaseConfig.Pretrained is required")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	regModeler, err := core.New(nil, core.Config{DisableDNN: true})
+	if err != nil {
+		return CaseResult{}, err
+	}
+	adaptiveModeler, err := core.New(cfg.Pretrained, core.Config{
+		NoiseThreshold: cfg.NoiseThreshold,
+		Adapt:          cfg.Adapt,
+		Seed:           cfg.Seed,
+	})
+	if err != nil {
+		return CaseResult{}, err
+	}
+
+	res := CaseResult{App: app.Name}
+	var allLevels []float64
+	var regRelevant, adaptRelevant []float64
+
+	campaigns := cfg.Campaigns
+	if campaigns < 1 {
+		campaigns = 1
+	}
+	for c := 0; c < campaigns; c++ {
+		for _, k := range app.Kernels {
+			set, evalRef := app.Campaign(rng, k)
+
+			na := noise.Analyze(set)
+			allLevels = append(allLevels, na.PointLevels...)
+
+			regStart := time.Now()
+			regRep, err := regModeler.Model(set)
+			if err != nil {
+				return res, fmt.Errorf("eval: %s/%s regression: %w", app.Name, k.Name, err)
+			}
+			res.RegTime += time.Since(regStart)
+
+			adaptStart := time.Now()
+			adaptRep, err := adaptiveModeler.Model(set)
+			if err != nil {
+				return res, fmt.Errorf("eval: %s/%s adaptive: %w", app.Name, k.Name, err)
+			}
+			res.AdaptTime += time.Since(adaptStart)
+
+			outcome := KernelOutcome{
+				Kernel:      k.Name,
+				RegModel:    regRep.Model.Model,
+				AdaptModel:  adaptRep.Model.Model,
+				SelectedDNN: adaptRep.SelectedDNN,
+				Relevant:    k.PerformanceRelevant(),
+				RegErr:      stats.RelativeErrorPct(regRep.Model.Model.Eval(app.EvalPoint), evalRef),
+				AdaptErr:    stats.RelativeErrorPct(adaptRep.Model.Model.Eval(app.EvalPoint), evalRef),
+			}
+			if c == 0 {
+				res.Kernels = append(res.Kernels, outcome)
+			}
+			if outcome.Relevant {
+				regRelevant = append(regRelevant, outcome.RegErr)
+				adaptRelevant = append(adaptRelevant, outcome.AdaptErr)
+			}
+		}
+	}
+	// Timing is reported per campaign.
+	res.RegTime /= time.Duration(campaigns)
+	res.AdaptTime /= time.Duration(campaigns)
+
+	res.RegMedianErr = stats.Median(regRelevant)
+	res.AdaptMedianErr = stats.Median(adaptRelevant)
+	res.RegMeanErr = stats.Mean(regRelevant)
+	res.AdaptMeanErr = stats.Mean(adaptRelevant)
+	res.Noise = noise.Analysis{PointLevels: allLevels}
+	if len(allLevels) > 0 {
+		res.Noise.Mean = stats.Mean(allLevels)
+		res.Noise.Median = stats.Median(allLevels)
+		res.Noise.Min = stats.Min(allLevels)
+		res.Noise.Max = stats.Max(allLevels)
+	}
+	return res, nil
+}
+
+// NoiseEstimatorError validates the rrd heuristic (Section IV-B's 4.93%
+// claim): it injects known uniform noise levels into synthetic measurement
+// sets and returns the mean relative estimation error as a fraction.
+func NoiseEstimatorError(seed int64, trials int, levels []float64) float64 {
+	if len(levels) == 0 {
+		levels = []float64{0.05, 0.10, 0.20, 0.50, 0.75, 1.0}
+	}
+	if trials <= 0 {
+		trials = 50
+	}
+	rng := rand.New(rand.NewSource(seed))
+	total, count := 0.0, 0
+	for _, level := range levels {
+		for t := 0; t < trials; t++ {
+			set := syntheticNoisySet(rng, level)
+			est := noise.EstimateLevel(set)
+			total += absf(est-level) / level
+			count++
+		}
+	}
+	return total / float64(count)
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

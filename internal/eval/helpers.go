@@ -1,0 +1,25 @@
+package eval
+
+import (
+	"math/rand"
+
+	"extrapdnn/internal/measurement"
+)
+
+// syntheticNoisySet builds a 25-point, 5-repetition measurement set with a
+// known uniform noise level, used to validate the noise estimator.
+func syntheticNoisySet(rng *rand.Rand, level float64) *measurement.Set {
+	set := &measurement.Set{}
+	for p := 0; p < 25; p++ {
+		base := 10 + rng.Float64()*1000
+		vals := make([]float64, 5)
+		for r := range vals {
+			vals[r] = base * (1 + level*(rng.Float64()-0.5))
+		}
+		set.Data = append(set.Data, measurement.Measurement{
+			Point:  measurement.Point{float64(p + 1)},
+			Values: vals,
+		})
+	}
+	return set
+}

@@ -1,0 +1,137 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the minimum number of multiply-adds in a matmul before
+// the work is split across goroutines. Below it the goroutine and
+// synchronization overhead outweighs the parallel speedup.
+const parallelThreshold = 64 * 64 * 64
+
+// Mul returns a*b. It panics if the inner dimensions disagree.
+// Large products are computed in parallel across GOMAXPROCS goroutines.
+func Mul(a, b *Matrix) *Matrix {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("mat: Mul dimension mismatch %dx%d by %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := New(a.rows, b.cols)
+	MulTo(out, a, b)
+	return out
+}
+
+// MulTo computes out = a*b into a preallocated matrix, avoiding allocation in
+// hot loops. out must be a.rows×b.cols and must not alias a or b.
+func MulTo(out, a, b *Matrix) {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("mat: MulTo dimension mismatch %dx%d by %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	if out.rows != a.rows || out.cols != b.cols {
+		panic(fmt.Sprintf("mat: MulTo output %dx%d, want %dx%d", out.rows, out.cols, a.rows, b.cols))
+	}
+	work := a.rows * a.cols * b.cols
+	workers := runtime.GOMAXPROCS(0)
+	if work < parallelThreshold || workers < 2 || a.rows < 2 {
+		mulRange(out, a, b, 0, a.rows)
+		return
+	}
+	if workers > a.rows {
+		workers = a.rows
+	}
+	var wg sync.WaitGroup
+	chunk := (a.rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > a.rows {
+			hi = a.rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			mulRange(out, a, b, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// mulRange computes rows [lo,hi) of out = a*b using an ikj loop order that
+// streams through b row-by-row for cache friendliness.
+func mulRange(out, a, b *Matrix, lo, hi int) {
+	n := b.cols
+	for i := lo; i < hi; i++ {
+		oi := out.data[i*n : (i+1)*n]
+		for j := range oi {
+			oi[j] = 0
+		}
+		ai := a.data[i*a.cols : (i+1)*a.cols]
+		for k, aik := range ai {
+			if aik == 0 {
+				continue
+			}
+			bk := b.data[k*n : (k+1)*n]
+			for j, bkj := range bk {
+				oi[j] += aik * bkj
+			}
+		}
+	}
+}
+
+// MulVec returns a*x for a column vector x (len(x) == a.cols).
+func MulVec(a *Matrix, x []float64) []float64 {
+	if a.cols != len(x) {
+		panic(fmt.Sprintf("mat: MulVec dimension mismatch %dx%d by vec %d", a.rows, a.cols, len(x)))
+	}
+	out := make([]float64, a.rows)
+	for i := 0; i < a.rows; i++ {
+		ri := a.data[i*a.cols : (i+1)*a.cols]
+		s := 0.0
+		for j, v := range ri {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Dot returns the inner product of x and y, which must have equal length.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mat: Dot length mismatch %d vs %d", len(x), len(y)))
+	}
+	s := 0.0
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	// Scaled accumulation avoids overflow for large components.
+	scale, ssq := 0.0, 1.0
+	for _, v := range x {
+		if v == 0 {
+			continue
+		}
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if scale < a {
+			r := scale / a
+			ssq = 1 + ssq*r*r
+			scale = a
+		} else {
+			r := a / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}

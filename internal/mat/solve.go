@@ -1,0 +1,192 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a solve encounters a (numerically) singular
+// system.
+var ErrSingular = errors.New("mat: singular system")
+
+// LeastSquares solves min_x ||A x - b||_2 for a full-column-rank A using
+// Householder QR, which is numerically stable for the small, possibly
+// ill-conditioned design matrices produced by PMNF hypothesis fitting.
+// A is rows×cols with rows >= cols, b has length rows.
+// The returned slice has length cols.
+func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	if a.rows != len(b) {
+		return nil, fmt.Errorf("mat: LeastSquares shape mismatch: %d rows vs %d rhs", a.rows, len(b))
+	}
+	if a.rows < a.cols {
+		return nil, fmt.Errorf("mat: LeastSquares underdetermined: %dx%d", a.rows, a.cols)
+	}
+	m, n := a.rows, a.cols
+	r := a.Clone()
+	y := make([]float64, m)
+	copy(y, b)
+
+	// Column equilibration: PMNF design matrices mix an intercept column of
+	// ones with term columns spanning many orders of magnitude. Scaling each
+	// column to unit norm makes the rank test meaningful and the solve
+	// accurate; the solution is unscaled at the end.
+	colScale := make([]float64, n)
+	for j := 0; j < n; j++ {
+		norm := 0.0
+		for i := 0; i < m; i++ {
+			norm = math.Hypot(norm, r.data[i*n+j])
+		}
+		if norm == 0 {
+			return nil, ErrSingular
+		}
+		colScale[j] = norm
+		for i := 0; i < m; i++ {
+			r.data[i*n+j] /= norm
+		}
+	}
+
+	// Householder QR: for each column k build the reflector that zeroes the
+	// subdiagonal, apply it to the trailing columns and to the rhs.
+	v := make([]float64, m)
+	for k := 0; k < n; k++ {
+		// Column norm below the diagonal.
+		norm := 0.0
+		for i := k; i < m; i++ {
+			norm = math.Hypot(norm, r.data[i*n+k])
+		}
+		if norm == 0 {
+			return nil, ErrSingular
+		}
+		alpha := -math.Copysign(norm, r.data[k*n+k])
+		vnorm2 := 0.0
+		for i := k; i < m; i++ {
+			v[i] = r.data[i*n+k]
+			if i == k {
+				v[i] -= alpha
+			}
+			vnorm2 += v[i] * v[i]
+		}
+		if vnorm2 == 0 {
+			return nil, ErrSingular
+		}
+		// Apply H = I - 2 v v^T / (v^T v) to R[k:, k:] and y[k:].
+		for j := k; j < n; j++ {
+			dot := 0.0
+			for i := k; i < m; i++ {
+				dot += v[i] * r.data[i*n+j]
+			}
+			f := 2 * dot / vnorm2
+			for i := k; i < m; i++ {
+				r.data[i*n+j] -= f * v[i]
+			}
+		}
+		dot := 0.0
+		for i := k; i < m; i++ {
+			dot += v[i] * y[i]
+		}
+		f := 2 * dot / vnorm2
+		for i := k; i < m; i++ {
+			y[i] -= f * v[i]
+		}
+	}
+
+	// Back substitution on the upper-triangular n×n block. A diagonal entry
+	// tiny relative to the largest one signals numerical rank deficiency.
+	maxDiag := 0.0
+	for i := 0; i < n; i++ {
+		if d := math.Abs(r.data[i*n+i]); d > maxDiag {
+			maxDiag = d
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= r.data[i*n+j] * x[j]
+		}
+		d := r.data[i*n+i]
+		if math.Abs(d) <= 1e-12*maxDiag {
+			return nil, ErrSingular
+		}
+		x[i] = s / d
+	}
+	for i := range x {
+		x[i] /= colScale[i]
+		if math.IsNaN(x[i]) || math.IsInf(x[i], 0) {
+			return nil, ErrSingular
+		}
+	}
+	return x, nil
+}
+
+// SolveCholesky solves the symmetric positive-definite system A x = b via
+// Cholesky factorization. It is used for normal-equation solves where the
+// Gram matrix is known to be SPD.
+func SolveCholesky(a *Matrix, b []float64) ([]float64, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("mat: SolveCholesky needs square matrix, got %dx%d", a.rows, a.cols)
+	}
+	if a.rows != len(b) {
+		return nil, fmt.Errorf("mat: SolveCholesky shape mismatch: %d vs %d", a.rows, len(b))
+	}
+	n := a.rows
+	l := a.Clone()
+	// In-place lower Cholesky.
+	for j := 0; j < n; j++ {
+		d := l.data[j*n+j]
+		for k := 0; k < j; k++ {
+			d -= l.data[j*n+k] * l.data[j*n+k]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrSingular
+		}
+		d = math.Sqrt(d)
+		l.data[j*n+j] = d
+		for i := j + 1; i < n; i++ {
+			s := l.data[i*n+j]
+			for k := 0; k < j; k++ {
+				s -= l.data[i*n+k] * l.data[j*n+k]
+			}
+			l.data[i*n+j] = s / d
+		}
+	}
+	// Forward solve L z = b.
+	z := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.data[i*n+k] * z[k]
+		}
+		z[i] = s / l.data[i*n+i]
+	}
+	// Backward solve L^T x = z.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := z[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.data[k*n+i] * x[k]
+		}
+		x[i] = s / l.data[i*n+i]
+	}
+	return x, nil
+}
+
+// Gram returns A^T A, the (cols×cols) Gram matrix of A.
+func Gram(a *Matrix) *Matrix {
+	n := a.cols
+	g := New(n, n)
+	for i := 0; i < a.rows; i++ {
+		ri := a.data[i*n : (i+1)*n]
+		for p, vp := range ri {
+			if vp == 0 {
+				continue
+			}
+			gp := g.data[p*n : (p+1)*n]
+			for q, vq := range ri {
+				gp[q] += vp * vq
+			}
+		}
+	}
+	return g
+}

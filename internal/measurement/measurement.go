@@ -1,0 +1,226 @@
+// Package measurement defines the experiment data model shared by every
+// modeler: measurement points (a coordinate per execution parameter),
+// repeated measured values per point, and the per-point median reduction the
+// paper uses to dampen noise. It also provides JSON serialization so
+// measurement sets can be stored and fed to the CLI tools.
+package measurement
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"extrapdnn/internal/stats"
+)
+
+// MinPointsPerParameter is the minimum number of distinct values per
+// execution parameter Extra-P needs for modeling (Section III of the paper).
+const MinPointsPerParameter = 5
+
+// MaxPointsPerParameter is the largest number of values per parameter the
+// DNN input encoding supports; more is rarely measurable in practice
+// (Section IV-C).
+const MaxPointsPerParameter = 11
+
+// Point is one measurement point P(x1..xm): the value of every execution
+// parameter for an experiment.
+type Point []float64
+
+// Equal reports whether two points have identical coordinates.
+func (p Point) Equal(q Point) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i, v := range p {
+		if v != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of p.
+func (p Point) Clone() Point {
+	c := make(Point, len(p))
+	copy(c, p)
+	return c
+}
+
+// String renders the point as "P(8, 64)".
+func (p Point) String() string {
+	s := "P("
+	for i, v := range p {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%g", v)
+	}
+	return s + ")"
+}
+
+// Measurement is the set of repeated measured values at one point.
+type Measurement struct {
+	Point  Point     `json:"point"`
+	Values []float64 `json:"values"` // one value per repetition, e.g. runtimes in seconds
+}
+
+// Median returns the median of the repetitions, the representative value the
+// paper models. It returns an error when no repetitions exist.
+func (m Measurement) Median() (float64, error) {
+	if len(m.Values) == 0 {
+		return 0, fmt.Errorf("measurement at %v has no values", m.Point)
+	}
+	return stats.Median(m.Values), nil
+}
+
+// Mean returns the arithmetic mean of the repetitions.
+func (m Measurement) Mean() (float64, error) {
+	if len(m.Values) == 0 {
+		return 0, fmt.Errorf("measurement at %v has no values", m.Point)
+	}
+	return stats.Mean(m.Values), nil
+}
+
+// Set is a complete measurement set for one modeling task: one entry per
+// measurement point, each with its repetitions.
+type Set struct {
+	ParamNames []string      `json:"param_names,omitempty"` // display names, e.g. ["p", "size"]
+	Metric     string        `json:"metric,omitempty"`      // e.g. "runtime"
+	Data       []Measurement `json:"data"`
+}
+
+// NumParams returns the number of execution parameters, inferred from the
+// first measurement (or ParamNames when the set is empty).
+func (s *Set) NumParams() int {
+	if len(s.Data) > 0 {
+		return len(s.Data[0].Point)
+	}
+	return len(s.ParamNames)
+}
+
+// Validate checks structural invariants: at least one measurement, equal
+// parameter counts everywhere, positive parameter values, nonempty
+// repetitions, and no duplicated points.
+func (s *Set) Validate() error {
+	if len(s.Data) == 0 {
+		return errors.New("measurement set is empty")
+	}
+	m := len(s.Data[0].Point)
+	if m == 0 {
+		return errors.New("measurement points have no parameters")
+	}
+	seen := make(map[string]bool, len(s.Data))
+	for i, d := range s.Data {
+		if len(d.Point) != m {
+			return fmt.Errorf("measurement %d has %d parameters, want %d", i, len(d.Point), m)
+		}
+		for l, x := range d.Point {
+			if x <= 0 {
+				return fmt.Errorf("measurement %d: parameter %d value %g must be positive", i, l, x)
+			}
+		}
+		if len(d.Values) == 0 {
+			return fmt.Errorf("measurement %d at %v has no repetitions", i, d.Point)
+		}
+		key := d.Point.String()
+		if seen[key] {
+			return fmt.Errorf("duplicate measurement point %v", d.Point)
+		}
+		seen[key] = true
+	}
+	return nil
+}
+
+// Medians returns the points and the per-point median values, the inputs the
+// modelers consume.
+func (s *Set) Medians() (points []Point, values []float64) {
+	points = make([]Point, len(s.Data))
+	values = make([]float64, len(s.Data))
+	for i, d := range s.Data {
+		points[i] = d.Point
+		v, err := d.Median()
+		if err != nil {
+			v = 0
+		}
+		values[i] = v
+	}
+	return points, values
+}
+
+// ParamValues returns the sorted distinct values each parameter takes in the
+// set.
+func (s *Set) ParamValues() [][]float64 {
+	m := s.NumParams()
+	out := make([][]float64, m)
+	for l := 0; l < m; l++ {
+		set := map[float64]bool{}
+		for _, d := range s.Data {
+			set[d.Point[l]] = true
+		}
+		vals := make([]float64, 0, len(set))
+		for v := range set {
+			vals = append(vals, v)
+		}
+		sort.Float64s(vals)
+		out[l] = vals
+	}
+	return out
+}
+
+// Repetitions returns the largest repetition count in the set.
+func (s *Set) Repetitions() int {
+	r := 0
+	for _, d := range s.Data {
+		if len(d.Values) > r {
+			r = len(d.Values)
+		}
+	}
+	return r
+}
+
+// Lookup returns the measurement at point p, if present.
+func (s *Set) Lookup(p Point) (Measurement, bool) {
+	for _, d := range s.Data {
+		if d.Point.Equal(p) {
+			return d, true
+		}
+	}
+	return Measurement{}, false
+}
+
+// Line extracts the single-parameter measurement line for parameter l where
+// every other parameter is fixed to the values in fixed (fixed[l] itself is
+// ignored). The result is sorted by the value of parameter l. This is the
+// shape both modelers use to identify per-parameter behavior.
+func (s *Set) Line(l int, fixed Point) *Set {
+	m := s.NumParams()
+	var out []Measurement
+	for _, d := range s.Data {
+		match := true
+		for k := 0; k < m; k++ {
+			if k == l {
+				continue
+			}
+			if d.Point[k] != fixed[k] {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Point[l] < out[b].Point[l] })
+	return &Set{ParamNames: s.ParamNames, Metric: s.Metric, Data: out}
+}
+
+// Filter returns the subset of measurements accepted by keep.
+func (s *Set) Filter(keep func(Measurement) bool) *Set {
+	var out []Measurement
+	for _, d := range s.Data {
+		if keep(d) {
+			out = append(out, d)
+		}
+	}
+	return &Set{ParamNames: s.ParamNames, Metric: s.Metric, Data: out}
+}

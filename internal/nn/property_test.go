@@ -1,0 +1,119 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"extrapdnn/internal/mat"
+)
+
+// Property: softmax outputs form a probability distribution for any input.
+func TestSoftmaxDistributionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		net := NewNetwork([]int{4, 8, 5}, rng)
+		x := make([]float64, 4)
+		for i := range x {
+			x[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(6)-3))
+		}
+		out := net.Predict(x)
+		sum := 0.0
+		for _, p := range out {
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				return false
+			}
+			sum += p
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: TopK returns k distinct indices ordered by descending
+// probability.
+func TestTopKOrderedDistinctProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		net := NewNetwork([]int{3, 6, 7}, rng)
+		x := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		probs := net.Predict(x)
+		k := 1 + rng.Intn(7)
+		top := net.TopK(x, k)
+		if len(top) != k {
+			return false
+		}
+		seen := map[int]bool{}
+		for i, c := range top {
+			if c < 0 || c >= 7 || seen[c] {
+				return false
+			}
+			seen[c] = true
+			if i > 0 && probs[top[i-1]] < probs[c] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Training with a batch size larger than the dataset must still work (one
+// batch per epoch).
+func TestTrainBatchLargerThanData(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := NewNetwork([]int{2, 8, 2}, rng)
+	x, labels := twoBlobs(rng, 10)
+	stats := net.Train(x, labels, TrainOptions{Epochs: 5, BatchSize: 512, Rng: rng})
+	if stats.Batches != 5 {
+		t.Fatalf("expected 1 batch per epoch, got %d total", stats.Batches)
+	}
+}
+
+// Serialization must be byte-stable: saving the same network twice yields
+// identical bytes (no map iteration or time dependence).
+func TestSaveDeterministic(t *testing.T) {
+	net := NewNetwork([]int{3, 5, 2}, rand.New(rand.NewSource(2)))
+	var a, b capture
+	if err := net.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("Save is not deterministic")
+	}
+}
+
+type capture []byte
+
+func (c *capture) Write(p []byte) (int, error) {
+	*c = append(*c, p...)
+	return len(p), nil
+}
+
+// Accuracy of an untrained network on balanced random data hovers near
+// chance — a sanity floor for the metric itself.
+func TestAccuracyNearChanceUntrained(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := NewNetwork([]int{4, 16, 4}, rng)
+	n := 2000
+	x := mat.New(n, 4)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < 4; j++ {
+			x.Set(i, j, rng.NormFloat64())
+		}
+		labels[i] = rng.Intn(4)
+	}
+	acc := net.Accuracy(x, labels)
+	if acc < 0.1 || acc > 0.45 {
+		t.Fatalf("untrained accuracy %v implausible for 4 balanced classes", acc)
+	}
+}

@@ -1,0 +1,396 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"extrapdnn/internal/mat"
+)
+
+// OptimizerKind selects the gradient-descent variant.
+type OptimizerKind int
+
+const (
+	// AdaMax is the paper's optimizer (Adam with an infinity-norm second
+	// moment).
+	AdaMax OptimizerKind = iota
+	// Adam is provided for ablation.
+	Adam
+	// SGD is plain stochastic gradient descent, for ablation.
+	SGD
+)
+
+// String returns the optimizer name.
+func (o OptimizerKind) String() string {
+	switch o {
+	case AdaMax:
+		return "adamax"
+	case Adam:
+		return "adam"
+	case SGD:
+		return "sgd"
+	default:
+		return fmt.Sprintf("OptimizerKind(%d)", int(o))
+	}
+}
+
+// TrainOptions configures minibatch training.
+type TrainOptions struct {
+	Epochs       int           // full passes over the data (default 1)
+	BatchSize    int           // minibatch size (default 64)
+	LearningRate float64       // step size (default 0.002, the AdaMax default)
+	Beta1        float64       // first-moment decay (default 0.9)
+	Beta2        float64       // second-moment decay (default 0.999)
+	Optimizer    OptimizerKind // default AdaMax
+	Rng          *rand.Rand    // shuffling; nil disables shuffling
+
+	// WeightDecay applies decoupled L2 regularization: each step multiplies
+	// the weights by (1 - lr*WeightDecay). Zero disables it.
+	WeightDecay float64
+	// Dropout zeroes each hidden activation with this probability during
+	// training (inverted dropout, so inference needs no rescaling). Zero
+	// disables it.
+	Dropout float64
+	// LRDecay multiplies the learning rate by this factor after every epoch
+	// (e.g. 0.9); zero or one disables the schedule.
+	LRDecay float64
+	// ValidationFrac holds out this fraction of the samples (taken from the
+	// end of the dataset) to monitor generalization. Zero disables
+	// validation.
+	ValidationFrac float64
+	// Patience stops training early after this many consecutive epochs
+	// without validation-loss improvement (requires ValidationFrac > 0).
+	// Zero disables early stopping.
+	Patience int
+}
+
+func (o TrainOptions) withDefaults() TrainOptions {
+	if o.Epochs <= 0 {
+		o.Epochs = 1
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 64
+	}
+	if o.LearningRate <= 0 {
+		o.LearningRate = 0.002
+	}
+	if o.Beta1 <= 0 {
+		o.Beta1 = 0.9
+	}
+	if o.Beta2 <= 0 {
+		o.Beta2 = 0.999
+	}
+	return o
+}
+
+// TrainStats reports the result of a training run.
+type TrainStats struct {
+	EpochLoss []float64 // mean training cross-entropy per epoch
+	ValLoss   []float64 // mean validation cross-entropy per epoch (when enabled)
+	Batches   int       // total optimizer steps taken
+	Stopped   bool      // true when early stopping ended training
+}
+
+// FinalLoss returns the loss of the last epoch (NaN when no epoch ran).
+func (s TrainStats) FinalLoss() float64 {
+	if len(s.EpochLoss) == 0 {
+		return math.NaN()
+	}
+	return s.EpochLoss[len(s.EpochLoss)-1]
+}
+
+// optState holds per-layer optimizer accumulators.
+type optState struct {
+	mW, vW *mat.Matrix // first/second moments for weights
+	mB, vB []float64   // first/second moments for biases
+	step   int
+}
+
+// Train fits the network to (x, labels) with softmax cross-entropy loss.
+// x holds one sample per row; labels are class indices. It returns per-epoch
+// loss statistics. Training mutates the network in place.
+func (n *Network) Train(x *mat.Matrix, labels []int, opts TrainOptions) TrainStats {
+	opts = opts.withDefaults()
+	numSamples := x.Rows()
+	if numSamples != len(labels) {
+		panic(fmt.Sprintf("nn: %d samples vs %d labels", numSamples, len(labels)))
+	}
+	if numSamples == 0 {
+		return TrainStats{}
+	}
+	if n.Layers[len(n.Layers)-1].Act != Softmax {
+		panic("nn: Train requires a softmax output layer")
+	}
+	numClasses := n.OutputSize()
+	for i, lbl := range labels {
+		if lbl < 0 || lbl >= numClasses {
+			panic(fmt.Sprintf("nn: label %d at sample %d out of range [0,%d)", lbl, i, numClasses))
+		}
+	}
+
+	states := make([]*optState, len(n.Layers))
+	for i, l := range n.Layers {
+		states[i] = &optState{
+			mW: mat.New(l.W.Rows(), l.W.Cols()),
+			vW: mat.New(l.W.Rows(), l.W.Cols()),
+			mB: make([]float64, len(l.B)),
+			vB: make([]float64, len(l.B)),
+		}
+	}
+
+	// Hold out the validation tail when requested.
+	trainCount := numSamples
+	if opts.ValidationFrac > 0 && opts.ValidationFrac < 1 {
+		held := int(float64(numSamples) * opts.ValidationFrac)
+		if held > 0 && numSamples-held > 0 {
+			trainCount = numSamples - held
+		}
+	}
+
+	order := make([]int, trainCount)
+	for i := range order {
+		order[i] = i
+	}
+
+	stats := TrainStats{}
+	bestVal := math.Inf(1)
+	badEpochs := 0
+	dropRng := opts.Rng
+	if dropRng == nil {
+		dropRng = rand.New(rand.NewSource(1))
+	}
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		if opts.Rng != nil {
+			opts.Rng.Shuffle(trainCount, func(a, b int) { order[a], order[b] = order[b], order[a] })
+		}
+		epochLoss, batches := 0.0, 0
+		for start := 0; start < trainCount; start += opts.BatchSize {
+			end := start + opts.BatchSize
+			if end > trainCount {
+				end = trainCount
+			}
+			batch := order[start:end]
+			loss := n.trainBatch(x, labels, batch, states, opts, dropRng)
+			epochLoss += loss * float64(len(batch))
+			batches++
+		}
+		stats.EpochLoss = append(stats.EpochLoss, epochLoss/float64(trainCount))
+		stats.Batches += batches
+
+		if opts.LRDecay > 0 && opts.LRDecay != 1 {
+			opts.LearningRate *= opts.LRDecay
+		}
+		if trainCount < numSamples {
+			val := n.meanLoss(x, labels, trainCount, numSamples)
+			stats.ValLoss = append(stats.ValLoss, val)
+			if val < bestVal-1e-9 {
+				bestVal = val
+				badEpochs = 0
+			} else if opts.Patience > 0 {
+				badEpochs++
+				if badEpochs >= opts.Patience {
+					stats.Stopped = true
+					break
+				}
+			}
+		}
+	}
+	return stats
+}
+
+// meanLoss computes the mean cross-entropy over sample indices [from, to).
+func (n *Network) meanLoss(x *mat.Matrix, labels []int, from, to int) float64 {
+	count := to - from
+	in := mat.New(count, x.Cols())
+	for r := 0; r < count; r++ {
+		copy(in.Row(r), x.Row(from+r))
+	}
+	acts := n.ForwardBatch(in)
+	probs := acts[len(acts)-1]
+	loss := 0.0
+	for r := 0; r < count; r++ {
+		p := probs.At(r, labels[from+r])
+		if p < 1e-15 {
+			p = 1e-15
+		}
+		loss -= math.Log(p)
+	}
+	return loss / float64(count)
+}
+
+// trainBatch runs one forward/backward pass over the given sample indices
+// and applies an optimizer step. It returns the mean cross-entropy loss of
+// the batch.
+func (n *Network) trainBatch(x *mat.Matrix, labels []int, batch []int, states []*optState, opts TrainOptions, dropRng *rand.Rand) float64 {
+	b := len(batch)
+	in := mat.New(b, x.Cols())
+	for r, idx := range batch {
+		copy(in.Row(r), x.Row(idx))
+	}
+	acts := n.ForwardBatch(in)
+
+	// Inverted dropout on the hidden activations: masks scale surviving
+	// units by 1/(1-p), so inference uses the network unchanged. The same
+	// masks reapply to the deltas during the backward pass.
+	var masks []*mat.Matrix
+	if opts.Dropout > 0 && opts.Dropout < 1 {
+		keepScale := 1 / (1 - opts.Dropout)
+		masks = make([]*mat.Matrix, len(acts))
+		for i := 1; i < len(acts)-1; i++ { // hidden activations only
+			mask := mat.New(acts[i].Rows(), acts[i].Cols())
+			md, ad := mask.Data(), acts[i].Data()
+			for j := range md {
+				if dropRng.Float64() >= opts.Dropout {
+					md[j] = keepScale
+				}
+				ad[j] *= md[j]
+			}
+			masks[i] = mask
+			// Recompute the downstream activations from the masked input.
+			l := n.Layers[i]
+			z := mat.New(b, l.Out())
+			mat.MulTo(z, acts[i], l.W)
+			for r := 0; r < z.Rows(); r++ {
+				row := z.Row(r)
+				for c := range row {
+					row[c] += l.B[c]
+				}
+			}
+			applyActivation(z, l.Act)
+			acts[i+1] = z
+		}
+	}
+	probs := acts[len(acts)-1]
+
+	// Cross-entropy loss and output delta (softmax + CE gives P - Y).
+	loss := 0.0
+	delta := probs.Clone()
+	for r, idx := range batch {
+		lbl := labels[idx]
+		p := probs.At(r, lbl)
+		if p < 1e-15 {
+			p = 1e-15
+		}
+		loss -= math.Log(p)
+		delta.Set(r, lbl, delta.At(r, lbl)-1)
+	}
+	loss /= float64(b)
+	delta.Scale(1 / float64(b))
+
+	// Backpropagate layer by layer.
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		l := n.Layers[i]
+		aPrev := acts[i]
+
+		// Gradients: dW = aPrevᵀ · delta, db = column sums of delta.
+		dW := mat.New(l.W.Rows(), l.W.Cols())
+		mat.MulTo(dW, aPrev.T(), delta)
+		dB := make([]float64, len(l.B))
+		for r := 0; r < delta.Rows(); r++ {
+			row := delta.Row(r)
+			for c, v := range row {
+				dB[c] += v
+			}
+		}
+
+		// Delta for the previous layer (skip for the input).
+		if i > 0 {
+			prev := mat.New(b, l.In())
+			mat.MulTo(prev, delta, l.W.T())
+			// Multiply by the activation derivative of layer i-1, and by the
+			// dropout mask that was applied to its activations.
+			applyActivationGrad(prev, acts[i], n.Layers[i-1].Act)
+			if masks != nil && masks[i] != nil {
+				pd, md := prev.Data(), masks[i].Data()
+				for j := range pd {
+					pd[j] *= md[j]
+				}
+			}
+			delta = prev
+		}
+
+		applyUpdate(l, states[i], dW, dB, opts)
+	}
+	return loss
+}
+
+// applyActivationGrad multiplies delta in place by the derivative of the
+// activation, evaluated from the post-activation values a.
+func applyActivationGrad(delta, a *mat.Matrix, act Activation) {
+	switch act {
+	case Linear:
+	case Tanh:
+		d, av := delta.Data(), a.Data()
+		for i := range d {
+			d[i] *= 1 - av[i]*av[i]
+		}
+	case ReLU:
+		d, av := delta.Data(), a.Data()
+		for i := range d {
+			if av[i] <= 0 {
+				d[i] = 0
+			}
+		}
+	default:
+		panic(fmt.Sprintf("nn: activation %v not supported in hidden layers", act))
+	}
+}
+
+// applyUpdate performs one optimizer step on a layer.
+func applyUpdate(l *Layer, st *optState, dW *mat.Matrix, dB []float64, opts TrainOptions) {
+	st.step++
+	t := float64(st.step)
+	lr := opts.LearningRate
+	if opts.WeightDecay > 0 {
+		// Decoupled weight decay (AdamW-style): shrink the weights directly
+		// instead of folding the penalty into the adaptive gradient moments.
+		l.W.Scale(1 - lr*opts.WeightDecay)
+	}
+	switch opts.Optimizer {
+	case SGD:
+		l.W.AddScaled(-lr, dW)
+		for i := range l.B {
+			l.B[i] -= lr * dB[i]
+		}
+	case Adam:
+		corr1 := 1 - math.Pow(opts.Beta1, t)
+		corr2 := 1 - math.Pow(opts.Beta2, t)
+		w, m, v, g := l.W.Data(), st.mW.Data(), st.vW.Data(), dW.Data()
+		for i := range w {
+			m[i] = opts.Beta1*m[i] + (1-opts.Beta1)*g[i]
+			v[i] = opts.Beta2*v[i] + (1-opts.Beta2)*g[i]*g[i]
+			w[i] -= lr * (m[i] / corr1) / (math.Sqrt(v[i]/corr2) + 1e-8)
+		}
+		for i := range l.B {
+			st.mB[i] = opts.Beta1*st.mB[i] + (1-opts.Beta1)*dB[i]
+			st.vB[i] = opts.Beta2*st.vB[i] + (1-opts.Beta2)*dB[i]*dB[i]
+			l.B[i] -= lr * (st.mB[i] / corr1) / (math.Sqrt(st.vB[i]/corr2) + 1e-8)
+		}
+	default: // AdaMax
+		corr1 := 1 - math.Pow(opts.Beta1, t)
+		w, m, u, g := l.W.Data(), st.mW.Data(), st.vW.Data(), dW.Data()
+		for i := range w {
+			m[i] = opts.Beta1*m[i] + (1-opts.Beta1)*g[i]
+			au := opts.Beta2 * u[i]
+			if ag := math.Abs(g[i]); ag > au {
+				au = ag
+			}
+			u[i] = au
+			if u[i] > 0 {
+				w[i] -= (lr / corr1) * m[i] / u[i]
+			}
+		}
+		for i := range l.B {
+			st.mB[i] = opts.Beta1*st.mB[i] + (1-opts.Beta1)*dB[i]
+			au := opts.Beta2 * st.vB[i]
+			if ag := math.Abs(dB[i]); ag > au {
+				au = ag
+			}
+			st.vB[i] = au
+			if st.vB[i] > 0 {
+				l.B[i] -= (lr / corr1) * st.mB[i] / st.vB[i]
+			}
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"extrapdnn/internal/mat"
+)
+
+// twoBlobs builds a linearly separable 2-class dataset.
+func twoBlobs(rng *rand.Rand, n int) (*mat.Matrix, []int) {
+	x := mat.New(n, 2)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		cls := i % 2
+		cx := -1.0
+		if cls == 1 {
+			cx = 1.0
+		}
+		x.Set(i, 0, cx+0.3*rng.NormFloat64())
+		x.Set(i, 1, cx+0.3*rng.NormFloat64())
+		labels[i] = cls
+	}
+	return x, labels
+}
+
+func TestTrainSeparatesBlobs(t *testing.T) {
+	for _, opt := range []OptimizerKind{AdaMax, Adam, SGD} {
+		rng := rand.New(rand.NewSource(6))
+		net := NewNetwork([]int{2, 16, 2}, rng)
+		x, labels := twoBlobs(rng, 200)
+		lr := 0.002
+		if opt == SGD {
+			lr = 0.5
+		}
+		stats := net.Train(x, labels, TrainOptions{
+			Epochs: 30, BatchSize: 32, LearningRate: lr, Optimizer: opt, Rng: rng,
+		})
+		if acc := net.Accuracy(x, labels); acc < 0.95 {
+			t.Errorf("%v: accuracy %v after training, want >= 0.95", opt, acc)
+		}
+		if len(stats.EpochLoss) != 30 {
+			t.Errorf("%v: %d epoch losses", opt, len(stats.EpochLoss))
+		}
+		if stats.EpochLoss[29] >= stats.EpochLoss[0] {
+			t.Errorf("%v: loss did not decrease: %v -> %v", opt, stats.EpochLoss[0], stats.EpochLoss[29])
+		}
+	}
+}
+
+func TestTrainXor(t *testing.T) {
+	// XOR requires the hidden layer to do real work.
+	rng := rand.New(rand.NewSource(7))
+	net := NewNetwork([]int{2, 16, 16, 2}, rng)
+	var rows [][]float64
+	var labels []int
+	for i := 0; i < 200; i++ {
+		a, b := rng.Intn(2), rng.Intn(2)
+		rows = append(rows, []float64{float64(a), float64(b)})
+		labels = append(labels, a^b)
+	}
+	x := mat.NewFromRows(rows)
+	net.Train(x, labels, TrainOptions{Epochs: 200, BatchSize: 16, Rng: rng})
+	if acc := net.Accuracy(x, labels); acc < 0.99 {
+		t.Fatalf("XOR accuracy %v, want >= 0.99", acc)
+	}
+}
+
+// TestGradientCheck verifies backpropagation against numerical
+// differentiation on a tiny network: recover the analytic gradient from a
+// single SGD step and compare to central differences of the loss.
+func TestGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	build := func() *Network { return NewNetwork([]int{3, 4, 3}, rand.New(rand.NewSource(99))) }
+
+	x := mat.New(6, 3)
+	labels := make([]int, 6)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 3; j++ {
+			x.Set(i, j, rng.NormFloat64())
+		}
+		labels[i] = rng.Intn(3)
+	}
+
+	loss := func(net *Network) float64 {
+		acts := net.ForwardBatch(x)
+		probs := acts[len(acts)-1]
+		l := 0.0
+		for r, lbl := range labels {
+			l -= math.Log(math.Max(probs.At(r, lbl), 1e-15))
+		}
+		return l / 6
+	}
+
+	// Analytic gradient via one SGD step with tiny lr.
+	const lr = 1e-6
+	trained := build()
+	before := trained.Clone()
+	trained.Train(x, labels, TrainOptions{
+		Epochs: 1, BatchSize: 6, LearningRate: lr, Optimizer: SGD,
+	})
+
+	const eps = 1e-5
+	for li := range trained.Layers {
+		wBefore := before.Layers[li].W
+		wAfter := trained.Layers[li].W
+		for idx := 0; idx < len(wBefore.Data()); idx += 3 { // sample every 3rd weight
+			analytic := (wBefore.Data()[idx] - wAfter.Data()[idx]) / lr
+
+			plus := build()
+			plus.Layers[li].W.Data()[idx] += eps
+			minus := build()
+			minus.Layers[li].W.Data()[idx] -= eps
+			numeric := (loss(plus) - loss(minus)) / (2 * eps)
+
+			if diff := math.Abs(analytic - numeric); diff > 1e-4*(1+math.Abs(numeric)) {
+				t.Fatalf("layer %d weight %d: analytic %v vs numeric %v", li, idx, analytic, numeric)
+			}
+		}
+		// Check one bias per layer too.
+		bBefore := before.Layers[li].B[0]
+		bAfter := trained.Layers[li].B[0]
+		analytic := (bBefore - bAfter) / lr
+		plus := build()
+		plus.Layers[li].B[0] += eps
+		minus := build()
+		minus.Layers[li].B[0] -= eps
+		numeric := (loss(plus) - loss(minus)) / (2 * eps)
+		if diff := math.Abs(analytic - numeric); diff > 1e-4*(1+math.Abs(numeric)) {
+			t.Fatalf("layer %d bias: analytic %v vs numeric %v", li, analytic, numeric)
+		}
+	}
+}
+
+func TestTrainPanicsOnBadInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	net := NewNetwork([]int{2, 4, 2}, rng)
+	x := mat.New(3, 2)
+
+	cases := map[string]func(){
+		"label count": func() { net.Train(x, []int{0}, TrainOptions{}) },
+		"label range": func() { net.Train(x, []int{0, 1, 5}, TrainOptions{}) },
+		"non-softmax": func() {
+			lin := NewNetworkActivations([]int{2, 2}, Tanh, Linear, rng)
+			lin.Train(x, []int{0, 1, 0}, TrainOptions{})
+		},
+	}
+	for name, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTrainEmptyData(t *testing.T) {
+	net := NewNetwork([]int{2, 2}, rand.New(rand.NewSource(1)))
+	stats := net.Train(mat.New(0, 2), nil, TrainOptions{})
+	if stats.Batches != 0 || len(stats.EpochLoss) != 0 {
+		t.Fatalf("empty training should be a no-op, got %+v", stats)
+	}
+	if !math.IsNaN(stats.FinalLoss()) {
+		t.Fatal("FinalLoss of empty stats should be NaN")
+	}
+}
+
+func TestTrainDeterministicWithoutShuffle(t *testing.T) {
+	x, labels := twoBlobs(rand.New(rand.NewSource(10)), 50)
+	run := func() []float64 {
+		net := NewNetwork([]int{2, 8, 2}, rand.New(rand.NewSource(11)))
+		net.Train(x, labels, TrainOptions{Epochs: 3, BatchSize: 16})
+		return net.Predict([]float64{0.5, 0.5})
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("training without shuffling should be deterministic")
+		}
+	}
+}
+
+func TestOptimizerKindString(t *testing.T) {
+	if AdaMax.String() != "adamax" || Adam.String() != "adam" || SGD.String() != "sgd" {
+		t.Fatal("optimizer names wrong")
+	}
+	if OptimizerKind(9).String() == "" {
+		t.Fatal("unknown optimizer should render")
+	}
+}
+
+func TestWithDefaults(t *testing.T) {
+	o := TrainOptions{}.withDefaults()
+	if o.Epochs != 1 || o.BatchSize != 64 || o.LearningRate != 0.002 ||
+		o.Beta1 != 0.9 || o.Beta2 != 0.999 {
+		t.Fatalf("defaults = %+v", o)
+	}
+}

@@ -1,0 +1,102 @@
+// Package noise implements the paper's heuristic noise estimation
+// (Section IV-B). Measurement noise is modeled as uniform: a noise level n
+// means each measured value deviates by up to ±n/2 from the true value.
+// The estimator computes relative deviations of the repetitions around each
+// point's mean (Eq. 3) and takes the range of all relative deviations
+// (Eq. 4), which spans the full noise width much better than any single
+// point's repetitions alone.
+package noise
+
+import (
+	"extrapdnn/internal/measurement"
+	"extrapdnn/internal/stats"
+)
+
+// RelativeDeviations returns rd(v_{P,s}) = (v_{P,s} - mean) / mean for every
+// repetition of m (Eq. 3). It returns nil when the measurement has no values
+// or a zero mean.
+func RelativeDeviations(m measurement.Measurement) []float64 {
+	if len(m.Values) == 0 {
+		return nil
+	}
+	mean := stats.Mean(m.Values)
+	if mean == 0 {
+		return nil
+	}
+	out := make([]float64, len(m.Values))
+	for i, v := range m.Values {
+		out[i] = (v - mean) / mean
+	}
+	return out
+}
+
+// Range returns rrd(D) = max(D) - min(D) (Eq. 4), or 0 for empty input.
+func Range(deviations []float64) float64 {
+	if len(deviations) == 0 {
+		return 0
+	}
+	return stats.Max(deviations) - stats.Min(deviations)
+}
+
+// PointLevel estimates the noise level at a single measurement point as the
+// range of its relative deviations. With few repetitions this systematically
+// underestimates the true level (the repetitions rarely span the whole noise
+// window); see PointLevelCorrected.
+func PointLevel(m measurement.Measurement) float64 {
+	return Range(RelativeDeviations(m))
+}
+
+// PointLevelCorrected rescales PointLevel by the expected range shrinkage of
+// k uniform samples: the expected range of k draws from a width-n uniform
+// window is n*(k-1)/(k+1), so multiplying by (k+1)/(k-1) removes the bias.
+// For k < 2 it returns 0 (a single repetition carries no noise information).
+func PointLevelCorrected(m measurement.Measurement) float64 {
+	k := len(m.Values)
+	if k < 2 {
+		return 0
+	}
+	return PointLevel(m) * float64(k+1) / float64(k-1)
+}
+
+// EstimateLevel estimates the overall noise level of a measurement set as
+// the range of the combined relative deviations of all points (the paper's
+// range-of-relative-deviation heuristic). The result is a fraction: 0.10
+// means ±5% deviation around the true value.
+func EstimateLevel(s *measurement.Set) float64 {
+	var all []float64
+	for _, m := range s.Data {
+		all = append(all, RelativeDeviations(m)...)
+	}
+	return Range(all)
+}
+
+// Analysis summarizes the noise levels found in a measurement set, both the
+// per-point distribution (Fig. 5 of the paper) and the combined estimate.
+type Analysis struct {
+	PointLevels []float64 // bias-corrected per-point noise levels (fractions)
+	Mean        float64   // mean of PointLevels
+	Median      float64   // median of PointLevels
+	Min         float64   // smallest per-point level
+	Max         float64   // largest per-point level
+	Global      float64   // combined range-of-relative-deviation estimate
+}
+
+// Analyze computes the noise analysis of a measurement set. Points with
+// fewer than two repetitions contribute a zero level (no information).
+func Analyze(s *measurement.Set) Analysis {
+	levels := make([]float64, len(s.Data))
+	for i, m := range s.Data {
+		levels[i] = PointLevelCorrected(m)
+	}
+	a := Analysis{
+		PointLevels: levels,
+		Global:      EstimateLevel(s),
+	}
+	if len(levels) > 0 {
+		a.Mean = stats.Mean(levels)
+		a.Median = stats.Median(levels)
+		a.Min = stats.Min(levels)
+		a.Max = stats.Max(levels)
+	}
+	return a
+}

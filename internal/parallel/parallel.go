@@ -1,0 +1,58 @@
+// Package parallel provides the small work-distribution helpers used by the
+// evaluation harness and data generators: a bounded ForEach over an index
+// range. It exists so the parallelism policy (worker counts, ordering
+// guarantees) lives in one tested place instead of ad-hoc goroutine pools.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn(i) for every i in [0, n) using at most workers concurrent
+// goroutines (GOMAXPROCS when workers <= 0). It returns after all calls
+// complete. fn must handle its own synchronization for shared state; writing
+// to disjoint slice elements indexed by i is safe.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// Map runs fn(i) for every i in [0, n) with bounded concurrency and collects
+// the results in order.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(n, workers, func(i int) {
+		out[i] = fn(i)
+	})
+	return out
+}

@@ -1,0 +1,64 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	f := func(seed int64) bool {
+		if seed < 0 {
+			seed = -seed
+		}
+		n := int(seed%50) + 1
+		workers := int(seed%7) - 1 // includes 0 and -1 → default worker count
+		seen := make([]int32, n)
+		ForEach(n, workers, func(i int) {
+			atomic.AddInt32(&seen[i], 1)
+		})
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForEachZeroIsNoop(t *testing.T) {
+	called := false
+	ForEach(0, 4, func(int) { called = true })
+	ForEach(-3, 4, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestForEachSingleWorkerOrdered(t *testing.T) {
+	var order []int
+	ForEach(5, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("single-worker order = %v", order)
+		}
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	got := Map(6, 3, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("Map result = %v", got)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if len(Map(0, 2, func(i int) int { return i })) != 0 {
+		t.Fatal("empty Map should give empty slice")
+	}
+}

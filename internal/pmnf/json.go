@@ -1,0 +1,68 @@
+package pmnf
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// modelJSON is the stable JSON wire form of a Model.
+type modelJSON struct {
+	Constant   float64    `json:"constant"`
+	Terms      []termJSON `json:"terms,omitempty"`
+	ParamNames []string   `json:"param_names,omitempty"`
+	// Rendered is the human-readable form, emitted for convenience and
+	// ignored on input.
+	Rendered string `json:"rendered,omitempty"`
+}
+
+type termJSON struct {
+	Coefficient float64   `json:"coefficient"`
+	Exps        []expJSON `json:"exponents"`
+}
+
+type expJSON struct {
+	I float64 `json:"i"`
+	J float64 `json:"j"`
+}
+
+// MarshalJSON encodes the model including a rendered human-readable form.
+func (m Model) MarshalJSON() ([]byte, error) {
+	out := modelJSON{
+		Constant:   m.Constant,
+		ParamNames: m.ParamNames,
+		Rendered:   m.String(),
+	}
+	for _, t := range m.Terms {
+		tj := termJSON{Coefficient: t.Coefficient}
+		for _, e := range t.Exps {
+			tj.Exps = append(tj.Exps, expJSON{I: e.I, J: e.J})
+		}
+		out.Terms = append(out.Terms, tj)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes a model written by MarshalJSON, validating that all
+// terms agree on the parameter count.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var in modelJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("pmnf: %w", err)
+	}
+	model := Model{Constant: in.Constant, ParamNames: in.ParamNames}
+	numParams := -1
+	for i, tj := range in.Terms {
+		if numParams == -1 {
+			numParams = len(tj.Exps)
+		} else if len(tj.Exps) != numParams {
+			return fmt.Errorf("pmnf: term %d has %d exponent pairs, want %d", i, len(tj.Exps), numParams)
+		}
+		t := Term{Coefficient: tj.Coefficient, Exps: make([]Exponents, len(tj.Exps))}
+		for l, e := range tj.Exps {
+			t.Exps[l] = Exponents{I: e.I, J: e.J}
+		}
+		model.Terms = append(model.Terms, t)
+	}
+	*m = model
+	return nil
+}

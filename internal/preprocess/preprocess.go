@@ -1,0 +1,127 @@
+// Package preprocess converts a single-parameter measurement line into the
+// fixed 11-value input vector of the DNN modeler (Section IV-C of the
+// paper). The steps are:
+//
+//  1. enrich each measured value with implicit position information by
+//     dividing it by its parameter value (v̂ = v / x);
+//  2. normalize the measurement positions to [0, 1] so the encoding is
+//     independent of the range and scale of the parameter-value sequence;
+//  3. map each measurement to one of 11 fixed sampling positions
+//     (1/64, 1/32, 1/16, 1/8, 2/8, …, 7/8, 1) by nearest-neighbor
+//     assignment, each neuron and each measurement used at most once;
+//  4. scale the values so the largest magnitude is 1, masking unused
+//     neurons with zero.
+package preprocess
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// InputSize is the width of the DNN input layer: one neuron per sampling
+// position.
+const InputSize = 11
+
+// SamplingPositions are the fixed normalized positions, one per input
+// neuron.
+var SamplingPositions = [InputSize]float64{
+	1.0 / 64, 1.0 / 32, 1.0 / 16, 1.0 / 8,
+	2.0 / 8, 3.0 / 8, 4.0 / 8, 5.0 / 8, 6.0 / 8, 7.0 / 8, 1,
+}
+
+// MinPoints and MaxPoints bound the number of measurements per line the
+// encoder accepts, matching the interval [5, 11] of the paper.
+const (
+	MinPoints = 5
+	MaxPoints = 11
+)
+
+var errTooFew = errors.New("preprocess: need at least 5 measurements per parameter")
+
+// Encode converts one measurement line — parameter values xs with the
+// corresponding (median) measured values vs — into the 11-wide DNN input
+// vector. xs must be strictly increasing and positive. Lines longer than 11
+// points are thinned evenly to 11 before encoding.
+func Encode(xs, vs []float64) ([InputSize]float64, error) {
+	var out [InputSize]float64
+	if len(xs) != len(vs) {
+		return out, fmt.Errorf("preprocess: %d positions vs %d values", len(xs), len(vs))
+	}
+	if len(xs) < MinPoints {
+		return out, errTooFew
+	}
+	for i, x := range xs {
+		if x <= 0 {
+			return out, fmt.Errorf("preprocess: position %d is %g, must be positive", i, x)
+		}
+		if i > 0 && xs[i-1] >= x {
+			return out, fmt.Errorf("preprocess: positions must be strictly increasing (index %d)", i)
+		}
+	}
+	if len(xs) > MaxPoints {
+		xs, vs = thin(xs, vs, MaxPoints)
+	}
+
+	// Step 1: enrich values with implicit position information.
+	enriched := make([]float64, len(vs))
+	for i := range vs {
+		enriched[i] = vs[i] / xs[i]
+	}
+
+	// Step 2: normalize positions to [0, 1].
+	lo, hi := xs[0], xs[len(xs)-1]
+	span := hi - lo
+	if span == 0 {
+		return out, errors.New("preprocess: degenerate position range")
+	}
+	norm := make([]float64, len(xs))
+	for i, x := range xs {
+		norm[i] = (x - lo) / span
+	}
+
+	// Step 3: nearest-neighbor assignment, one neuron per measurement.
+	used := [InputSize]bool{}
+	for i, p := range norm {
+		best, bestDist := -1, math.Inf(1)
+		for n, s := range SamplingPositions {
+			if used[n] {
+				continue
+			}
+			if d := math.Abs(s - p); d < bestDist {
+				best, bestDist = n, d
+			}
+		}
+		// best is always found: len(xs) <= InputSize.
+		used[best] = true
+		out[best] = enriched[i]
+	}
+
+	// Step 4: scale so the largest magnitude is 1.
+	maxAbs := 0.0
+	for _, v := range out {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs > 0 {
+		for n := range out {
+			out[n] /= maxAbs
+		}
+	}
+	return out, nil
+}
+
+// thin reduces a line to k evenly spaced measurements, always keeping the
+// first and last point so the modeling range is preserved.
+func thin(xs, vs []float64, k int) (txs, tvs []float64) {
+	n := len(xs)
+	txs = make([]float64, k)
+	tvs = make([]float64, k)
+	for i := 0; i < k; i++ {
+		idx := i * (n - 1) / (k - 1)
+		txs[i] = xs[idx]
+		tvs[i] = vs[idx]
+	}
+	return txs, tvs
+}

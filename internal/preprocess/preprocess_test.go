@@ -1,0 +1,178 @@
+package preprocess
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeFivePoints(t *testing.T) {
+	xs := []float64{4, 8, 16, 32, 64}
+	vs := []float64{4, 8, 16, 32, 64} // v/x == 1 everywhere
+	in, err := Encode(xs, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonzero := 0
+	for _, v := range in {
+		if v != 0 {
+			nonzero++
+			if math.Abs(v-1) > 1e-12 {
+				t.Fatalf("expected normalized value 1, got %v", v)
+			}
+		}
+	}
+	if nonzero != 5 {
+		t.Fatalf("expected exactly 5 populated neurons, got %d (%v)", nonzero, in)
+	}
+}
+
+func TestEncodeMaxIsOne(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	vs := []float64{100, 700, 300, 900, 500}
+	in, err := Encode(xs, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	max := 0.0
+	for _, v := range in {
+		if a := math.Abs(v); a > max {
+			max = a
+		}
+	}
+	if math.Abs(max-1) > 1e-12 {
+		t.Fatalf("max magnitude = %v, want 1", max)
+	}
+}
+
+func TestEncodeElevenPointsFillsAll(t *testing.T) {
+	xs := make([]float64, 11)
+	vs := make([]float64, 11)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+		vs[i] = float64(i + 1)
+	}
+	in, err := Encode(xs, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n, v := range in {
+		if v == 0 {
+			t.Fatalf("neuron %d unexpectedly empty: %v", n, in)
+		}
+	}
+}
+
+func TestEncodeThinsLongLines(t *testing.T) {
+	xs := make([]float64, 20)
+	vs := make([]float64, 20)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+		vs[i] = 1
+	}
+	if _, err := Encode(xs, vs); err != nil {
+		t.Fatalf("long line should be thinned, got error %v", err)
+	}
+}
+
+func TestThinKeepsEndpoints(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}
+	vs := make([]float64, len(xs))
+	copy(vs, xs)
+	txs, tvs := thin(xs, vs, 11)
+	if len(txs) != 11 || len(tvs) != 11 {
+		t.Fatalf("thinned to %d", len(txs))
+	}
+	if txs[0] != 1 || txs[10] != 13 {
+		t.Fatalf("endpoints lost: %v", txs)
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	if _, err := Encode([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Fatal("too few points should error")
+	}
+	if _, err := Encode([]float64{1, 2, 3}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if _, err := Encode([]float64{0, 1, 2, 3, 4}, make([]float64, 5)); err == nil {
+		t.Fatal("nonpositive position should error")
+	}
+	if _, err := Encode([]float64{1, 3, 2, 4, 5}, make([]float64, 5)); err == nil {
+		t.Fatal("non-monotone positions should error")
+	}
+}
+
+// The encoding must be invariant to the absolute scale of the measured
+// values — the class depends on the shape, not the magnitude.
+func TestEncodeScaleInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := []float64{8, 64, 512, 4096, 32768}
+		vs := make([]float64, 5)
+		for i := range vs {
+			vs[i] = 1 + rng.Float64()*1000
+		}
+		a, err1 := Encode(xs, vs)
+		scaled := make([]float64, 5)
+		k := 1 + rng.Float64()*99
+		for i := range vs {
+			scaled[i] = vs[i] * k
+		}
+		b, err2 := Encode(xs, scaled)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for n := range a {
+			if math.Abs(a[n]-b[n]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The encoding must be independent of the parameter-value range: the same
+// shape sampled on different sequences should populate neurons similarly.
+func TestEncodeNeuronAssignmentStable(t *testing.T) {
+	// Five points at relative positions 0, 1/4, 1/2, 3/4, 1 regardless of
+	// absolute scale must land on the same neurons.
+	a, err := Encode([]float64{10, 20, 30, 40, 50}, []float64{10, 20, 30, 40, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Encode([]float64{100, 200, 300, 400, 500}, []float64{100, 200, 300, 400, 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := range a {
+		if (a[n] == 0) != (b[n] == 0) {
+			t.Fatalf("neuron occupancy differs at %d: %v vs %v", n, a, b)
+		}
+	}
+}
+
+func TestEncodeDistinctShapesDiffer(t *testing.T) {
+	xs := []float64{4, 8, 16, 32, 64}
+	lin := make([]float64, 5)
+	quad := make([]float64, 5)
+	for i, x := range xs {
+		lin[i] = x
+		quad[i] = x * x
+	}
+	a, _ := Encode(xs, lin)
+	b, _ := Encode(xs, quad)
+	same := true
+	for n := range a {
+		if math.Abs(a[n]-b[n]) > 1e-9 {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("linear and quadratic shapes encoded identically")
+	}
+}

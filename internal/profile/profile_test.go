@@ -1,0 +1,136 @@
+package profile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"extrapdnn/internal/measurement"
+)
+
+func validSet() *measurement.Set {
+	s := &measurement.Set{}
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		s.Data = append(s.Data, measurement.Measurement{
+			Point:  measurement.Point{x},
+			Values: []float64{x, x * 1.1},
+		})
+	}
+	return s
+}
+
+func validProfile() *Profile {
+	return &Profile{
+		Application: "demo",
+		ParamNames:  []string{"p"},
+		Entries: []Entry{
+			{Kernel: "solver", Metric: "runtime", RuntimeShare: 0.8, Set: validSet()},
+			{Kernel: "io", Metric: "runtime", RuntimeShare: 0.005, Set: validSet()},
+			{Kernel: "solver", Metric: "flops", Set: validSet()},
+		},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := validProfile().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := map[string]func(*Profile){
+		"no app":    func(p *Profile) { p.Application = "" },
+		"no entry":  func(p *Profile) { p.Entries = nil },
+		"no kernel": func(p *Profile) { p.Entries[0].Kernel = "" },
+		"nil set":   func(p *Profile) { p.Entries[0].Set = nil },
+		"bad set":   func(p *Profile) { p.Entries[0].Set = &measurement.Set{} },
+		"duplicate": func(p *Profile) { p.Entries[2] = p.Entries[0] },
+		"mixed arity": func(p *Profile) {
+			s := &measurement.Set{}
+			for _, x := range []float64{1, 2, 3, 4, 5} {
+				s.Data = append(s.Data, measurement.Measurement{
+					Point:  measurement.Point{x, x},
+					Values: []float64{1},
+				})
+			}
+			p.Entries[1].Set = s
+		},
+	}
+	for name, mutate := range cases {
+		p := validProfile()
+		mutate(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+}
+
+func TestKernels(t *testing.T) {
+	ks := validProfile().Kernels()
+	if len(ks) != 2 || ks[0] != "io" || ks[1] != "solver" {
+		t.Fatalf("Kernels = %v", ks)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	p := validProfile()
+	if e, ok := p.Lookup("solver", "flops"); !ok || e.Metric != "flops" {
+		t.Fatal("Lookup by metric failed")
+	}
+	if e, ok := p.Lookup("solver", ""); !ok || e.Metric != "runtime" {
+		t.Fatal("Lookup first-of-kernel failed")
+	}
+	if _, ok := p.Lookup("nope", ""); ok {
+		t.Fatal("Lookup false positive")
+	}
+}
+
+func TestPerformanceRelevant(t *testing.T) {
+	rel := validProfile().PerformanceRelevant()
+	// solver/runtime (0.8), solver/flops (0 → treated relevant); io (0.005) excluded.
+	if len(rel) != 2 {
+		t.Fatalf("relevant = %d entries", len(rel))
+	}
+	for _, e := range rel {
+		if e.Kernel == "io" {
+			t.Fatal("io should be filtered")
+		}
+	}
+}
+
+func TestNumParams(t *testing.T) {
+	if validProfile().NumParams() != 1 {
+		t.Fatal("NumParams wrong")
+	}
+	empty := &Profile{ParamNames: []string{"a", "b"}}
+	if empty.NumParams() != 2 {
+		t.Fatal("NumParams fallback wrong")
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	p := validProfile()
+	var buf bytes.Buffer
+	if err := p.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Application != "demo" || len(got.Entries) != 3 {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if got.Entries[0].RuntimeShare != 0.8 {
+		t.Fatal("runtime share lost")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(strings.NewReader("{")); err == nil {
+		t.Fatal("bad JSON should fail")
+	}
+	if _, err := Read(strings.NewReader(`{"application":""}`)); err == nil {
+		t.Fatal("invalid profile should fail")
+	}
+}

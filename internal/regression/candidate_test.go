@@ -1,0 +1,19 @@
+package regression
+
+import (
+	"math"
+	"testing"
+
+	"extrapdnn/internal/pmnf"
+)
+
+func TestCandidateEval(t *testing.T) {
+	c := Candidate{Exps: pmnf.Exponents{I: 1}, C0: 2, C1: 3}
+	if got := c.Eval(4); math.Abs(got-14) > 1e-12 {
+		t.Fatalf("Eval = %v, want 14", got)
+	}
+	constant := Candidate{Exps: pmnf.Exponents{}, C0: 7, C1: 99}
+	if constant.Eval(100) != 7 {
+		t.Fatal("constant candidate must ignore C1")
+	}
+}

@@ -1,0 +1,186 @@
+package regression
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"extrapdnn/internal/mat"
+	"extrapdnn/internal/measurement"
+	"extrapdnn/internal/pmnf"
+	"extrapdnn/internal/stats"
+)
+
+// Combine builds the best multi-parameter model from per-parameter candidate
+// hypotheses (Section IV-D): every selection of one candidate per parameter
+// is combined through every set partition of the parameters — parameters in
+// the same block multiply within one term, distinct blocks add — the
+// coefficients are refitted on all measurement points, and the model with
+// the smallest leave-one-out cross-validated SMAPE wins. A purely constant
+// model is always among the candidates.
+//
+// For a single parameter this reduces to selecting the best candidate, with
+// coefficients refitted on the full set.
+func Combine(set *measurement.Set, perParam [][]Candidate) (Result, error) {
+	m := set.NumParams()
+	if len(perParam) != m {
+		return Result{}, fmt.Errorf("regression: %d candidate lists for %d parameters", len(perParam), m)
+	}
+	for l, c := range perParam {
+		if len(c) == 0 {
+			return Result{}, fmt.Errorf("regression: no candidates for parameter %d", l)
+		}
+	}
+	points, values := set.Medians()
+
+	best := Result{SMAPE: math.Inf(1)}
+	seen := map[string]bool{}
+	tryModel := func(terms [][]pmnf.Exponents) {
+		key := modelKey(terms)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		res, err := fitTerms(points, values, terms, m)
+		if err != nil {
+			return
+		}
+		if res.SMAPE < best.SMAPE {
+			best = res
+		}
+	}
+
+	// The constant model is the fallback when no parameter influences
+	// performance.
+	tryModel(nil)
+
+	partitions := setPartitions(m)
+	selection := make([]Candidate, m)
+	var enumerate func(l int)
+	enumerate = func(l int) {
+		if l == m {
+			for _, blocks := range partitions {
+				terms := make([][]pmnf.Exponents, 0, len(blocks))
+				for _, block := range blocks {
+					exps := make([]pmnf.Exponents, m)
+					nonConstant := false
+					for _, p := range block {
+						exps[p] = selection[p].Exps
+						if !selection[p].Exps.IsConstant() {
+							nonConstant = true
+						}
+					}
+					if nonConstant {
+						terms = append(terms, exps)
+					}
+				}
+				tryModel(terms)
+			}
+			return
+		}
+		for _, c := range perParam[l] {
+			selection[l] = c
+			enumerate(l + 1)
+		}
+	}
+	enumerate(0)
+
+	if math.IsInf(best.SMAPE, 1) {
+		return Result{}, errors.New("regression: no combination could be fitted")
+	}
+	// Preserve the parameter count even for models without terms (NumParams
+	// falls back to len(ParamNames)).
+	names := set.ParamNames
+	if len(names) != m {
+		names = make([]string, m)
+		copy(names, set.ParamNames)
+	}
+	best.Model.ParamNames = names
+	return best, nil
+}
+
+// fitTerms fits the coefficients of a model with the given term structure on
+// all measurement points and scores it by leave-one-out SMAPE. terms holds
+// one exponent vector per non-constant term; the intercept is implicit.
+func fitTerms(points []measurement.Point, values []float64, terms [][]pmnf.Exponents, m int) (Result, error) {
+	n := len(points)
+	p := 1 + len(terms)
+	if n < p+1 {
+		return Result{}, fmt.Errorf("regression: %d points cannot support %d coefficients", n, p)
+	}
+	a := mat.New(n, p)
+	for i, pt := range points {
+		a.Set(i, 0, 1)
+		for t, exps := range terms {
+			prod := 1.0
+			for l, e := range exps {
+				if !e.IsConstant() {
+					prod *= e.Eval(pt[l])
+				}
+			}
+			a.Set(i, t+1, prod)
+		}
+	}
+	coef, err := mat.LeastSquares(a, values)
+	if err != nil {
+		return Result{}, err
+	}
+	loo, err := looPredictions(a, values, coef)
+	if err != nil {
+		return Result{}, err
+	}
+	model := pmnf.Model{Constant: coef[0]}
+	for t, exps := range terms {
+		e := make([]pmnf.Exponents, m)
+		copy(e, exps)
+		model.Terms = append(model.Terms, pmnf.Term{Coefficient: coef[t+1], Exps: e})
+	}
+	return Result{Model: model, SMAPE: stats.SMAPE(loo, values)}, nil
+}
+
+// modelKey builds a canonical signature for a term structure so duplicate
+// combinations are fitted only once.
+func modelKey(terms [][]pmnf.Exponents) string {
+	parts := make([]string, len(terms))
+	for t, exps := range terms {
+		var sb strings.Builder
+		for _, e := range exps {
+			fmt.Fprintf(&sb, "%.6f:%.0f;", e.I, e.J)
+		}
+		parts[t] = sb.String()
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "|")
+}
+
+// setPartitions enumerates all set partitions of {0..m-1}. The count is the
+// Bell number (1, 2, 5, 15, …); the modelers use m <= 3 in practice.
+func setPartitions(m int) [][][]int {
+	var out [][][]int
+	var current [][]int
+	var rec func(l int)
+	rec = func(l int) {
+		if l == m {
+			cp := make([][]int, len(current))
+			for i, b := range current {
+				cb := make([]int, len(b))
+				copy(cb, b)
+				cp[i] = cb
+			}
+			out = append(out, cp)
+			return
+		}
+		for i := range current {
+			current[i] = append(current[i], l)
+			rec(l + 1)
+			current[i] = current[i][:len(current[i])-1]
+		}
+		current = append(current, []int{l})
+		rec(l + 1)
+		current = current[:len(current)-1]
+	}
+	rec(0)
+	return out
+}

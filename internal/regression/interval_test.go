@@ -1,0 +1,75 @@
+package regression
+
+import (
+	"math/rand"
+	"testing"
+
+	"extrapdnn/internal/measurement"
+)
+
+func noisyLinearSet(seed int64, level float64) *measurement.Set {
+	rng := rand.New(rand.NewSource(seed))
+	s := &measurement.Set{}
+	for _, x := range []float64{4, 8, 16, 32, 64} {
+		vals := make([]float64, 5)
+		for r := range vals {
+			vals[r] = (3 + 2*x) * (1 + level*(rng.Float64()-0.5))
+		}
+		s.Data = append(s.Data, measurement.Measurement{Point: measurement.Point{x}, Values: vals})
+	}
+	return s
+}
+
+func TestPredictionIntervalCoversTruth(t *testing.T) {
+	set := noisyLinearSet(1, 0.1)
+	ci, err := PredictionInterval(set, measurement.Point{256}, 100, 0.95, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := 3 + 2*256.0
+	if !(ci.Lo <= truth && truth <= ci.Hi) {
+		t.Fatalf("95%% interval %+v misses truth %v", ci, truth)
+	}
+	if ci.Hi <= ci.Lo {
+		t.Fatalf("degenerate interval %+v", ci)
+	}
+}
+
+func TestPredictionIntervalWidensWithNoise(t *testing.T) {
+	calm, err := PredictionInterval(noisyLinearSet(2, 0.02), measurement.Point{256}, 80, 0.95, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := PredictionInterval(noisyLinearSet(2, 0.5), measurement.Point{256}, 80, 0.95, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy.Hi-noisy.Lo <= calm.Hi-calm.Lo {
+		t.Fatalf("noisier data should widen the interval: calm %+v vs noisy %+v", calm, noisy)
+	}
+}
+
+func TestPredictionIntervalErrors(t *testing.T) {
+	set := noisyLinearSet(3, 0.1)
+	if _, err := PredictionInterval(&measurement.Set{}, measurement.Point{1}, 10, 0.95, 1, nil); err == nil {
+		t.Fatal("invalid set should fail")
+	}
+	if _, err := PredictionInterval(set, measurement.Point{1, 2}, 10, 0.95, 1, nil); err == nil {
+		t.Fatal("arity mismatch should fail")
+	}
+}
+
+func TestPredictionIntervalDeterministic(t *testing.T) {
+	set := noisyLinearSet(4, 0.2)
+	a, err := PredictionInterval(set, measurement.Point{128}, 50, 0.9, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PredictionInterval(set, measurement.Point{128}, 50, 0.9, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed gave %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,244 @@
+// Package regression implements the classic Extra-P regression modeler that
+// the paper uses as its baseline (Section III): for every admissible PMNF
+// exponent pair it fits the hypothesis c0 + c1 * x^i * log2(x)^j by linear
+// least squares, scores hypotheses with leave-one-out cross-validated SMAPE,
+// and selects the best. Multi-parameter models are found by first modeling
+// every parameter separately along a measurement line and then testing all
+// additive and multiplicative combinations of the top single-parameter
+// hypotheses.
+//
+// The hypothesis-fitting and combination machinery is exported because the
+// DNN modeler shares it: the DNN merely replaces the exhaustive search over
+// all 43 classes with the network's top-3 predicted classes.
+package regression
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"extrapdnn/internal/mat"
+	"extrapdnn/internal/measurement"
+	"extrapdnn/internal/pmnf"
+	"extrapdnn/internal/stats"
+)
+
+// DefaultTopK is the number of best single-parameter hypotheses per
+// parameter carried into the multi-parameter combination search, matching
+// the paper's use of the network's top three classification results.
+const DefaultTopK = 3
+
+// Options configures the modeler.
+type Options struct {
+	// TopK bounds the single-parameter hypotheses per parameter considered
+	// during multi-parameter combination. Zero means DefaultTopK.
+	TopK int
+	// Classes restricts the searched exponent classes. Nil means all 43
+	// admissible classes (the classic Extra-P search).
+	Classes []pmnf.Exponents
+}
+
+func (o Options) topK() int {
+	if o.TopK <= 0 {
+		return DefaultTopK
+	}
+	return o.TopK
+}
+
+func (o Options) classes() []pmnf.Exponents {
+	if o.Classes == nil {
+		return pmnf.Classes()
+	}
+	return o.Classes
+}
+
+// Result is a selected performance model together with its cross-validated
+// SMAPE score (percent, smaller is better).
+type Result struct {
+	Model pmnf.Model
+	SMAPE float64
+}
+
+// Candidate is one fitted single-parameter hypothesis.
+type Candidate struct {
+	Exps   pmnf.Exponents
+	C0, C1 float64
+	SMAPE  float64 // leave-one-out cross-validated SMAPE
+}
+
+// Eval returns the candidate's prediction at x.
+func (c Candidate) Eval(x float64) float64 {
+	if c.Exps.IsConstant() {
+		return c.C0
+	}
+	return c.C0 + c.C1*c.Exps.Eval(x)
+}
+
+// FitLine searches the given exponent classes over one single-parameter
+// measurement line (strictly increasing xs, median values vs) and returns up
+// to topK candidates ordered by ascending cross-validated SMAPE. The
+// constant hypothesis is always searched so a parameter without influence on
+// performance can be recognized.
+func FitLine(xs, vs []float64, classes []pmnf.Exponents, topK int) ([]Candidate, error) {
+	if len(xs) != len(vs) {
+		return nil, fmt.Errorf("regression: %d positions vs %d values", len(xs), len(vs))
+	}
+	if len(xs) < measurement.MinPointsPerParameter {
+		return nil, fmt.Errorf("regression: need at least %d points per parameter, got %d",
+			measurement.MinPointsPerParameter, len(xs))
+	}
+	var cands []Candidate
+	seenConstant := false
+	for _, e := range classes {
+		if e.IsConstant() {
+			seenConstant = true
+		}
+		c, ok := fitHypothesis(xs, vs, e)
+		if ok {
+			cands = append(cands, c)
+		}
+	}
+	if !seenConstant {
+		if c, ok := fitHypothesis(xs, vs, pmnf.Exponents{}); ok {
+			cands = append(cands, c)
+		}
+	}
+	if len(cands) == 0 {
+		return nil, errors.New("regression: no hypothesis could be fitted")
+	}
+	// Rank by cross-validated SMAPE; on (near-)ties prefer the simpler
+	// hypothesis — the same bias toward the simplest explanation that the
+	// PMNF itself encodes.
+	sort.SliceStable(cands, func(a, b int) bool {
+		da, db := cands[a].SMAPE, cands[b].SMAPE
+		if diff := da - db; diff < -1e-9 || diff > 1e-9 {
+			return da < db
+		}
+		ca := cands[a].Exps.I + cands[a].Exps.J/4
+		cb := cands[b].Exps.I + cands[b].Exps.J/4
+		return ca < cb
+	})
+	if len(cands) > topK {
+		cands = cands[:topK]
+	}
+	return cands, nil
+}
+
+// fitHypothesis fits one exponent class to a line and scores it by
+// leave-one-out cross-validation.
+func fitHypothesis(xs, vs []float64, e pmnf.Exponents) (Candidate, bool) {
+	n := len(xs)
+	if e.IsConstant() {
+		// Constant model: the LOO prediction for point i is the mean of the
+		// remaining points.
+		total := 0.0
+		for _, v := range vs {
+			total += v
+		}
+		loo := make([]float64, n)
+		for i, v := range vs {
+			loo[i] = (total - v) / float64(n-1)
+		}
+		return Candidate{Exps: e, C0: total / float64(n), SMAPE: stats.SMAPE(loo, vs)}, true
+	}
+	a := mat.New(n, 2)
+	for i, x := range xs {
+		a.Set(i, 0, 1)
+		a.Set(i, 1, e.Eval(x))
+	}
+	coef, err := mat.LeastSquares(a, vs)
+	if err != nil {
+		return Candidate{}, false
+	}
+	loo, err := looPredictions(a, vs, coef)
+	if err != nil {
+		return Candidate{}, false
+	}
+	return Candidate{Exps: e, C0: coef[0], C1: coef[1], SMAPE: stats.SMAPE(loo, vs)}, true
+}
+
+// looPredictions returns the exact leave-one-out predictions of a linear
+// least-squares fit using the hat-matrix identity
+//
+//	pred_i = y_i - r_i / (1 - h_ii),  h_ii = a_i^T (A^T A)^{-1} a_i,
+//
+// which avoids refitting per point. coef must be the full-data solution.
+func looPredictions(a *mat.Matrix, y, coef []float64) ([]float64, error) {
+	n, p := a.Rows(), a.Cols()
+	// Hat values are invariant under column scaling, so compute them from a
+	// column-equilibrated copy: PMNF designs mix unit intercepts with term
+	// columns of enormous magnitude, which would wreck the Gram solve.
+	fits := mat.MulVec(a, coef)
+	a = equilibrated(a)
+	gram := mat.Gram(a)
+	// Invert the Gram matrix column by column via Cholesky solves.
+	inv := mat.New(p, p)
+	unit := make([]float64, p)
+	for j := 0; j < p; j++ {
+		unit[j] = 1
+		col, err := mat.SolveCholesky(gram, unit)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < p; i++ {
+			inv.Set(i, j, col[i])
+		}
+		unit[j] = 0
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ai := a.Row(i)
+		fit := fits[i]
+		h := mat.Dot(ai, mat.MulVec(inv, ai))
+		den := 1 - h
+		if den < 1e-10 {
+			// The point fully determines its own fit; fall back to the
+			// in-sample prediction (the hypothesis is too flexible for LOO).
+			out[i] = fit
+			continue
+		}
+		out[i] = y[i] - (y[i]-fit)/den
+	}
+	return out, nil
+}
+
+// equilibrated returns a copy of a with each column scaled to unit norm.
+func equilibrated(a *mat.Matrix) *mat.Matrix {
+	n, p := a.Rows(), a.Cols()
+	c := a.Clone()
+	for j := 0; j < p; j++ {
+		norm := 0.0
+		for i := 0; i < n; i++ {
+			norm = math.Hypot(norm, c.At(i, j))
+		}
+		if norm == 0 {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			c.Set(i, j, c.At(i, j)/norm)
+		}
+	}
+	return c
+}
+
+// Model builds a performance model for a measurement set with any number of
+// parameters using the classic exhaustive regression search.
+func Model(set *measurement.Set, opts Options) (Result, error) {
+	if err := set.Validate(); err != nil {
+		return Result{}, err
+	}
+	lines, err := SelectLines(set)
+	if err != nil {
+		return Result{}, err
+	}
+	perParam := make([][]Candidate, len(lines))
+	for l, line := range lines {
+		cands, err := FitLine(line.Xs, line.Vs, opts.classes(), opts.topK())
+		if err != nil {
+			return Result{}, fmt.Errorf("parameter %d: %w", l, err)
+		}
+		perParam[l] = cands
+	}
+	return Combine(set, perParam)
+}

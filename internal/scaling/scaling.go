@@ -1,0 +1,187 @@
+// Package scaling analyzes performance models for scalability: the primary
+// application of empirical modeling in Extra-P's ecosystem is finding
+// scalability bugs — kernels whose runtime grows faster with the process
+// count than the algorithm promises (Calotoiu et al., SC'13, reference [1]
+// of the paper). Given a PMNF model and the index of the process-count
+// parameter, the package classifies asymptotic growth, computes parallel
+// efficiency, and flags divergence from an expectation.
+package scaling
+
+import (
+	"fmt"
+
+	"extrapdnn/internal/pmnf"
+)
+
+// Verdict grades the scaling behavior of a kernel.
+type Verdict int
+
+const (
+	// Scalable: runtime does not grow with the process count (weak-scaling
+	// sense), at worst logarithmically.
+	Scalable Verdict = iota
+	// Acceptable: sub-linear polynomial growth (e.g. communication terms
+	// like sqrt(p) or p^(1/3) surface exchanges).
+	Acceptable
+	// Bottleneck: linear or worse growth — a serialization or contention
+	// point that will dominate at scale.
+	Bottleneck
+)
+
+// String returns the verdict name.
+func (v Verdict) String() string {
+	switch v {
+	case Scalable:
+		return "scalable"
+	case Acceptable:
+		return "acceptable"
+	case Bottleneck:
+		return "bottleneck"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// Analysis is the scalability analysis of one model.
+type Analysis struct {
+	// Lead is the model's lead exponent pair for the process parameter.
+	Lead pmnf.Exponents
+	// GrowthClass renders the asymptotic growth in the process count,
+	// e.g. "O(p^(1/2))" or "O(log2(p)^2)" or "O(1)".
+	GrowthClass string
+	// Verdict grades the growth.
+	Verdict Verdict
+	// Expected, when an expectation was supplied, holds its lead exponents;
+	// Diverges reports whether the model grows asymptotically faster.
+	Expected *pmnf.Exponents
+	Diverges bool
+}
+
+// Analyze grades the scaling of model in parameter procParam (0-based).
+// expected, when non-nil, is the theoretical complexity to compare against
+// (e.g. the algorithm's published bound).
+func Analyze(model pmnf.Model, procParam int, expected *pmnf.Exponents) (Analysis, error) {
+	m := model.NumParams()
+	if procParam < 0 || procParam >= m {
+		return Analysis{}, fmt.Errorf("scaling: parameter %d out of range for %d-parameter model", procParam, m)
+	}
+	lead := model.LeadExponents()[procParam]
+	a := Analysis{
+		Lead:        lead,
+		GrowthClass: growthClass(lead),
+		Verdict:     grade(lead),
+	}
+	if expected != nil {
+		e := *expected
+		a.Expected = &e
+		a.Diverges = faster(lead, e)
+	}
+	return a, nil
+}
+
+// DefaultContribution is the minimum share of the model value a term must
+// reach at the analysis point before it participates in the growth verdict.
+const DefaultContribution = 0.01
+
+// AnalyzeAt grades the scaling like Analyze, but ignores terms whose
+// contribution to the model value at the projection point `at` stays below
+// minShare (DefaultContribution when <= 0). Empirical models frequently
+// carry tiny residual terms whose exponents would otherwise dominate the
+// verdict while being numerically irrelevant even at the target scale.
+func AnalyzeAt(model pmnf.Model, procParam int, expected *pmnf.Exponents, at []float64, minShare float64) (Analysis, error) {
+	m := model.NumParams()
+	if procParam < 0 || procParam >= m {
+		return Analysis{}, fmt.Errorf("scaling: parameter %d out of range for %d-parameter model", procParam, m)
+	}
+	if len(at) != m {
+		return Analysis{}, fmt.Errorf("scaling: projection point has %d values, want %d", len(at), m)
+	}
+	if minShare <= 0 {
+		minShare = DefaultContribution
+	}
+	total := model.Eval(at)
+	// Preserve the parameter count even when every term is filtered out
+	// (Model.NumParams falls back to len(ParamNames)).
+	names := model.ParamNames
+	if len(names) != m {
+		names = make([]string, m)
+		copy(names, model.ParamNames)
+	}
+	filtered := pmnf.Model{Constant: model.Constant, ParamNames: names}
+	for _, t := range model.Terms {
+		contribution := t.Eval(at)
+		if total != 0 && abs(contribution) >= minShare*abs(total) {
+			filtered.Terms = append(filtered.Terms, t)
+		}
+	}
+	return Analyze(filtered, procParam, expected)
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// growthClass renders O-notation for one exponent pair.
+func growthClass(e pmnf.Exponents) string {
+	if e.IsConstant() {
+		return "O(1)"
+	}
+	return "O(" + e.FactorString("p") + ")"
+}
+
+// grade maps a lead exponent pair to a verdict.
+func grade(e pmnf.Exponents) Verdict {
+	switch {
+	case e.I == 0:
+		return Scalable // constant or purely logarithmic
+	case e.I < 1:
+		return Acceptable
+	default:
+		return Bottleneck
+	}
+}
+
+// faster reports whether a grows asymptotically faster than b by at least a
+// polynomial step. Log-factor differences are deliberately ignored: they
+// are below the resolution of 5-point empirical modeling (the same
+// convention the accuracy metric uses) and flagging them would drown real
+// bugs in noise.
+func faster(a, b pmnf.Exponents) bool {
+	return a.I > b.I+1e-9
+}
+
+// Efficiency computes the weak-scaling parallel efficiency of the model
+// across the given process counts, relative to the first:
+// E(p) = f(p_0) / f(p) with all other parameters held at fixed.
+// Efficiencies near 1 mean perfect weak scaling.
+func Efficiency(model pmnf.Model, procParam int, procs []float64, fixed []float64) ([]float64, error) {
+	m := model.NumParams()
+	if procParam < 0 || procParam >= m {
+		return nil, fmt.Errorf("scaling: parameter %d out of range for %d-parameter model", procParam, m)
+	}
+	if len(fixed) != m {
+		return nil, fmt.Errorf("scaling: fixed values have %d entries, want %d", len(fixed), m)
+	}
+	if len(procs) == 0 {
+		return nil, fmt.Errorf("scaling: no process counts")
+	}
+	x := append([]float64(nil), fixed...)
+	x[procParam] = procs[0]
+	base := model.Eval(x)
+	if base <= 0 {
+		return nil, fmt.Errorf("scaling: model non-positive at the base point")
+	}
+	out := make([]float64, len(procs))
+	for i, p := range procs {
+		x[procParam] = p
+		v := model.Eval(x)
+		if v <= 0 {
+			return nil, fmt.Errorf("scaling: model non-positive at p=%g", p)
+		}
+		out[i] = base / v
+	}
+	return out, nil
+}

@@ -1,0 +1,211 @@
+// Package textplot renders simple line and bar charts as text, so the
+// evaluation harness can draw the paper's figures directly in the terminal
+// next to the numeric tables.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line of a chart.
+type Series struct {
+	Name   string
+	Marker byte // the glyph used for this series' points
+	Y      []float64
+}
+
+// LineChart renders series over shared x values as a fixed-size character
+// grid with a y-axis scale, x labels and a legend. Width and height are the
+// plot-area dimensions in characters (sane minimums are enforced). NaN
+// values are skipped.
+func LineChart(title string, xs []float64, series []Series, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 5 {
+		height = 5
+	}
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title + "\n")
+	}
+	if len(xs) == 0 || len(series) == 0 {
+		sb.WriteString("(no data)\n")
+		return sb.String()
+	}
+
+	// Y range over all series.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s.Y {
+			if math.IsNaN(v) {
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if math.IsInf(lo, 1) {
+		sb.WriteString("(no data)\n")
+		return sb.String()
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	// Column per x index, spread evenly across the width.
+	col := func(i int) int {
+		if len(xs) == 1 {
+			return 0
+		}
+		return i * (width - 1) / (len(xs) - 1)
+	}
+	row := func(v float64) int {
+		f := (v - lo) / (hi - lo)
+		r := height - 1 - int(math.Round(f*float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for _, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		prevSet := false
+		var prevC, prevR int
+		for i, v := range s.Y {
+			if i >= len(xs) || math.IsNaN(v) {
+				prevSet = false
+				continue
+			}
+			c, r := col(i), row(v)
+			if prevSet {
+				drawSegment(grid, prevC, prevR, c, r, marker)
+			}
+			grid[r][c] = marker
+			prevC, prevR, prevSet = c, r, true
+		}
+	}
+
+	// Render with a y-axis.
+	for r, line := range grid {
+		label := "          "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%9.4g ", hi)
+		case height - 1:
+			label = fmt.Sprintf("%9.4g ", lo)
+		case (height - 1) / 2:
+			label = fmt.Sprintf("%9.4g ", lo+(hi-lo)/2)
+		}
+		sb.WriteString(label + "|" + string(line) + "\n")
+	}
+	sb.WriteString(strings.Repeat(" ", 10) + "+" + strings.Repeat("-", width) + "\n")
+	// X labels: first, middle, last.
+	xlabels := make([]byte, width+11)
+	for i := range xlabels {
+		xlabels[i] = ' '
+	}
+	putLabel := func(c int, text string) {
+		for i := 0; i < len(text) && 11+c+i < len(xlabels); i++ {
+			xlabels[11+c+i] = text[i]
+		}
+	}
+	putLabel(0, fmt.Sprintf("%g", xs[0]))
+	if len(xs) > 2 {
+		mid := len(xs) / 2
+		putLabel(col(mid)-2, fmt.Sprintf("%g", xs[mid]))
+	}
+	if len(xs) > 1 {
+		last := fmt.Sprintf("%g", xs[len(xs)-1])
+		putLabel(width-len(last), last)
+	}
+	sb.WriteString(strings.TrimRight(string(xlabels), " ") + "\n")
+	// Legend.
+	var legend []string
+	for _, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		legend = append(legend, fmt.Sprintf("%c %s", marker, s.Name))
+	}
+	sb.WriteString(strings.Repeat(" ", 11) + strings.Join(legend, "   ") + "\n")
+	return sb.String()
+}
+
+// drawSegment draws a sparse line between two grid points with '.' so the
+// series reads as a line, leaving the endpoints to the series marker.
+func drawSegment(grid [][]byte, c0, r0, c1, r1 int, marker byte) {
+	steps := max(abs(c1-c0), abs(r1-r0))
+	for s := 1; s < steps; s++ {
+		c := c0 + (c1-c0)*s/steps
+		r := r0 + (r1-r0)*s/steps
+		if grid[r][c] == ' ' {
+			grid[r][c] = '.'
+		}
+	}
+}
+
+// BarChart renders labeled horizontal bars scaled to the largest value.
+func BarChart(title string, labels []string, values []float64, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title + "\n")
+	}
+	if len(labels) == 0 || len(labels) != len(values) {
+		sb.WriteString("(no data)\n")
+		return sb.String()
+	}
+	maxVal := 0.0
+	maxLabel := 0
+	for i, v := range values {
+		if v > maxVal {
+			maxVal = v
+		}
+		if len(labels[i]) > maxLabel {
+			maxLabel = len(labels[i])
+		}
+	}
+	for i, v := range values {
+		bar := 0
+		if maxVal > 0 && v > 0 {
+			bar = int(math.Round(v / maxVal * float64(width)))
+		}
+		sb.WriteString(fmt.Sprintf("%-*s | %-*s %.4g\n",
+			maxLabel, labels[i], width, strings.Repeat("#", bar), v))
+	}
+	return sb.String()
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,99 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLineChartBasics(t *testing.T) {
+	out := LineChart("demo", []float64{1, 2, 3},
+		[]Series{
+			{Name: "up", Marker: 'o', Y: []float64{1, 2, 3}},
+			{Name: "down", Marker: 'x', Y: []float64{3, 2, 1}},
+		}, 30, 8)
+	if !strings.Contains(out, "demo") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "o up") || !strings.Contains(out, "x down") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "o") || !strings.Contains(out, "x") {
+		t.Fatal("markers missing")
+	}
+	// Axis scale endpoints.
+	if !strings.Contains(out, "3") || !strings.Contains(out, "1") {
+		t.Fatalf("axis labels missing:\n%s", out)
+	}
+}
+
+func TestLineChartMonotone(t *testing.T) {
+	// An increasing series must place its last marker above its first.
+	out := LineChart("", []float64{1, 2, 3, 4},
+		[]Series{{Name: "s", Marker: 'o', Y: []float64{0, 1, 2, 3}}}, 24, 6)
+	lines := strings.Split(out, "\n")
+	firstRow, lastRow := -1, -1
+	for r, line := range lines {
+		idx := strings.IndexByte(line, 'o')
+		if idx < 0 {
+			continue
+		}
+		if firstRow == -1 {
+			firstRow = r
+		}
+		lastRow = r
+	}
+	if firstRow == -1 || firstRow == lastRow {
+		t.Fatalf("expected markers on multiple rows:\n%s", out)
+	}
+}
+
+func TestLineChartEmptyAndDegenerate(t *testing.T) {
+	if !strings.Contains(LineChart("t", nil, nil, 20, 5), "(no data)") {
+		t.Fatal("empty chart should say so")
+	}
+	nanOnly := LineChart("t", []float64{1}, []Series{{Name: "n", Y: []float64{math.NaN()}}}, 20, 5)
+	if !strings.Contains(nanOnly, "(no data)") {
+		t.Fatal("NaN-only chart should say so")
+	}
+	// Constant series: must not divide by zero.
+	flat := LineChart("t", []float64{1, 2}, []Series{{Name: "f", Y: []float64{5, 5}}}, 20, 5)
+	if !strings.Contains(flat, "f") {
+		t.Fatal("flat series should render")
+	}
+}
+
+func TestLineChartMinimumSizes(t *testing.T) {
+	out := LineChart("", []float64{1, 2}, []Series{{Name: "s", Y: []float64{1, 2}}}, 1, 1)
+	if len(strings.Split(out, "\n")) < 5 {
+		t.Fatal("minimum dimensions not enforced")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := BarChart("bars", []string{"a", "bb"}, []float64{1, 2}, 20)
+	if !strings.Contains(out, "bars") || !strings.Contains(out, "bb") {
+		t.Fatalf("labels missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("expected title+2 bars:\n%s", out)
+	}
+	// The larger value must have the longer bar.
+	if strings.Count(lines[1], "#") >= strings.Count(lines[2], "#") {
+		t.Fatalf("bar lengths not proportional:\n%s", out)
+	}
+}
+
+func TestBarChartDegenerate(t *testing.T) {
+	if !strings.Contains(BarChart("t", nil, nil, 10), "(no data)") {
+		t.Fatal("empty bar chart should say so")
+	}
+	if !strings.Contains(BarChart("t", []string{"a"}, []float64{1, 2}, 10), "(no data)") {
+		t.Fatal("mismatched lengths should say so")
+	}
+	zero := BarChart("t", []string{"z"}, []float64{0}, 10)
+	if strings.Contains(zero, "#") {
+		t.Fatal("zero value should have no bar")
+	}
+}

@@ -1,0 +1,43 @@
+package extrapdnn
+
+import "extrapdnn/internal/scaling"
+
+// Scalability analysis on top of the generated models — the primary
+// downstream use of empirical performance modeling: finding kernels whose
+// measured growth in the process count diverges from the algorithm's
+// promise (scalability bugs).
+type (
+	// ScalingAnalysis grades the asymptotic growth of a model in the
+	// process-count parameter.
+	ScalingAnalysis = scaling.Analysis
+	// ScalingVerdict is the grade: Scalable, Acceptable or Bottleneck.
+	ScalingVerdict = scaling.Verdict
+)
+
+// Re-exported verdicts.
+const (
+	Scalable   = scaling.Scalable
+	Acceptable = scaling.Acceptable
+	Bottleneck = scaling.Bottleneck
+)
+
+// AnalyzeScaling grades how model grows with parameter procParam (0-based).
+// expected, when non-nil, is the theoretical complexity to compare against;
+// the analysis flags divergence from it.
+func AnalyzeScaling(model Model, procParam int, expected *Exponents) (ScalingAnalysis, error) {
+	return scaling.Analyze(model, procParam, expected)
+}
+
+// AnalyzeScalingAt grades the scaling like AnalyzeScaling but ignores terms
+// contributing less than minShare (default 1% when <= 0) of the model value
+// at the projection point `at` — tiny residual terms of empirical fits
+// should not decide the verdict.
+func AnalyzeScalingAt(model Model, procParam int, expected *Exponents, at []float64, minShare float64) (ScalingAnalysis, error) {
+	return scaling.AnalyzeAt(model, procParam, expected, at, minShare)
+}
+
+// ParallelEfficiency computes weak-scaling efficiency E(p) = f(p0)/f(p) of
+// the model over the given process counts, other parameters held at fixed.
+func ParallelEfficiency(model Model, procParam int, procs, fixed []float64) ([]float64, error) {
+	return scaling.Efficiency(model, procParam, procs, fixed)
+}
