@@ -6,6 +6,10 @@ package extrapdnn
 // headline quantities via b.ReportMetric, so `go test -bench=.` regenerates
 // the qualitative result of every figure. The full-size regenerations live
 // in cmd/evalsynth and cmd/evalcases.
+//
+// Hot-path baselines (Pretrain, DomainAdaptation, MatMul256) are recorded in
+// docs/PERFORMANCE.md; the allocation-regression gates for the training loop
+// live in internal/nn and the fused-kernel microbenchmarks in internal/mat.
 
 import (
 	"fmt"

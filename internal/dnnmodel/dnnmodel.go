@@ -17,6 +17,7 @@ import (
 	"extrapdnn/internal/mat"
 	"extrapdnn/internal/measurement"
 	"extrapdnn/internal/nn"
+	"extrapdnn/internal/parallel"
 	"extrapdnn/internal/pmnf"
 	"extrapdnn/internal/preprocess"
 	"extrapdnn/internal/regression"
@@ -72,6 +73,14 @@ type TrainSpec struct {
 // label per row. Samples whose line cannot be encoded (degenerate sequences)
 // are skipped, so the result may hold slightly fewer rows than
 // 43*SamplesPerClass.
+//
+// Generation is parallelized across the 43 exponent classes, which dominates
+// domain-adaptation wall time at small epoch counts. Determinism contract:
+// the parent rng is consumed only to draw one sub-seed per class (in class
+// order, before any worker starts), each class generates from its own
+// rand.Rand, and class blocks are concatenated in class order — so the
+// dataset is a pure function of the rng state regardless of GOMAXPROCS or
+// goroutine scheduling.
 func BuildDataset(rng *rand.Rand, spec TrainSpec) (*mat.Matrix, []int) {
 	perClass := spec.SamplesPerClass
 	if perClass < 1 {
@@ -81,20 +90,36 @@ func BuildDataset(rng *rand.Rand, spec TrainSpec) (*mat.Matrix, []int) {
 	if reps < 1 {
 		reps = 1
 	}
-	var rows [][]float64
-	var labels []int
-	for class := 0; class < pmnf.NumClasses; class++ {
+	seeds := make([]int64, pmnf.NumClasses)
+	for class := range seeds {
+		seeds[class] = rng.Int63()
+	}
+	type classBlock struct {
+		rows [][]float64
+	}
+	blocks := make([]classBlock, pmnf.NumClasses)
+	parallel.Run(pmnf.NumClasses, func(class int) {
+		crng := rand.New(rand.NewSource(seeds[class]))
+		rows := make([][]float64, 0, perClass)
 		for s := 0; s < perClass; s++ {
 			var xs []float64
 			if len(spec.ParamValues) > 0 {
-				xs = spec.ParamValues[rng.Intn(len(spec.ParamValues))]
+				xs = spec.ParamValues[crng.Intn(len(spec.ParamValues))]
 			}
-			sample := synth.GenLineSampleOpts(rng, class, xs, reps, spec.NoiseMin, spec.NoiseMax, spec.PerPointNoise)
+			sample := synth.GenLineSampleOpts(crng, class, xs, reps, spec.NoiseMin, spec.NoiseMax, spec.PerPointNoise)
 			enc, err := preprocess.Encode(sample.Xs, sample.Values)
 			if err != nil {
 				continue
 			}
 			rows = append(rows, enc[:])
+		}
+		blocks[class] = classBlock{rows: rows}
+	})
+	var rows [][]float64
+	var labels []int
+	for class, blk := range blocks {
+		rows = append(rows, blk.rows...)
+		for range blk.rows {
 			labels = append(labels, class)
 		}
 	}

@@ -6,6 +6,14 @@
 // The package is deliberately small: it implements exactly what the rest of
 // the module needs, with predictable memory behavior (no hidden aliasing,
 // explicit Clone), rather than a general numerical toolkit.
+//
+// The matmul family — MulTo and the fused transpose-free kernels MulATTo
+// (aᵀ·b) and MulBTTo (a·bᵀ) — shares one accumulation order (chunks of four,
+// then single leftovers) so the fused kernels are bit-identical to MulTo on
+// an explicitly transposed operand, and one parallelism policy: products
+// above parallelThreshold multiply-adds split their output rows across
+// GOMAXPROCS goroutines (disjoint writes, no locks), smaller ones run
+// serially without allocating. See DESIGN.md §6 and docs/PERFORMANCE.md.
 package mat
 
 import (

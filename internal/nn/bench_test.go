@@ -1,0 +1,113 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"extrapdnn/internal/mat"
+)
+
+// benchNet mirrors the pretraining benchmark topology (11 inputs, 43
+// classes). The layer products stay below mat's parallelThreshold so the
+// kernels run serially and the allocation counts below hold on any machine.
+func benchNet(rng *rand.Rand) *Network {
+	return NewNetwork([]int{11, 64, 48, 43}, rng)
+}
+
+func benchData(rng *rand.Rand, rows int) (*mat.Matrix, []int) {
+	x := mat.New(rows, 11)
+	labels := make([]int, rows)
+	for i := range x.Data() {
+		x.Data()[i] = rng.NormFloat64()
+	}
+	for i := range labels {
+		labels[i] = rng.Intn(43)
+	}
+	return x, labels
+}
+
+// BenchmarkTrainBatch measures one steady-state optimizer step on the
+// preallocated workspace. The regression target is 0 allocs/op: the batch
+// loop must never touch the heap once the one-time workspace setup is done.
+func BenchmarkTrainBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	net := benchNet(rng)
+	const batchSize = 64
+	x, labels := benchData(rng, 4*batchSize)
+	states := make([]*optState, len(net.Layers))
+	for i, l := range net.Layers {
+		states[i] = &optState{
+			mW: mat.New(l.W.Rows(), l.W.Cols()),
+			vW: mat.New(l.W.Rows(), l.W.Cols()),
+			mB: make([]float64, len(l.B)),
+			vB: make([]float64, len(l.B)),
+		}
+	}
+	opts := TrainOptions{BatchSize: batchSize}.withDefaults()
+	ws := newTrainWorkspace(net, x, batchSize, 0, 0, 0, false)
+	batch := make([]int, batchSize)
+	for i := range batch {
+		batch[i] = i
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.trainBatch(x, labels, batch, states, opts, rng, ws)
+	}
+}
+
+// BenchmarkTrainBatchDropout exercises the mask path of the workspace; it
+// must stay allocation-free too.
+func BenchmarkTrainBatchDropout(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	net := benchNet(rng)
+	const batchSize = 64
+	x, labels := benchData(rng, 4*batchSize)
+	states := make([]*optState, len(net.Layers))
+	for i, l := range net.Layers {
+		states[i] = &optState{
+			mW: mat.New(l.W.Rows(), l.W.Cols()),
+			vW: mat.New(l.W.Rows(), l.W.Cols()),
+			mB: make([]float64, len(l.B)),
+			vB: make([]float64, len(l.B)),
+		}
+	}
+	opts := TrainOptions{BatchSize: batchSize, Dropout: 0.2}.withDefaults()
+	ws := newTrainWorkspace(net, x, batchSize, 0, 0, 0, true)
+	batch := make([]int, batchSize)
+	for i := range batch {
+		batch[i] = i
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.trainBatch(x, labels, batch, states, opts, rng, ws)
+	}
+}
+
+// BenchmarkForwardInference measures the ping-pong inference path on reused
+// buffers — the validation-loss fast path. 0 allocs/op in steady state.
+func BenchmarkForwardInference(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	net := benchNet(rng)
+	x, _ := benchData(rng, 256)
+	buf := net.newInferBuffers(x.Rows())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.forwardOutput(x, buf)
+	}
+}
+
+// BenchmarkTrainEpochs is the end-to-end Train comparison point recorded in
+// docs/PERFORMANCE.md (setup included, measured per full Train call).
+func BenchmarkTrainEpochs(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	x, labels := benchData(rng, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net := benchNet(rand.New(rand.NewSource(5)))
+		net.Train(x, labels, TrainOptions{Epochs: 2, BatchSize: 64, Rng: rand.New(rand.NewSource(6))})
+	}
+}

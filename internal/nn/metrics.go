@@ -24,8 +24,7 @@ func (n *Network) Confusion(x *mat.Matrix, labels []int) ConfusionMatrix {
 	if x.Rows() == 0 {
 		return cm
 	}
-	acts := n.ForwardBatch(x)
-	out := acts[len(acts)-1]
+	out := n.forwardOutput(x, n.newInferBuffers(x.Rows()))
 	for r := 0; r < out.Rows(); r++ {
 		row := out.Row(r)
 		best := 0

@@ -6,6 +6,14 @@
 // serialization — standing in for the TensorFlow-class stack the paper used,
 // which has no Go equivalent. Batched forward and backward passes run on the
 // goroutine-parallel matrix kernels of internal/mat.
+//
+// The training loop is transpose-free and allocation-free in steady state:
+// backpropagation uses the fused kernels mat.MulATTo/MulBTTo instead of
+// materializing Matrix.T() copies, and Train preallocates one trainWorkspace
+// (batch input, per-layer activations/deltas/gradients, dropout masks, and a
+// zero-copy validation view) so the per-batch loop never touches the heap.
+// Inference runs on reused ping-pong buffers. See DESIGN.md §6 and
+// docs/PERFORMANCE.md.
 package nn
 
 import (
@@ -203,10 +211,9 @@ func (n *Network) ForwardBatch(x *mat.Matrix) []*mat.Matrix {
 // activations (class probabilities for a softmax head).
 func (n *Network) Predict(x []float64) []float64 {
 	in := mat.NewFromData(1, len(x), append([]float64(nil), x...))
-	acts := n.ForwardBatch(in)
-	out := acts[len(acts)-1].Row(0)
-	res := make([]float64, len(out))
-	copy(res, out)
+	out := n.forwardOutput(in, n.newInferBuffers(1))
+	res := make([]float64, out.Cols())
+	copy(res, out.Row(0))
 	return res
 }
 
@@ -247,12 +254,13 @@ func (n *Network) TopK(x []float64, k int) []int {
 }
 
 // Accuracy returns the fraction of rows of x classified as their label.
+// It runs on the ping-pong inference path, keeping two activation buffers
+// regardless of network depth.
 func (n *Network) Accuracy(x *mat.Matrix, labels []int) float64 {
 	if x.Rows() == 0 {
 		return 0
 	}
-	acts := n.ForwardBatch(x)
-	out := acts[len(acts)-1]
+	out := n.forwardOutput(x, n.newInferBuffers(x.Rows()))
 	correct := 0
 	for r := 0; r < out.Rows(); r++ {
 		row := out.Row(r)

@@ -153,17 +153,28 @@ func (n *Network) Train(x *mat.Matrix, labels []int, opts TrainOptions) TrainSta
 		order[i] = i
 	}
 
+	// All forward/backward buffers are allocated once here; the batch loop
+	// below performs zero heap allocations in steady state (see workspace.go
+	// and DESIGN.md §7).
+	effBatch := opts.BatchSize
+	if effBatch > trainCount {
+		effBatch = trainCount
+	}
+	dropout := opts.Dropout > 0 && opts.Dropout < 1
+	ws := newTrainWorkspace(n, x, effBatch, trainCount%effBatch, trainCount, numSamples-trainCount, dropout)
+
 	stats := TrainStats{}
 	bestVal := math.Inf(1)
 	badEpochs := 0
-	dropRng := opts.Rng
-	if dropRng == nil {
-		dropRng = rand.New(rand.NewSource(1))
+	rng := opts.Rng
+	if rng == nil {
+		// Fixed-seed fallback: shuffling must never silently turn off, or
+		// minibatch SGD would be fed sorted-by-class data; training without an
+		// explicit Rng stays fully deterministic.
+		rng = rand.New(rand.NewSource(1))
 	}
 	for epoch := 0; epoch < opts.Epochs; epoch++ {
-		if opts.Rng != nil {
-			opts.Rng.Shuffle(trainCount, func(a, b int) { order[a], order[b] = order[b], order[a] })
-		}
+		rng.Shuffle(trainCount, func(a, b int) { order[a], order[b] = order[b], order[a] })
 		epochLoss, batches := 0.0, 0
 		for start := 0; start < trainCount; start += opts.BatchSize {
 			end := start + opts.BatchSize
@@ -171,7 +182,7 @@ func (n *Network) Train(x *mat.Matrix, labels []int, opts TrainOptions) TrainSta
 				end = trainCount
 			}
 			batch := order[start:end]
-			loss := n.trainBatch(x, labels, batch, states, opts, dropRng)
+			loss := n.trainBatch(x, labels, batch, states, opts, rng, ws)
 			epochLoss += loss * float64(len(batch))
 			batches++
 		}
@@ -182,7 +193,7 @@ func (n *Network) Train(x *mat.Matrix, labels []int, opts TrainOptions) TrainSta
 			opts.LearningRate *= opts.LRDecay
 		}
 		if trainCount < numSamples {
-			val := n.meanLoss(x, labels, trainCount, numSamples)
+			val := n.meanLoss(ws.valIn, labels, trainCount, ws.valBuf)
 			stats.ValLoss = append(stats.ValLoss, val)
 			if val < bestVal-1e-9 {
 				bestVal = val
@@ -199,15 +210,14 @@ func (n *Network) Train(x *mat.Matrix, labels []int, opts TrainOptions) TrainSta
 	return stats
 }
 
-// meanLoss computes the mean cross-entropy over sample indices [from, to).
-func (n *Network) meanLoss(x *mat.Matrix, labels []int, from, to int) float64 {
-	count := to - from
-	in := mat.New(count, x.Cols())
-	for r := 0; r < count; r++ {
-		copy(in.Row(r), x.Row(from+r))
-	}
-	acts := n.ForwardBatch(in)
-	probs := acts[len(acts)-1]
+// meanLoss computes the mean cross-entropy of the network on `in`, whose row
+// r carries label labels[from+r]. `in` is typically a zero-copy view of the
+// held-out tail of the training matrix, and buf the workspace's ping-pong
+// inference buffers, so the per-epoch validation pass copies and allocates
+// nothing.
+func (n *Network) meanLoss(in *mat.Matrix, labels []int, from int, buf *inferBuffers) float64 {
+	probs := n.forwardOutput(in, buf)
+	count := in.Rows()
 	loss := 0.0
 	for r := 0; r < count; r++ {
 		p := probs.At(r, labels[from+r])
@@ -221,51 +231,47 @@ func (n *Network) meanLoss(x *mat.Matrix, labels []int, from, to int) float64 {
 
 // trainBatch runs one forward/backward pass over the given sample indices
 // and applies an optimizer step. It returns the mean cross-entropy loss of
-// the batch.
-func (n *Network) trainBatch(x *mat.Matrix, labels []int, batch []int, states []*optState, opts TrainOptions, dropRng *rand.Rand) float64 {
+// the batch. All matrices come from the preallocated workspace; the only
+// external state consumed is the dropout rng.
+func (n *Network) trainBatch(x *mat.Matrix, labels []int, batch []int, states []*optState, opts TrainOptions, dropRng *rand.Rand, ws *trainWorkspace) float64 {
 	b := len(batch)
-	in := mat.New(b, x.Cols())
+	bb := ws.buffersFor(b)
+	in := bb.acts[0]
 	for r, idx := range batch {
 		copy(in.Row(r), x.Row(idx))
 	}
-	acts := n.ForwardBatch(in)
 
-	// Inverted dropout on the hidden activations: masks scale surviving
-	// units by 1/(1-p), so inference uses the network unchanged. The same
-	// masks reapply to the deltas during the backward pass.
-	var masks []*mat.Matrix
-	if opts.Dropout > 0 && opts.Dropout < 1 {
-		keepScale := 1 / (1 - opts.Dropout)
-		masks = make([]*mat.Matrix, len(acts))
-		for i := 1; i < len(acts)-1; i++ { // hidden activations only
-			mask := mat.New(acts[i].Rows(), acts[i].Cols())
-			md, ad := mask.Data(), acts[i].Data()
+	// Forward pass with fused inverted dropout: each hidden activation is
+	// masked (surviving units scaled by 1/(1-p)) before the next layer reads
+	// it, so inference uses the network unchanged. The same masks reapply to
+	// the deltas during the backward pass.
+	numLayers := len(n.Layers)
+	keepScale := 0.0
+	if bb.masks != nil {
+		keepScale = 1 / (1 - opts.Dropout)
+	}
+	for i, l := range n.Layers {
+		z := bb.acts[i+1]
+		mat.MulTo(z, bb.acts[i], l.W)
+		addBias(z, l.B)
+		applyActivation(z, l.Act)
+		if bb.masks != nil && i+1 < numLayers { // hidden activations only
+			md, ad := bb.masks[i+1].Data(), z.Data()
 			for j := range md {
+				md[j] = 0
 				if dropRng.Float64() >= opts.Dropout {
 					md[j] = keepScale
 				}
 				ad[j] *= md[j]
 			}
-			masks[i] = mask
-			// Recompute the downstream activations from the masked input.
-			l := n.Layers[i]
-			z := mat.New(b, l.Out())
-			mat.MulTo(z, acts[i], l.W)
-			for r := 0; r < z.Rows(); r++ {
-				row := z.Row(r)
-				for c := range row {
-					row[c] += l.B[c]
-				}
-			}
-			applyActivation(z, l.Act)
-			acts[i+1] = z
 		}
 	}
-	probs := acts[len(acts)-1]
+	probs := bb.acts[numLayers]
 
 	// Cross-entropy loss and output delta (softmax + CE gives P - Y).
 	loss := 0.0
-	delta := probs.Clone()
+	delta := bb.deltas[numLayers-1]
+	copy(delta.Data(), probs.Data())
 	for r, idx := range batch {
 		lbl := labels[idx]
 		p := probs.At(r, lbl)
@@ -278,15 +284,20 @@ func (n *Network) trainBatch(x *mat.Matrix, labels []int, batch []int, states []
 	loss /= float64(b)
 	delta.Scale(1 / float64(b))
 
-	// Backpropagate layer by layer.
-	for i := len(n.Layers) - 1; i >= 0; i-- {
+	// Backpropagate layer by layer on the fused transpose-free kernels:
+	// dW = aPrevᵀ·delta and prevDelta = delta·Wᵀ read the operands in place
+	// instead of materializing a transposed copy per batch.
+	for i := numLayers - 1; i >= 0; i-- {
 		l := n.Layers[i]
-		aPrev := acts[i]
+		aPrev := bb.acts[i]
 
 		// Gradients: dW = aPrevᵀ · delta, db = column sums of delta.
-		dW := mat.New(l.W.Rows(), l.W.Cols())
-		mat.MulTo(dW, aPrev.T(), delta)
-		dB := make([]float64, len(l.B))
+		dW := ws.dW[i]
+		mat.MulATTo(dW, aPrev, delta)
+		dB := ws.dB[i]
+		for c := range dB {
+			dB[c] = 0
+		}
 		for r := 0; r < delta.Rows(); r++ {
 			row := delta.Row(r)
 			for c, v := range row {
@@ -296,13 +307,13 @@ func (n *Network) trainBatch(x *mat.Matrix, labels []int, batch []int, states []
 
 		// Delta for the previous layer (skip for the input).
 		if i > 0 {
-			prev := mat.New(b, l.In())
-			mat.MulTo(prev, delta, l.W.T())
+			prev := bb.deltas[i-1]
+			mat.MulBTTo(prev, delta, l.W)
 			// Multiply by the activation derivative of layer i-1, and by the
 			// dropout mask that was applied to its activations.
-			applyActivationGrad(prev, acts[i], n.Layers[i-1].Act)
-			if masks != nil && masks[i] != nil {
-				pd, md := prev.Data(), masks[i].Data()
+			applyActivationGrad(prev, bb.acts[i], n.Layers[i-1].Act)
+			if bb.masks != nil && bb.masks[i] != nil {
+				pd, md := prev.Data(), bb.masks[i].Data()
 				for j := range pd {
 					pd[j] *= md[j]
 				}

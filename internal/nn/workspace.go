@@ -1,0 +1,187 @@
+package nn
+
+import (
+	"extrapdnn/internal/mat"
+)
+
+// batchBuffers is one complete set of forward/backward matrices for a fixed
+// batch row count. All matrices are zero-copy views over backing arrays owned
+// by the trainWorkspace, so a full-batch and a trailing-partial-batch view
+// set share the same storage (they are never live at the same time).
+type batchBuffers struct {
+	rows int
+	// acts[0] is the batch input; acts[i+1] the activations of layer i.
+	acts []*mat.Matrix
+	// deltas[i] is the loss gradient w.r.t. the activations of layer i.
+	deltas []*mat.Matrix
+	// masks[i] is the inverted-dropout mask applied to acts[i] (hidden
+	// activation indices 1..len(layers)-1 only); nil when dropout is off.
+	masks []*mat.Matrix
+}
+
+// trainWorkspace holds every matrix the training loop needs, allocated once
+// per Train call so the steady-state batch loop performs zero heap
+// allocations. Views for the full batch size and for the trailing partial
+// batch (when the training-set size is not a multiple of the batch size) are
+// both prebuilt, so even the last batch of an epoch allocates nothing.
+type trainWorkspace struct {
+	full    *batchBuffers
+	partial *batchBuffers // nil when trainCount divides evenly
+
+	// Per-layer gradient accumulators, reused every batch.
+	dW []*mat.Matrix
+	dB [][]float64
+
+	// Validation-loss state: a zero-copy view of the held-out tail rows and
+	// ping-pong buffers for the allocation-free inference path.
+	valIn  *mat.Matrix
+	valBuf *inferBuffers
+}
+
+// view wraps the first rows*cols elements of backing as a rows×cols matrix.
+func view(rows, cols int, backing []float64) *mat.Matrix {
+	return mat.NewFromData(rows, cols, backing[:rows*cols])
+}
+
+// newBatchBuffers builds a view set of the given row count over shared
+// backing arrays (one per activation/delta width, each sized for the full
+// batch).
+func newBatchBuffers(n *Network, rows int, actBack, deltaBack, maskBack [][]float64, dropout bool) *batchBuffers {
+	bb := &batchBuffers{rows: rows}
+	bb.acts = make([]*mat.Matrix, len(n.Layers)+1)
+	bb.acts[0] = view(rows, n.InputSize(), actBack[0])
+	for i, l := range n.Layers {
+		bb.acts[i+1] = view(rows, l.Out(), actBack[i+1])
+	}
+	bb.deltas = make([]*mat.Matrix, len(n.Layers))
+	for i, l := range n.Layers {
+		bb.deltas[i] = view(rows, l.Out(), deltaBack[i])
+	}
+	if dropout {
+		bb.masks = make([]*mat.Matrix, len(n.Layers)+1)
+		for i := 1; i < len(bb.acts)-1; i++ {
+			bb.masks[i] = view(rows, n.Layers[i-1].Out(), maskBack[i])
+		}
+	}
+	return bb
+}
+
+// newTrainWorkspace preallocates every buffer Train needs: full-batch views,
+// partial-batch views when partialRows > 0, per-layer gradients, and (when
+// valRows > 0) the zero-copy validation input over the tail of x plus
+// inference ping-pong buffers.
+func newTrainWorkspace(n *Network, x *mat.Matrix, batch, partialRows, valFrom, valRows int, dropout bool) *trainWorkspace {
+	widths := make([]int, len(n.Layers)+1)
+	widths[0] = n.InputSize()
+	for i, l := range n.Layers {
+		widths[i+1] = l.Out()
+	}
+	actBack := make([][]float64, len(widths))
+	for i, w := range widths {
+		actBack[i] = make([]float64, batch*w)
+	}
+	deltaBack := make([][]float64, len(n.Layers))
+	for i, l := range n.Layers {
+		deltaBack[i] = make([]float64, batch*l.Out())
+	}
+	var maskBack [][]float64
+	if dropout {
+		maskBack = make([][]float64, len(widths))
+		for i := 1; i < len(widths)-1; i++ {
+			maskBack[i] = make([]float64, batch*widths[i])
+		}
+	}
+
+	ws := &trainWorkspace{
+		full: newBatchBuffers(n, batch, actBack, deltaBack, maskBack, dropout),
+	}
+	if partialRows > 0 {
+		ws.partial = newBatchBuffers(n, partialRows, actBack, deltaBack, maskBack, dropout)
+	}
+	ws.dW = make([]*mat.Matrix, len(n.Layers))
+	ws.dB = make([][]float64, len(n.Layers))
+	for i, l := range n.Layers {
+		ws.dW[i] = mat.New(l.W.Rows(), l.W.Cols())
+		ws.dB[i] = make([]float64, len(l.B))
+	}
+	if valRows > 0 {
+		cols := x.Cols()
+		// The held-out tail rows [valFrom, valFrom+valRows) are contiguous in
+		// row-major storage, so wrap them without copying.
+		ws.valIn = mat.NewFromData(valRows, cols, x.Data()[valFrom*cols:(valFrom+valRows)*cols])
+		ws.valBuf = n.newInferBuffers(valRows)
+	}
+	return ws
+}
+
+// buffersFor returns the view set matching the batch row count.
+func (ws *trainWorkspace) buffersFor(rows int) *batchBuffers {
+	if rows == ws.full.rows {
+		return ws.full
+	}
+	return ws.partial
+}
+
+// inferBuffers is the allocation-free inference path: two ping-pong
+// activation buffers sized for the widest layer, with per-layer views
+// prebuilt so a forward pass that does not need backpropagation touches no
+// allocator at all. It is built for a fixed row count.
+type inferBuffers struct {
+	views []*mat.Matrix // views[i] holds the activations of layer i
+}
+
+// newInferBuffers sizes ping-pong buffers for `rows` input rows.
+func (n *Network) newInferBuffers(rows int) *inferBuffers {
+	// Each of the two buffers must fit the widest layer that lands on it.
+	var even, odd int
+	for i, l := range n.Layers {
+		w := rows * l.Out()
+		if i%2 == 0 && w > even {
+			even = w
+		}
+		if i%2 == 1 && w > odd {
+			odd = w
+		}
+	}
+	ping, pong := make([]float64, even), make([]float64, odd)
+	buf := &inferBuffers{views: make([]*mat.Matrix, len(n.Layers))}
+	for i, l := range n.Layers {
+		backing := ping
+		if i%2 == 1 {
+			backing = pong
+		}
+		buf.views[i] = view(rows, l.Out(), backing)
+	}
+	return buf
+}
+
+// forwardOutput runs x through the network reusing buf and returns the output
+// activations. Unlike ForwardBatch it keeps only two ping-pong buffers
+// instead of every layer's activations, so it is the right path whenever
+// backpropagation is not needed (validation loss, Accuracy, Confusion,
+// Predict). The result aliases buf and is valid until the next call with the
+// same buffers. x must have the row count buf was built for.
+func (n *Network) forwardOutput(x *mat.Matrix, buf *inferBuffers) *mat.Matrix {
+	if x.Cols() != n.InputSize() {
+		panic("nn: input width mismatch")
+	}
+	cur := x
+	for i, l := range n.Layers {
+		z := buf.views[i]
+		mat.MulTo(z, cur, l.W)
+		addBias(z, l.B)
+		applyActivation(z, l.Act)
+		cur = z
+	}
+	return cur
+}
+
+// addBias adds the bias vector to every row of z.
+func addBias(z *mat.Matrix, bias []float64) {
+	for r := 0; r < z.Rows(); r++ {
+		row := z.Row(r)
+		for c := range row {
+			row[c] += bias[c]
+		}
+	}
+}

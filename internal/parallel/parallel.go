@@ -56,3 +56,11 @@ func Map[T any](n, workers int, fn func(i int) T) []T {
 	})
 	return out
 }
+
+// Run is ForEach with the default worker count (GOMAXPROCS): it runs fn(i)
+// for every i in [0, n) with bounded concurrency and returns after all calls
+// complete. It is the entry point for callers that have no reason to tune
+// the worker count, such as the data generators.
+func Run(n int, fn func(i int)) {
+	ForEach(n, 0, fn)
+}

@@ -48,6 +48,23 @@ func TestForEachSingleWorkerOrdered(t *testing.T) {
 	}
 }
 
+func TestRunCoversAllIndices(t *testing.T) {
+	seen := make([]int32, 37)
+	Run(len(seen), func(i int) {
+		atomic.AddInt32(&seen[i], 1)
+	})
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+	called := false
+	Run(0, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
 func TestMapOrdered(t *testing.T) {
 	got := Map(6, 3, func(i int) int { return i * i })
 	for i, v := range got {

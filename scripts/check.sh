@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# Repository verification gate: formatting, vet, build, full tests, and a
+# race-detector pass over the concurrency-bearing packages. Run from the
+# repository root:
+#
+#   ./scripts/check.sh
+#
+# This is the tier-1 check referenced by ROADMAP.md; CI and pre-commit hooks
+# should run exactly this script.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race -short (mat, nn, parallel, dnnmodel)"
+go test -race -short ./internal/mat/... ./internal/nn/... ./internal/parallel/... ./internal/dnnmodel/...
+
+echo "All checks passed."
