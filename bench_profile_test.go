@@ -1,0 +1,68 @@
+package extrapdnn
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"extrapdnn/internal/synth"
+)
+
+// benchProfile builds a deterministic multi-kernel application profile:
+// numKernels single-parameter tasks with varying noise, the shape
+// ModelProfile processes one domain-adaptation run at a time.
+func benchProfile(numKernels int) *Profile {
+	rng := rand.New(rand.NewSource(77))
+	prof := &Profile{Application: "bench", ParamNames: []string{"p"}}
+	levels := []float64{0.02, 0.1, 0.3, 0.6}
+	for k := 0; k < numKernels; k++ {
+		inst := synth.GenInstance(rng, synth.TaskSpec{
+			NumParams:      1,
+			PointsPerParam: 5,
+			Reps:           5,
+			NoiseLevel:     levels[k%len(levels)],
+			EvalPoints:     1,
+		})
+		prof.Entries = append(prof.Entries, ProfileEntry{
+			Kernel: fmt.Sprintf("kernel%02d", k),
+			Metric: "runtime",
+			Set:    inst.Set,
+		})
+	}
+	return prof
+}
+
+// BenchmarkModelProfile measures the profile-scale modeling pipeline at
+// worker counts 1 and GOMAXPROCS. The acceptance target is ≥2× speedup for
+// the parallel run on machines with GOMAXPROCS ≥ 4 — on fewer cores the two
+// sub-benchmarks coincide (the run is still bit-identical by construction;
+// see TestModelProfileParallelDeterminism).
+func BenchmarkModelProfile(b *testing.B) {
+	pre := benchPretrained()
+	m, err := newAdaptive(pre, Options{
+		AdaptSamplesPerClass: benchAdapt.SamplesPerClass,
+		AdaptEpochs:          benchAdapt.Epochs,
+		Seed:                 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof := benchProfile(8)
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				reports, err := m.ModelProfileWorkers(prof, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range reports {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+		})
+	}
+}

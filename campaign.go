@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"extrapdnn/internal/design"
+	"extrapdnn/internal/parallel"
 	"extrapdnn/internal/profile"
 )
 
@@ -24,19 +25,35 @@ func ReadProfile(r io.Reader) (*Profile, error) {
 
 // ModelProfile models every entry of an application profile with the
 // adaptive modeler and returns the reports in entry order. Entries that fail
-// to model carry a nil report and the error.
+// to model carry a nil report and the error; one unmodelable kernel never
+// hides the results of the others. Entries are modeled concurrently with the
+// worker count configured in Options.Workers (default GOMAXPROCS); because
+// Model is a pure function of each entry's measurement set, the reports are
+// bit-identical regardless of the worker count.
 func (m *AdaptiveModeler) ModelProfile(p *Profile) ([]ProfileReport, error) {
+	return m.ModelProfileWorkers(p, m.workers)
+}
+
+// ModelProfileWorkers is ModelProfile with an explicit worker count
+// (<= 0 means GOMAXPROCS), overriding Options.Workers.
+func (m *AdaptiveModeler) ModelProfileWorkers(p *Profile, workers int) ([]ProfileReport, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	out := make([]ProfileReport, 0, len(p.Entries))
-	for _, e := range p.Entries {
-		rep, err := m.Model(e.Set)
-		pr := ProfileReport{Kernel: e.Kernel, Metric: e.Metric, Err: err}
-		if err == nil {
-			pr.Report = &rep
+	reports, errs := parallel.MapErr(len(p.Entries), workers, func(i int) (*Report, error) {
+		rep, err := m.Model(p.Entries[i].Set)
+		if err != nil {
+			return nil, err
 		}
-		out = append(out, pr)
+		return &rep, nil
+	})
+	out := make([]ProfileReport, len(p.Entries))
+	for i, e := range p.Entries {
+		pr := ProfileReport{Kernel: e.Kernel, Metric: e.Metric, Report: reports[i]}
+		if errs != nil {
+			pr.Err = errs[i]
+		}
+		out[i] = pr
 	}
 	return out, nil
 }

@@ -3,7 +3,9 @@ package extrapdnn
 import (
 	"bytes"
 	"math"
+	"reflect"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -28,6 +30,139 @@ func TestModelProfilePublicAPI(t *testing.T) {
 	}
 	if reports[0].Err != nil || reports[0].Report == nil {
 		t.Fatalf("modeling failed: %v", reports[0].Err)
+	}
+}
+
+// multiKernelProfile builds a profile whose kernels span calm to noisy data,
+// so both the regression and the DNN paths of the adaptive modeler run.
+func multiKernelProfile(t *testing.T) *Profile {
+	t.Helper()
+	prof := &Profile{Application: "multi", ParamNames: []string{"p"}}
+	for i, noiseLvl := range []float64{0.02, 0.1, 0.3, 0.6, 0.05, 0.4} {
+		prof.Entries = append(prof.Entries, ProfileEntry{
+			Kernel: "kernel" + string(rune('A'+i)),
+			Metric: "runtime",
+			Set:    linearSet(noiseLvl, int64(100+i)),
+		})
+	}
+	return prof
+}
+
+// TestModelProfileParallelDeterminism pins the tentpole guarantee: modeling a
+// profile with many workers is bit-identical to a serial run. Durations are
+// wall-clock and excluded from the comparison.
+func TestModelProfileParallelDeterminism(t *testing.T) {
+	m := apiTestModeler(t)
+	prof := multiKernelProfile(t)
+	serial, err := m.ModelProfileWorkers(prof, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := m.ModelProfileWorkers(prof, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("report counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		s, p := serial[i], parallel[i]
+		if s.Kernel != p.Kernel || s.Metric != p.Metric {
+			t.Fatalf("entry %d: order differs: %s/%s vs %s/%s", i, s.Kernel, s.Metric, p.Kernel, p.Metric)
+		}
+		if (s.Err == nil) != (p.Err == nil) {
+			t.Fatalf("%s: error mismatch: %v vs %v", s.Kernel, s.Err, p.Err)
+		}
+		if s.Report == nil {
+			continue
+		}
+		if got, want := p.Report.Model.Model.String(), s.Report.Model.Model.String(); got != want {
+			t.Errorf("%s: model differs: %q vs %q", s.Kernel, got, want)
+		}
+		if p.Report.Model.SMAPE != s.Report.Model.SMAPE {
+			t.Errorf("%s: SMAPE differs: %v vs %v", s.Kernel, p.Report.Model.SMAPE, s.Report.Model.SMAPE)
+		}
+		if !reflect.DeepEqual(p.Report.Noise, s.Report.Noise) {
+			t.Errorf("%s: noise analysis differs", s.Kernel)
+		}
+		if p.Report.SelectedDNN != s.Report.SelectedDNN ||
+			p.Report.UsedRegression != s.Report.UsedRegression ||
+			p.Report.UsedDNN != s.Report.UsedDNN {
+			t.Errorf("%s: modeler selection differs", s.Kernel)
+		}
+	}
+}
+
+// TestModelProfileErrorPropagation checks that one unmodelable entry carries
+// its own error without failing the rest of the profile.
+func TestModelProfileErrorPropagation(t *testing.T) {
+	m := apiTestModeler(t)
+	// Two points pass Set.Validate but are below the per-line minimum the
+	// modelers require, so this entry fails inside Model.
+	short := &MeasurementSet{ParamNames: []string{"p"}, Metric: "runtime"}
+	for _, x := range []float64{4, 8} {
+		short.Data = append(short.Data, Measurement{Point: Point{x}, Values: []float64{x, x * 1.1}})
+	}
+	prof := &Profile{Application: "mixed", ParamNames: []string{"p"}}
+	prof.Entries = append(prof.Entries,
+		ProfileEntry{Kernel: "good1", Metric: "runtime", Set: linearSet(0.05, 31)},
+		ProfileEntry{Kernel: "bad", Metric: "runtime", Set: short},
+		ProfileEntry{Kernel: "good2", Metric: "runtime", Set: linearSet(0.2, 32)},
+	)
+	reports, err := m.ModelProfile(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("got %d reports", len(reports))
+	}
+	if reports[1].Err == nil || reports[1].Report != nil {
+		t.Fatalf("bad entry: err = %v, report = %v", reports[1].Err, reports[1].Report)
+	}
+	for _, i := range []int{0, 2} {
+		if reports[i].Err != nil || reports[i].Report == nil {
+			t.Fatalf("%s: err = %v (one bad entry must not fail the rest)", reports[i].Kernel, reports[i].Err)
+		}
+	}
+}
+
+// TestConcurrentModelIdentical drives concurrent Model calls on one shared
+// modeler (exercised under -race by scripts/check.sh): every call must return
+// exactly the serial result because Model is a pure function of its input.
+func TestConcurrentModelIdentical(t *testing.T) {
+	m := apiTestModeler(t)
+	sets := []*MeasurementSet{linearSet(0.05, 41), linearSet(0.3, 42), linearSet(0.6, 43)}
+	want := make([]Report, len(sets))
+	for i, set := range sets {
+		rep, err := m.Model(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = rep
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 4*len(sets))
+	for g := 0; g < 4; g++ {
+		for i, set := range sets {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rep, err := m.Model(set)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if rep.Model.Model.String() != want[i].Model.Model.String() ||
+					rep.Model.SMAPE != want[i].Model.SMAPE {
+					t.Errorf("set %d: concurrent result diverged", i)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }
 

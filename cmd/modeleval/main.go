@@ -17,6 +17,7 @@ import (
 	"strconv"
 	"strings"
 
+	"extrapdnn/internal/parallel"
 	"extrapdnn/internal/pmnf"
 )
 
@@ -28,6 +29,7 @@ func main() {
 		from     = flag.Float64("from", 0, "sweep start value")
 		to       = flag.Float64("to", 0, "sweep end value")
 		steps    = flag.Int("steps", 8, "sweep steps")
+		workers  = flag.Int("workers", 0, "concurrent sweep-evaluation workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -72,12 +74,22 @@ func main() {
 		fatal(fmt.Errorf("need 0 < -from < -to and -steps >= 2"))
 	}
 	ratio := math.Pow(*to / *from, 1/float64(*steps-1))
-	fmt.Printf("%-14s | %s\n", fmt.Sprintf("x%d", *sweep), "f")
+	xs := make([]float64, *steps)
 	x := *from
-	for s := 0; s < *steps; s++ {
-		values[idx] = x
-		fmt.Printf("%-14g | %g\n", x, model.Eval(values))
+	for s := range xs {
+		xs[s] = x
 		x *= ratio
+	}
+	// Evaluate the sweep points concurrently (each worker on its own copy of
+	// the value vector), then print in order.
+	results := parallel.Map(*steps, *workers, func(s int) float64 {
+		vs := append([]float64(nil), values...)
+		vs[idx] = xs[s]
+		return model.Eval(vs)
+	})
+	fmt.Printf("%-14s | %s\n", fmt.Sprintf("x%d", *sweep), "f")
+	for s := 0; s < *steps; s++ {
+		fmt.Printf("%-14g | %g\n", xs[s], results[s])
 	}
 }
 

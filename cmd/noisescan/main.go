@@ -3,6 +3,7 @@
 // distribution (the analysis behind Fig. 5 of the paper).
 //
 //	noisescan -in measurements.txt -params 2
+//	noisescan -profile app.json
 package main
 
 import (
@@ -14,16 +15,27 @@ import (
 
 	"extrapdnn/internal/measurement"
 	"extrapdnn/internal/noise"
+	"extrapdnn/internal/parallel"
+	"extrapdnn/internal/profile"
 )
 
 func main() {
 	var (
-		in     = flag.String("in", "-", `input file ("-" for stdin)`)
-		format = flag.String("format", "text", `input format: "text", "json" or "extrap"`)
-		params = flag.Int("params", 0, "number of execution parameters (text format without header)")
-		bins   = flag.Int("bins", 10, "histogram bins")
+		in          = flag.String("in", "-", `input file ("-" for stdin)`)
+		format      = flag.String("format", "text", `input format: "text", "json" or "extrap"`)
+		profilePath = flag.String("profile", "", "application profile (from appsim): analyze every kernel")
+		params      = flag.Int("params", 0, "number of execution parameters (text format without header)")
+		bins        = flag.Int("bins", 10, "histogram bins")
+		workers     = flag.Int("workers", 0, "with -profile: concurrent analysis workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+
+	if *profilePath != "" {
+		if err := scanProfile(*profilePath, *workers); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	var r io.Reader = os.Stdin
 	if *in != "-" {
@@ -82,6 +94,33 @@ func main() {
 				(a.Min+float64(b)*width)*100, (a.Min+float64(b+1)*width)*100, bar, c)
 		}
 	}
+}
+
+// scanProfile analyzes the noise of every kernel in an application profile,
+// one line per entry. Entries are analyzed concurrently; noise.Analyze is a
+// pure function, so the output is identical for any worker count.
+func scanProfile(path string, workers int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	prof, err := profile.Read(f)
+	if err != nil {
+		return err
+	}
+	analyses := parallel.Map(len(prof.Entries), workers, func(i int) noise.Analysis {
+		return noise.Analyze(prof.Entries[i].Set)
+	})
+	fmt.Printf("application: %s (%d kernels, %d parameters)\n",
+		prof.Application, len(prof.Kernels()), prof.NumParams())
+	fmt.Printf("%-22s | %-8s | %-8s | %-8s | %s\n", "kernel", "global", "mean", "median", "range")
+	for i, e := range prof.Entries {
+		a := analyses[i]
+		fmt.Printf("%-22s | %6.2f%% | %6.2f%% | %6.2f%% | [%.2f%%, %.2f%%]\n",
+			e.Kernel, a.Global*100, a.Mean*100, a.Median*100, a.Min*100, a.Max*100)
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -22,6 +22,7 @@ import (
 	"extrapdnn/internal/core"
 	"extrapdnn/internal/dnnmodel"
 	"extrapdnn/internal/measurement"
+	"extrapdnn/internal/parallel"
 	"extrapdnn/internal/pmnf"
 	"extrapdnn/internal/profile"
 	"extrapdnn/internal/regression"
@@ -43,6 +44,7 @@ func main() {
 		adaptEpochs    = flag.Int("adapt-epochs", 1, "domain-adaptation epochs")
 		threshold      = flag.Float64("threshold", core.DefaultNoiseThreshold, "noise level above which the regression modeler is switched off")
 		regressionOnly = flag.Bool("regression-only", false, "use only the classic regression modeler")
+		workers        = flag.Int("workers", 0, "with -profile: concurrent modeling workers (0 = GOMAXPROCS); results are identical for any value")
 		seed           = flag.Int64("seed", 1, "random seed")
 		predict        = flag.String("predict", "", `comma-separated parameter values to predict after modeling, e.g. "4096,1e6"`)
 		scalingParam   = flag.Int("scaling", 0, "1-based index of the process-count parameter: grade the model's scalability (0 = off)")
@@ -70,7 +72,7 @@ func main() {
 	}
 
 	if *profilePath != "" {
-		if err := modelProfile(modeler, *profilePath, *kernelFilter); err != nil {
+		if err := modelProfile(modeler, *profilePath, *kernelFilter, *workers); err != nil {
 			fatal(err)
 		}
 		return
@@ -156,8 +158,10 @@ func parsePoint(s string, m int) ([]float64, error) {
 }
 
 // modelProfile models every kernel of an application profile (or a single
-// kernel when filter is nonempty) and prints one line per kernel.
-func modelProfile(modeler *core.Modeler, path, filter string) error {
+// kernel when filter is nonempty) and prints one line per kernel. Kernels are
+// modeled concurrently; since core.Modeler.Model is a pure function of each
+// measurement set, the output is identical for any worker count.
+func modelProfile(modeler *core.Modeler, path, filter string, workers int) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -167,25 +171,30 @@ func modelProfile(modeler *core.Modeler, path, filter string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("application: %s (%d kernels, %d parameters)\n",
-		prof.Application, len(prof.Kernels()), prof.NumParams())
-	fmt.Printf("%-22s | %-8s | %-9s | %s\n", "kernel", "noise", "SMAPE", "model")
-	matched := 0
+	var entries []profile.Entry
 	for _, e := range prof.Entries {
 		if filter != "" && e.Kernel != filter {
 			continue
 		}
-		matched++
-		rep, err := modeler.Model(e.Set)
-		if err != nil {
-			fmt.Printf("%-22s | modeling failed: %v\n", e.Kernel, err)
+		entries = append(entries, e)
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("no kernel matched %q", filter)
+	}
+	fmt.Printf("application: %s (%d kernels, %d parameters)\n",
+		prof.Application, len(prof.Kernels()), prof.NumParams())
+	fmt.Printf("%-22s | %-8s | %-9s | %s\n", "kernel", "noise", "SMAPE", "model")
+	reps, errs := parallel.MapErr(len(entries), workers, func(i int) (core.Report, error) {
+		return modeler.Model(entries[i].Set)
+	})
+	for i, e := range entries {
+		if errs != nil && errs[i] != nil {
+			fmt.Printf("%-22s | modeling failed: %v\n", e.Kernel, errs[i])
 			continue
 		}
+		rep := reps[i]
 		fmt.Printf("%-22s | %6.2f%% | %8.3f%% | %s\n",
 			e.Kernel, rep.Noise.Global*100, rep.Model.SMAPE, rep.Model.Model)
-	}
-	if matched == 0 {
-		return fmt.Errorf("no kernel matched %q", filter)
 	}
 	return nil
 }

@@ -80,7 +80,13 @@ type Options struct {
 	NoiseThreshold float64
 	// Seed makes pretraining and adaptation deterministic.
 	Seed int64
+	// Workers bounds the concurrency of ModelProfile (<= 0 means
+	// GOMAXPROCS). The reports are bit-identical for every worker count.
+	Workers int
 }
+
+// TrainStats summarizes one training run of the classification network.
+type TrainStats = nn.TrainStats
 
 // PaperTopology is the hidden-layer configuration of the publication.
 func PaperTopology() []int { return append([]int(nil), dnnmodel.PaperTopology...) }
@@ -93,6 +99,8 @@ func PaperTopology() []int { return append([]int(nil), dnnmodel.PaperTopology...
 type AdaptiveModeler struct {
 	inner      *core.Modeler
 	pretrained *dnnmodel.Modeler
+	preStats   *TrainStats
+	workers    int
 }
 
 // NewAdaptiveModeler pretrains the classification network on synthetic PMNF
@@ -100,13 +108,18 @@ type AdaptiveModeler struct {
 // seconds to minutes depending on Options.Topology; reuse the modeler (or
 // save the network) rather than recreating it.
 func NewAdaptiveModeler(opts Options) (*AdaptiveModeler, error) {
-	pre, _ := dnnmodel.Pretrain(dnnmodel.PretrainConfig{
+	pre, stats := dnnmodel.Pretrain(dnnmodel.PretrainConfig{
 		Hidden:          opts.Topology,
 		SamplesPerClass: opts.PretrainSamplesPerClass,
 		Epochs:          opts.PretrainEpochs,
 		Seed:            opts.Seed,
 	})
-	return newAdaptive(pre, opts)
+	m, err := newAdaptive(pre, opts)
+	if err != nil {
+		return nil, err
+	}
+	m.preStats = &stats
+	return m, nil
 }
 
 // NewAdaptiveModelerFromNetwork builds an adaptive modeler around a network
@@ -131,7 +144,13 @@ func newAdaptive(pre *dnnmodel.Modeler, opts Options) (*AdaptiveModeler, error) 
 	if err != nil {
 		return nil, fmt.Errorf("extrapdnn: %w", err)
 	}
-	return &AdaptiveModeler{inner: inner, pretrained: pre}, nil
+	return &AdaptiveModeler{inner: inner, pretrained: pre, workers: opts.Workers}, nil
+}
+
+// PretrainStats returns the training statistics of the pretraining run, or
+// nil when the modeler was built from a saved network (no pretraining ran).
+func (m *AdaptiveModeler) PretrainStats() *TrainStats {
+	return m.preStats
 }
 
 // Model runs the adaptive modeling pipeline on a measurement set.

@@ -78,6 +78,25 @@ func TestSaveAndReloadNetwork(t *testing.T) {
 	if _, err := reloaded.Model(linearSet(0.05, 3)); err != nil {
 		t.Fatal(err)
 	}
+	if reloaded.PretrainStats() != nil {
+		t.Fatal("modeler from saved network should have no pretraining stats")
+	}
+}
+
+// TestPretrainStatsExposed pins that NewAdaptiveModeler keeps the
+// pretraining statistics instead of discarding them.
+func TestPretrainStatsExposed(t *testing.T) {
+	m := apiTestModeler(t)
+	stats := m.PretrainStats()
+	if stats == nil {
+		t.Fatal("PretrainStats is nil after pretraining")
+	}
+	if len(stats.EpochLoss) == 0 || stats.Batches == 0 {
+		t.Fatalf("stats look empty: %+v", stats)
+	}
+	if math.IsNaN(stats.FinalLoss()) {
+		t.Fatal("final loss is NaN")
+	}
 }
 
 func TestNewAdaptiveModelerFromNetworkBadData(t *testing.T) {

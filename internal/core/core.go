@@ -18,9 +18,11 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"math"
 	"math/rand"
-	"sync"
 	"time"
 
 	"extrapdnn/internal/dnnmodel"
@@ -62,14 +64,14 @@ func (c Config) threshold() float64 {
 	return c.NoiseThreshold
 }
 
-// Modeler is the adaptive performance modeler. It is safe for concurrent
-// use: each Model call draws from an independently seeded random stream.
+// Modeler is the adaptive performance modeler. It is safe for concurrent use
+// and Model is a pure function of its input: the adaptation random stream is
+// derived from the measurement set's content and the configured seed, so the
+// same set always produces the same model — independent of call order,
+// worker count or interleaving with other Model calls.
 type Modeler struct {
 	pretrained *dnnmodel.Modeler
 	cfg        Config
-
-	mu      sync.Mutex
-	callSeq int64
 }
 
 // New builds an adaptive modeler around a pretrained DNN modeler. The
@@ -158,7 +160,7 @@ func (m *Modeler) Model(set *measurement.Set) (Report, error) {
 	// Steps 3 and 4: domain adaptation and DNN modeling.
 	var dnnRes *regression.Result
 	if useDNN {
-		rng := m.nextRng()
+		rng := m.taskRng(set)
 		adaptStart := time.Now()
 		modeler := m.pretrained
 		if !m.cfg.DisableAdaptation {
@@ -221,11 +223,31 @@ func (m *Modeler) threshold() float64 {
 	return t
 }
 
-// nextRng returns a deterministic, per-call random stream.
-func (m *Modeler) nextRng() *rand.Rand {
-	m.mu.Lock()
-	m.callSeq++
-	seq := m.callSeq
-	m.mu.Unlock()
-	return rand.New(rand.NewSource(m.cfg.Seed*1_000_003 + seq))
+// taskRng returns the deterministic random stream for one modeling task,
+// seeded from a content hash of the measurement set mixed with the configured
+// seed. Deriving the stream from the task instead of a call counter makes
+// Model a pure function, which is what lets the profile pipeline run tasks in
+// parallel while staying bit-identical to a serial run.
+func (m *Modeler) taskRng(set *measurement.Set) *rand.Rand {
+	h := fnv.New64a()
+	var buf [8]byte
+	writeF64 := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	h.Write([]byte(set.Metric))
+	for _, d := range set.Data {
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(d.Point)))
+		h.Write(buf[:])
+		for _, c := range d.Point {
+			writeF64(c)
+		}
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(d.Values)))
+		h.Write(buf[:])
+		for _, v := range d.Values {
+			writeF64(v)
+		}
+	}
+	seed := int64(h.Sum64()) ^ (m.cfg.Seed * 1_000_003)
+	return rand.New(rand.NewSource(seed))
 }

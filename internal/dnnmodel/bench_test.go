@@ -1,0 +1,68 @@
+package dnnmodel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkBuildDataset measures synthetic dataset generation at the default
+// domain-adaptation size (200 samples per class over a fixed task sequence).
+// This is the allocation-regression gate for the generation fast path: rows
+// must be encoded straight into the preallocated dataset matrix through the
+// per-worker generation workspace, so allocs/op stays O(classes), not
+// O(samples). Baselines live in docs/PERFORMANCE.md.
+func BenchmarkBuildDataset(b *testing.B) {
+	spec := TrainSpec{
+		SamplesPerClass: 200,
+		Reps:            5,
+		NoiseMin:        0.1,
+		NoiseMax:        0.5,
+		ParamValues:     [][]float64{{8, 64, 512, 4096, 32768}},
+		PerPointNoise:   true,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildDataset(rand.New(rand.NewSource(int64(i))), spec)
+	}
+}
+
+// BenchmarkBuildDatasetRandomLines exercises the pretraining shape: random
+// sequences of 5–11 points per sample, so the sequence-generation scratch of
+// the workspace is on the hot path too.
+func BenchmarkBuildDatasetRandomLines(b *testing.B) {
+	spec := TrainSpec{
+		SamplesPerClass: 100,
+		Reps:            5,
+		NoiseMax:        1,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildDataset(rand.New(rand.NewSource(int64(i))), spec)
+	}
+}
+
+// BenchmarkDomainAdapt is the end-to-end adaptation path (dataset generation
+// plus retraining) that ModelProfile runs once per kernel; the adaptation
+// dataset pool keeps its steady-state heap traffic flat across entries.
+func BenchmarkDomainAdapt(b *testing.B) {
+	m, _ := Pretrain(PretrainConfig{
+		Hidden:          []int{96, 64},
+		SamplesPerClass: 60,
+		Epochs:          1,
+		Seed:            1,
+	})
+	task := TaskInfo{
+		ParamValues: [][]float64{{8, 64, 512, 4096, 32768}},
+		Reps:        5,
+		NoiseMin:    0.1,
+		NoiseMax:    0.5,
+	}
+	cfg := AdaptConfig{SamplesPerClass: 60, Epochs: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.DomainAdapt(rand.New(rand.NewSource(int64(i))), task, cfg)
+	}
+}

@@ -13,6 +13,7 @@ package dnnmodel
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"extrapdnn/internal/mat"
 	"extrapdnn/internal/measurement"
@@ -74,14 +75,42 @@ type TrainSpec struct {
 // are skipped, so the result may hold slightly fewer rows than
 // 43*SamplesPerClass.
 //
-// Generation is parallelized across the 43 exponent classes, which dominates
+// Generation is parallelized across the 43 exponent classes (via the
+// deterministic seeded runner of internal/parallel), which dominates
 // domain-adaptation wall time at small epoch counts. Determinism contract:
 // the parent rng is consumed only to draw one sub-seed per class (in class
 // order, before any worker starts), each class generates from its own
 // rand.Rand, and class blocks are concatenated in class order — so the
 // dataset is a pure function of the rng state regardless of GOMAXPROCS or
 // goroutine scheduling.
+//
+// Each worker encodes its samples directly into the preallocated dataset
+// matrix through a pooled synth.LineWorkspace, so generation allocates
+// O(classes), not O(samples); the class blocks are then compacted in place to
+// squeeze out the rows of unencodable samples.
 func BuildDataset(rng *rand.Rand, spec TrainSpec) (*mat.Matrix, []int) {
+	return buildDataset(rng, spec, nil)
+}
+
+// datasetBuf carries reusable backing storage for an encoded dataset, so
+// adaptation datasets can be pooled across profile entries.
+type datasetBuf struct {
+	data   []float64
+	labels []int
+}
+
+// adaptPool recycles adaptation dataset buffers across Model calls and
+// profile entries. Safe because nn.Train never retains its input matrix
+// beyond the call.
+var adaptPool = sync.Pool{New: func() any { return new(datasetBuf) }}
+
+// wsPool recycles line-generation workspaces across classes and builds, so
+// steady-state generation keeps one workspace per active worker.
+var wsPool = sync.Pool{New: func() any { return new(synth.LineWorkspace) }}
+
+// buildDataset is BuildDataset writing into buf's storage when buf is
+// non-nil (growing it as needed).
+func buildDataset(rng *rand.Rand, spec TrainSpec, buf *datasetBuf) (*mat.Matrix, []int) {
 	perClass := spec.SamplesPerClass
 	if perClass < 1 {
 		perClass = 1
@@ -90,40 +119,60 @@ func BuildDataset(rng *rand.Rand, spec TrainSpec) (*mat.Matrix, []int) {
 	if reps < 1 {
 		reps = 1
 	}
-	seeds := make([]int64, pmnf.NumClasses)
-	for class := range seeds {
-		seeds[class] = rng.Int63()
+	const cols = preprocess.InputSize
+	total := pmnf.NumClasses * perClass
+	var data []float64
+	var labels []int
+	if buf != nil {
+		if cap(buf.data) < total*cols {
+			buf.data = make([]float64, total*cols)
+		}
+		if cap(buf.labels) < total {
+			buf.labels = make([]int, total)
+		}
+		data, labels = buf.data[:total*cols], buf.labels[:0]
+	} else {
+		data = make([]float64, total*cols)
+		labels = make([]int, 0, total)
 	}
-	type classBlock struct {
-		rows [][]float64
-	}
-	blocks := make([]classBlock, pmnf.NumClasses)
-	parallel.Run(pmnf.NumClasses, func(class int) {
-		crng := rand.New(rand.NewSource(seeds[class]))
-		rows := make([][]float64, 0, perClass)
+	x := mat.NewFromData(total, cols, data)
+	counts, _ := parallel.MapSeeded(pmnf.NumClasses, 0, rng, func(class int, crng *rand.Rand) (int, error) {
+		ws := wsPool.Get().(*synth.LineWorkspace)
+		n := 0
 		for s := 0; s < perClass; s++ {
 			var xs []float64
 			if len(spec.ParamValues) > 0 {
 				xs = spec.ParamValues[crng.Intn(len(spec.ParamValues))]
 			}
-			sample := synth.GenLineSampleOpts(crng, class, xs, reps, spec.NoiseMin, spec.NoiseMax, spec.PerPointNoise)
-			enc, err := preprocess.Encode(sample.Xs, sample.Values)
-			if err != nil {
+			gxs, vals := ws.GenLine(crng, class, xs, reps, spec.NoiseMin, spec.NoiseMax, spec.PerPointNoise)
+			if err := preprocess.EncodeTo(x.Row(class*perClass+n), gxs, vals); err != nil {
 				continue
 			}
-			rows = append(rows, enc[:])
+			n++
 		}
-		blocks[class] = classBlock{rows: rows}
+		wsPool.Put(ws)
+		return n, nil
 	})
-	var rows [][]float64
-	var labels []int
-	for class, blk := range blocks {
-		rows = append(rows, blk.rows...)
-		for range blk.rows {
+	// Compact the class blocks: close the gaps left by skipped samples and
+	// emit the labels in class order.
+	rows := 0
+	for class, n := range counts {
+		src := class * perClass
+		if rows != src && n > 0 {
+			copy(data[rows*cols:(rows+n)*cols], data[src*cols:(src+n)*cols])
+		}
+		for i := 0; i < n; i++ {
 			labels = append(labels, class)
 		}
+		rows += n
 	}
-	return mat.NewFromRows(rows), labels
+	if buf != nil {
+		buf.labels = labels
+	}
+	if rows != total {
+		x = mat.NewFromData(rows, cols, data[:rows*cols])
+	}
+	return x, labels
 }
 
 // PretrainConfig configures the generic pretraining run.
@@ -220,14 +269,15 @@ type TaskInfo struct {
 // modified, so one pretrained network serves many tasks.
 func (m *Modeler) DomainAdapt(rng *rand.Rand, task TaskInfo, cfg AdaptConfig) *Modeler {
 	cfg = cfg.withDefaults()
-	x, labels := BuildDataset(rng, TrainSpec{
+	buf := adaptPool.Get().(*datasetBuf)
+	x, labels := buildDataset(rng, TrainSpec{
 		SamplesPerClass: cfg.SamplesPerClass,
 		Reps:            task.Reps,
 		NoiseMin:        task.NoiseMin,
 		NoiseMax:        task.NoiseMax,
 		ParamValues:     task.ParamValues,
 		PerPointNoise:   task.PerPointNoise,
-	})
+	}, buf)
 	adapted := m.Net.Clone()
 	adapted.Train(x, labels, nn.TrainOptions{
 		Epochs:       cfg.Epochs,
@@ -235,6 +285,7 @@ func (m *Modeler) DomainAdapt(rng *rand.Rand, task TaskInfo, cfg AdaptConfig) *M
 		LearningRate: cfg.LearningRate,
 		Rng:          rng,
 	})
+	adaptPool.Put(buf)
 	return &Modeler{Net: adapted, TopK: m.TopK}
 }
 

@@ -1,10 +1,13 @@
 // Package parallel provides the small work-distribution helpers used by the
-// evaluation harness and data generators: a bounded ForEach over an index
-// range. It exists so the parallelism policy (worker counts, ordering
-// guarantees) lives in one tested place instead of ad-hoc goroutine pools.
+// modeling pipeline, the evaluation harness and the data generators: a
+// bounded ForEach over an index range, ordered Map variants with per-item
+// error capture, and a deterministic seeded runner. It exists so the
+// parallelism policy (worker counts, ordering guarantees, determinism
+// contract) lives in one tested place instead of ad-hoc goroutine pools.
 package parallel
 
 import (
+	"math/rand"
 	"runtime"
 	"sync"
 )
@@ -63,4 +66,52 @@ func Map[T any](n, workers int, fn func(i int) T) []T {
 // the worker count, such as the data generators.
 func Run(n int, fn func(i int)) {
 	ForEach(n, 0, fn)
+}
+
+// MapErr runs fn(i) for every i in [0, n) with bounded concurrency and
+// collects the results and errors in index order. Each item's error is
+// captured independently — one failing item never hides the results of the
+// others — which is the contract the profile-scale modeling pipeline needs:
+// one unmodelable kernel must not fail the campaign. errs is nil when every
+// item succeeded.
+func MapErr[T any](n, workers int, fn func(i int) (T, error)) (out []T, errs []error) {
+	out = make([]T, n)
+	var failed bool
+	var mu sync.Mutex
+	perItem := make([]error, n)
+	ForEach(n, workers, func(i int) {
+		v, err := fn(i)
+		out[i] = v
+		if err != nil {
+			perItem[i] = err
+			mu.Lock()
+			failed = true
+			mu.Unlock()
+		}
+	})
+	if failed {
+		return out, perItem
+	}
+	return out, nil
+}
+
+// MapSeeded is the deterministic seeded runner: it draws one sub-seed per
+// item from rng sequentially (in index order, before any worker starts),
+// then runs fn(i, itemRng) with bounded concurrency and collects results and
+// errors in index order like MapErr. Because every item generates from its
+// own rand.Rand and the parent rng is consumed only for the sub-seeds, the
+// results are a pure function of the rng state — bit-identical regardless of
+// the worker count or goroutine scheduling. This is the same determinism
+// contract the dataset builder applies per exponent class.
+func MapSeeded[T any](n, workers int, rng *rand.Rand, fn func(i int, rng *rand.Rand) (T, error)) ([]T, []error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
+	return MapErr(n, workers, func(i int) (T, error) {
+		return fn(i, rand.New(rand.NewSource(seeds[i])))
+	})
 }

@@ -1,6 +1,8 @@
 package parallel
 
 import (
+	"errors"
+	"math/rand"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -77,5 +79,81 @@ func TestMapOrdered(t *testing.T) {
 func TestMapEmpty(t *testing.T) {
 	if len(Map(0, 2, func(i int) int { return i })) != 0 {
 		t.Fatal("empty Map should give empty slice")
+	}
+}
+
+func TestMapErrOrderedAndIndependent(t *testing.T) {
+	wantErr := errors.New("item failed")
+	for _, workers := range []int{1, 4} {
+		out, errs := MapErr(10, workers, func(i int) (int, error) {
+			if i == 3 || i == 7 {
+				return 0, wantErr
+			}
+			return i * 2, nil
+		})
+		if errs == nil {
+			t.Fatal("errors lost")
+		}
+		for i := 0; i < 10; i++ {
+			switch i {
+			case 3, 7:
+				if errs[i] != wantErr {
+					t.Fatalf("workers=%d: errs[%d] = %v", workers, i, errs[i])
+				}
+			default:
+				if errs[i] != nil || out[i] != i*2 {
+					t.Fatalf("workers=%d: item %d = (%d, %v)", workers, i, out[i], errs[i])
+				}
+			}
+		}
+	}
+}
+
+func TestMapErrNilErrsOnSuccess(t *testing.T) {
+	out, errs := MapErr(5, 2, func(i int) (int, error) { return i, nil })
+	if errs != nil {
+		t.Fatalf("errs = %v for all-success run", errs)
+	}
+	if len(out) != 5 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+// TestMapSeededDeterministic pins the runner's determinism contract: the
+// results are a pure function of the parent rng state, independent of the
+// worker count.
+func TestMapSeededDeterministic(t *testing.T) {
+	run := func(workers int) []float64 {
+		out, errs := MapSeeded(12, workers, rand.New(rand.NewSource(9)),
+			func(i int, rng *rand.Rand) (float64, error) {
+				// Consume a varying amount of randomness per item so any
+				// cross-item rng sharing would scramble the results.
+				v := 0.0
+				for k := 0; k <= i%4; k++ {
+					v += rng.Float64()
+				}
+				return v, nil
+			})
+		if errs != nil {
+			t.Fatal(errs)
+		}
+		return out
+	}
+	base := run(1)
+	for _, workers := range []int{2, 5, 8} {
+		got := run(workers)
+		for i, v := range got {
+			if v != base[i] {
+				t.Fatalf("workers=%d: item %d = %v, serial = %v", workers, i, v, base[i])
+			}
+		}
+	}
+}
+
+func TestMapSeededEmpty(t *testing.T) {
+	out, errs := MapSeeded(0, 4, rand.New(rand.NewSource(1)),
+		func(i int, rng *rand.Rand) (int, error) { return 0, nil })
+	if out != nil || errs != nil {
+		t.Fatal("empty run should return nils")
 	}
 }

@@ -45,26 +45,44 @@ var errTooFew = errors.New("preprocess: need at least 5 measurements per paramet
 // points are thinned evenly to 11 before encoding.
 func Encode(xs, vs []float64) ([InputSize]float64, error) {
 	var out [InputSize]float64
+	err := EncodeTo(out[:], xs, vs)
+	return out, err
+}
+
+// EncodeTo is Encode writing into dst, which must have length InputSize. It
+// performs no heap allocation, so the dataset builders can encode rows
+// directly into a preallocated matrix. On error dst is left zeroed.
+func EncodeTo(dst, xs, vs []float64) error {
+	if len(dst) != InputSize {
+		return fmt.Errorf("preprocess: destination length %d, want %d", len(dst), InputSize)
+	}
+	for n := range dst {
+		dst[n] = 0
+	}
 	if len(xs) != len(vs) {
-		return out, fmt.Errorf("preprocess: %d positions vs %d values", len(xs), len(vs))
+		return fmt.Errorf("preprocess: %d positions vs %d values", len(xs), len(vs))
 	}
 	if len(xs) < MinPoints {
-		return out, errTooFew
+		return errTooFew
 	}
 	for i, x := range xs {
 		if x <= 0 {
-			return out, fmt.Errorf("preprocess: position %d is %g, must be positive", i, x)
+			return fmt.Errorf("preprocess: position %d is %g, must be positive", i, x)
 		}
 		if i > 0 && xs[i-1] >= x {
-			return out, fmt.Errorf("preprocess: positions must be strictly increasing (index %d)", i)
+			return fmt.Errorf("preprocess: positions must be strictly increasing (index %d)", i)
 		}
 	}
+	// Thinning and the intermediate vectors fit in fixed stack arrays: after
+	// thinning a line never exceeds MaxPoints == InputSize entries.
+	var txs, tvs [MaxPoints]float64
 	if len(xs) > MaxPoints {
-		xs, vs = thin(xs, vs, MaxPoints)
+		thinInto(&txs, &tvs, xs, vs)
+		xs, vs = txs[:], tvs[:]
 	}
 
 	// Step 1: enrich values with implicit position information.
-	enriched := make([]float64, len(vs))
+	var enriched [MaxPoints]float64
 	for i := range vs {
 		enriched[i] = vs[i] / xs[i]
 	}
@@ -73,16 +91,17 @@ func Encode(xs, vs []float64) ([InputSize]float64, error) {
 	lo, hi := xs[0], xs[len(xs)-1]
 	span := hi - lo
 	if span == 0 {
-		return out, errors.New("preprocess: degenerate position range")
+		return errors.New("preprocess: degenerate position range")
 	}
-	norm := make([]float64, len(xs))
+	var norm [MaxPoints]float64
 	for i, x := range xs {
 		norm[i] = (x - lo) / span
 	}
 
 	// Step 3: nearest-neighbor assignment, one neuron per measurement.
 	used := [InputSize]bool{}
-	for i, p := range norm {
+	for i := range xs {
+		p := norm[i]
 		best, bestDist := -1, math.Inf(1)
 		for n, s := range SamplingPositions {
 			if used[n] {
@@ -94,34 +113,32 @@ func Encode(xs, vs []float64) ([InputSize]float64, error) {
 		}
 		// best is always found: len(xs) <= InputSize.
 		used[best] = true
-		out[best] = enriched[i]
+		dst[best] = enriched[i]
 	}
 
 	// Step 4: scale so the largest magnitude is 1.
 	maxAbs := 0.0
-	for _, v := range out {
+	for _, v := range dst {
 		if a := math.Abs(v); a > maxAbs {
 			maxAbs = a
 		}
 	}
 	if maxAbs > 0 {
-		for n := range out {
-			out[n] /= maxAbs
+		for n := range dst {
+			dst[n] /= maxAbs
 		}
 	}
-	return out, nil
+	return nil
 }
 
-// thin reduces a line to k evenly spaced measurements, always keeping the
-// first and last point so the modeling range is preserved.
-func thin(xs, vs []float64, k int) (txs, tvs []float64) {
+// thinInto reduces a line to MaxPoints evenly spaced measurements, always
+// keeping the first and last point so the modeling range is preserved.
+func thinInto(txs, tvs *[MaxPoints]float64, xs, vs []float64) {
 	n := len(xs)
-	txs = make([]float64, k)
-	tvs = make([]float64, k)
+	k := MaxPoints
 	for i := 0; i < k; i++ {
 		idx := i * (n - 1) / (k - 1)
 		txs[i] = xs[idx]
 		tvs[i] = vs[idx]
 	}
-	return txs, tvs
 }

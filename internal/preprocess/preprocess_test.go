@@ -80,12 +80,71 @@ func TestThinKeepsEndpoints(t *testing.T) {
 	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}
 	vs := make([]float64, len(xs))
 	copy(vs, xs)
-	txs, tvs := thin(xs, vs, 11)
-	if len(txs) != 11 || len(tvs) != 11 {
-		t.Fatalf("thinned to %d", len(txs))
-	}
+	var txs, tvs [MaxPoints]float64
+	thinInto(&txs, &tvs, xs, vs)
 	if txs[0] != 1 || txs[10] != 13 {
 		t.Fatalf("endpoints lost: %v", txs)
+	}
+}
+
+// TestEncodeToMatchesEncode pins the zero-copy encoder to the allocating one:
+// same inputs, bit-identical output vector, shared error behavior.
+func TestEncodeToMatchesEncode(t *testing.T) {
+	cases := [][]float64{
+		{4, 8, 16, 32, 64},
+		{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13},
+		{10, 20, 30, 40, 50, 60, 70},
+	}
+	for _, xs := range cases {
+		vs := make([]float64, len(xs))
+		for i, x := range xs {
+			vs[i] = 3 + 2*x*x
+		}
+		want, err := Encode(xs, vs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := make([]float64, InputSize)
+		for i := range dst {
+			dst[i] = 99 // stale garbage must be overwritten
+		}
+		if err := EncodeTo(dst, xs, vs); err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range dst {
+			if v != want[i] {
+				t.Fatalf("EncodeTo[%d] = %v, Encode = %v", i, v, want[i])
+			}
+		}
+	}
+	if err := EncodeTo(make([]float64, 3), cases[0], cases[0]); err == nil {
+		t.Fatal("wrong destination length should error")
+	}
+	dst := []float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1}
+	if err := EncodeTo(dst, []float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Fatal("short line should error")
+	}
+	for _, v := range dst {
+		if v != 0 {
+			t.Fatal("dst must be zeroed on error")
+		}
+	}
+}
+
+// TestEncodeToAllocationFree gates the zero-allocation contract of the row
+// encoder used by the dataset builders.
+func TestEncodeToAllocationFree(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}
+	vs := make([]float64, len(xs))
+	copy(vs, xs)
+	dst := make([]float64, InputSize)
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := EncodeTo(dst, xs, vs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("EncodeTo allocates %v times per call, want 0", allocs)
 	}
 }
 

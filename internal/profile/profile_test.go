@@ -134,3 +134,47 @@ func TestReadErrors(t *testing.T) {
 		t.Fatal("invalid profile should fail")
 	}
 }
+
+// TestReadErrorPaths exercises Read against the malformed inputs the
+// profile-scale pipeline must reject before any modeling starts.
+func TestReadErrorPaths(t *testing.T) {
+	const entry = `{"kernel":"solver","metric":"runtime","measurements":{"data":[` +
+		`{"point":[1],"values":[1,1.1]},{"point":[2],"values":[2,2.2]},` +
+		`{"point":[3],"values":[3,3.3]},{"point":[4],"values":[4,4.4]},` +
+		`{"point":[5],"values":[5,5.5]}]}}`
+	cases := map[string]struct {
+		input   string
+		errPart string
+	}{
+		"malformed JSON": {
+			input:   `{"application":"demo","entries":[` + entry + `,]}`,
+			errPart: "decode",
+		},
+		"truncated JSON": {
+			input:   `{"application":"demo","entries":[` + entry,
+			errPart: "decode",
+		},
+		"empty entries": {
+			input:   `{"application":"demo","entries":[]}`,
+			errPart: "no entries",
+		},
+		"duplicate kernel/metric pair": {
+			input:   `{"application":"demo","entries":[` + entry + `,` + entry + `]}`,
+			errPart: "duplicate",
+		},
+		"entry without measurements": {
+			input:   `{"application":"demo","entries":[{"kernel":"solver","metric":"runtime"}]}`,
+			errPart: "no measurements",
+		},
+	}
+	for name, tc := range cases {
+		_, err := Read(strings.NewReader(tc.input))
+		if err == nil {
+			t.Errorf("%s: Read accepted bad input", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.errPart) {
+			t.Errorf("%s: error %q does not mention %q", name, err, tc.errPart)
+		}
+	}
+}

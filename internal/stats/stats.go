@@ -29,6 +29,18 @@ func Median(xs []float64) float64 {
 	return Quantile(xs, 0.5)
 }
 
+// MedianInPlace returns the median of xs, sorting xs in place instead of
+// copying it — the allocation-free variant of Median for callers that own a
+// reusable scratch buffer (the synthetic data generators). It returns NaN for
+// an empty slice and is bit-identical to Median on the same values.
+func MedianInPlace(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sort.Float64s(xs)
+	return quantileSorted(xs, 0.5)
+}
+
 // Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
 // interpolation between order statistics. It copies xs and returns NaN for an
 // empty slice or out-of-range q.

@@ -9,7 +9,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 
 	"extrapdnn/internal/measurement"
 	"extrapdnn/internal/pmnf"
@@ -63,10 +62,21 @@ func RandomSequenceKind(rng *rand.Rand) SequenceKind {
 // extrapolation points can be produced by generating count+4 values and
 // splitting.
 func GenSequence(rng *rand.Rand, kind SequenceKind, count int) []float64 {
+	return GenSequenceInto(nil, rng, kind, count)
+}
+
+// GenSequenceInto is GenSequence writing into dst's storage when its capacity
+// suffices, so callers with a reusable scratch buffer generate without
+// allocating. It returns the sequence (length count), which aliases dst when
+// no growth was needed, and consumes the rng identically to GenSequence.
+func GenSequenceInto(dst []float64, rng *rand.Rand, kind SequenceKind, count int) []float64 {
 	if count <= 0 {
 		return nil
 	}
-	out := make([]float64, count)
+	if cap(dst) < count {
+		dst = make([]float64, count)
+	}
+	out := dst[:count]
 	switch kind {
 	case Linear:
 		start := float64(10 * (1 + rng.Intn(10)))
@@ -96,21 +106,31 @@ func GenSequence(rng *rand.Rand, kind SequenceKind, count int) []float64 {
 		}
 	case UniformRandom:
 		// Sorted distinct uniform draws; extension continues with the same
-		// average spacing so extrapolation points stay ordered.
+		// average spacing so extrapolation points stay ordered. Draw-until-
+		// distinct with a sorted insert into the output keeps the draw
+		// sequence (and thus the result) identical to the historical
+		// map-and-sort construction without its allocations.
 		lo := 1 + rng.Float64()*10
 		hi := lo + 50 + rng.Float64()*1000
-		set := map[float64]bool{}
-		for len(set) < count {
+		n := 0
+		for n < count {
 			v := lo + rng.Float64()*(hi-lo)
 			v = float64(int(v)) + 1 // integer-valued parameters, >= 1
-			set[v] = true
+			pos, dup := n, false
+			for pos > 0 && out[pos-1] >= v {
+				if out[pos-1] == v {
+					dup = true
+					break
+				}
+				pos--
+			}
+			if dup {
+				continue
+			}
+			copy(out[pos+1:n+1], out[pos:n])
+			out[pos] = v
+			n++
 		}
-		vals := make([]float64, 0, count)
-		for v := range set {
-			vals = append(vals, v)
-		}
-		sort.Float64s(vals)
-		copy(out, vals)
 	default:
 		panic(fmt.Sprintf("synth: unknown sequence kind %d", kind))
 	}
@@ -183,9 +203,32 @@ func GenLineSample(rng *rand.Rand, class int, xs []float64, reps int, noiseLo, n
 // [noiseLo, noiseHi], mirroring campaigns whose run-to-run variability
 // differs per configuration; otherwise one level covers the whole line.
 func GenLineSampleOpts(rng *rand.Rand, class int, xs []float64, reps int, noiseLo, noiseHi float64, perPointNoise bool) LineSample {
+	var w LineWorkspace
+	gxs, values := w.GenLine(rng, class, xs, reps, noiseLo, noiseHi, perPointNoise)
+	return LineSample{Xs: gxs, Values: values, Class: class}
+}
+
+// LineWorkspace holds the reusable scratch buffers for allocation-free line
+// generation: the generated parameter sequence, the per-point median values,
+// and the simulated-repetition buffer. The zero value is ready to use. A
+// workspace serves one goroutine at a time; the dataset builder keeps one per
+// worker.
+type LineWorkspace struct {
+	seq  []float64
+	vals []float64
+	reps []float64
+}
+
+// GenLine generates one training line exactly like GenLineSampleOpts — same
+// rng consumption, bit-identical values — but writes into the workspace
+// buffers instead of allocating fresh slices per sample. The returned slices
+// alias the workspace (outXs aliases the caller's xs when one is provided)
+// and stay valid only until the next GenLine call on the same workspace.
+func (w *LineWorkspace) GenLine(rng *rand.Rand, class int, xs []float64, reps int, noiseLo, noiseHi float64, perPointNoise bool) (outXs, values []float64) {
 	if xs == nil {
 		n := 5 + rng.Intn(7)
-		xs = GenSequence(rng, RandomSequenceKind(rng), n)
+		w.seq = GenSequenceInto(w.seq, rng, RandomSequenceKind(rng), n)
+		xs = w.seq
 	}
 	if reps < 1 {
 		reps = 1
@@ -210,8 +253,14 @@ func GenLineSampleOpts(rng *rand.Rand, class int, xs []float64, reps int, noiseL
 		}
 	}
 	level := noiseLo + rng.Float64()*(noiseHi-noiseLo)
-	values := make([]float64, len(xs))
-	repBuf := make([]float64, reps)
+	if cap(w.vals) < len(xs) {
+		w.vals = make([]float64, len(xs))
+	}
+	values = w.vals[:len(xs)]
+	if cap(w.reps) < reps {
+		w.reps = make([]float64, reps)
+	}
+	repBuf := w.reps[:reps]
 	for i, x := range xs {
 		if perPointNoise {
 			level = noiseLo + rng.Float64()*(noiseHi-noiseLo)
@@ -220,9 +269,9 @@ func GenLineSampleOpts(rng *rand.Rand, class int, xs []float64, reps int, noiseL
 		for r := range repBuf {
 			repBuf[r] = truth * NoiseFactor(rng, level)
 		}
-		values[i] = stats.Median(repBuf)
+		values[i] = stats.MedianInPlace(repBuf)
 	}
-	return LineSample{Xs: xs, Values: values, Class: class}
+	return xs, values
 }
 
 // TaskSpec describes one synthetic multi-parameter evaluation task

@@ -258,6 +258,68 @@ func TestGenLineSampleOptsPerPointNoise(t *testing.T) {
 	}
 }
 
+// TestGenLineWorkspaceMatchesSample pins the workspace fast path to the
+// allocating API: same seed, bit-identical sequence and values, for both
+// provided and generated parameter sequences.
+func TestGenLineWorkspaceMatchesSample(t *testing.T) {
+	var w LineWorkspace
+	for _, fixed := range []bool{true, false} {
+		var xs []float64
+		if fixed {
+			xs = []float64{8, 64, 512, 4096, 32768}
+		}
+		for class := 0; class < pmnf.NumClasses; class += 5 {
+			seed := int64(100 + class)
+			want := GenLineSampleOpts(rand.New(rand.NewSource(seed)), class, xs, 3, 0.1, 0.6, true)
+			gxs, vals := w.GenLine(rand.New(rand.NewSource(seed)), class, xs, 3, 0.1, 0.6, true)
+			if len(gxs) != len(want.Xs) || len(vals) != len(want.Values) {
+				t.Fatalf("fixed=%v class %d: shape mismatch", fixed, class)
+			}
+			for i := range gxs {
+				if gxs[i] != want.Xs[i] || vals[i] != want.Values[i] {
+					t.Fatalf("fixed=%v class %d: workspace diverges at point %d", fixed, class, i)
+				}
+			}
+		}
+	}
+}
+
+// TestGenLineWorkspaceAllocationFree gates the steady-state contract: once
+// the scratch buffers are grown, GenLine must not touch the heap.
+func TestGenLineWorkspaceAllocationFree(t *testing.T) {
+	var w LineWorkspace
+	rng := rand.New(rand.NewSource(31))
+	xs := []float64{4, 8, 16, 32, 64}
+	w.GenLine(rng, 3, xs, 5, 0.1, 0.5, true) // warm the buffers
+	allocs := testing.AllocsPerRun(200, func() {
+		w.GenLine(rng, 3, xs, 5, 0.1, 0.5, true)
+	})
+	if allocs != 0 {
+		t.Fatalf("GenLine allocates %v times per call on warm buffers, want 0", allocs)
+	}
+}
+
+// TestGenSequenceIntoReusesBuffer verifies buffer reuse and equivalence with
+// the allocating GenSequence for every kind.
+func TestGenSequenceIntoReusesBuffer(t *testing.T) {
+	buf := make([]float64, 16)
+	for kind := SequenceKind(0); kind < numSequenceKinds; kind++ {
+		want := GenSequence(rand.New(rand.NewSource(int64(kind)+50)), kind, 9)
+		got := GenSequenceInto(buf, rand.New(rand.NewSource(int64(kind)+50)), kind, 9)
+		if &got[0] != &buf[0] {
+			t.Fatalf("%v: buffer not reused", kind)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v: GenSequenceInto diverges: %v vs %v", kind, got, want)
+			}
+		}
+	}
+	if GenSequenceInto(buf, rand.New(rand.NewSource(1)), Linear, 0) != nil {
+		t.Fatal("count 0 should give nil")
+	}
+}
+
 func TestTermVisibilityEnforced(t *testing.T) {
 	// Generated single-parameter samples must carry a visible term: the
 	// noiseless value range along the line spans at least a few percent of

@@ -22,13 +22,16 @@ fi
 echo "==> go vet ./..."
 go vet ./...
 
+echo "==> go vet ./cmd/..."
+go vet ./cmd/...
+
 echo "==> go build ./..."
 go build ./...
 
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race -short (mat, nn, parallel, dnnmodel)"
-go test -race -short ./internal/mat/... ./internal/nn/... ./internal/parallel/... ./internal/dnnmodel/...
+echo "==> go test -race -short (root, mat, nn, parallel, dnnmodel, core, synth)"
+go test -race -short . ./internal/mat/... ./internal/nn/... ./internal/parallel/... ./internal/dnnmodel/... ./internal/core/... ./internal/synth/...
 
 echo "All checks passed."
