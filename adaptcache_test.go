@@ -1,0 +1,155 @@
+package extrapdnn
+
+import (
+	"math"
+	"runtime"
+	"testing"
+)
+
+// TestModelProfileAdaptOncePerSignature pins the tentpole acceptance
+// criterion: an 8-kernel profile sharing one experiment layout pays a single
+// domain adaptation (7 cache hits — an 8× reduction over the per-kernel
+// behavior), and every cached report is bit-identical to the one an
+// uncached modeler produces.
+func TestModelProfileAdaptOncePerSignature(t *testing.T) {
+	pre := benchPretrained()
+	prof := benchSharedProfile(8, 1)
+
+	cached, err := newAdaptive(pre, Options{
+		AdaptSamplesPerClass: benchAdapt.SamplesPerClass,
+		AdaptEpochs:          benchAdapt.Epochs,
+		Seed:                 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := cached.ModelProfileWorkers(prof, runtime.GOMAXPROCS(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cached.AdaptCacheStats()
+	if s.Misses != 1 || s.Hits != 7 {
+		t.Fatalf("8 kernels on one layout should adapt once: %+v", s)
+	}
+	if s.Bytes <= 0 || s.Entries != 1 {
+		t.Fatalf("adapted network not accounted: %+v", s)
+	}
+
+	uncached, err := newAdaptive(pre, Options{
+		AdaptSamplesPerClass: benchAdapt.SamplesPerClass,
+		AdaptEpochs:          benchAdapt.Epochs,
+		Seed:                 1,
+		AdaptCacheSize:       -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := uncached.ModelProfileWorkers(prof, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uncached.AdaptCacheStats() != (CacheStats{}) {
+		t.Fatal("negative AdaptCacheSize must disable the cache")
+	}
+	for i := range reports {
+		got, ref := reports[i].Report, want[i].Report
+		if got == nil || ref == nil {
+			t.Fatalf("kernel %d: missing report", i)
+		}
+		if got.Model.Model.String() != ref.Model.Model.String() {
+			t.Fatalf("kernel %d: cached model %q != uncached %q",
+				i, got.Model.Model, ref.Model.Model)
+		}
+		if math.Float64bits(got.Model.SMAPE) != math.Float64bits(ref.Model.SMAPE) {
+			t.Fatalf("kernel %d: cached SMAPE %v != uncached %v",
+				i, got.Model.SMAPE, ref.Model.SMAPE)
+		}
+	}
+}
+
+// TestModelProfileMixedSignatures covers the mixed workload: kernels spread
+// over three layouts adapt once per layout, not once per kernel.
+func TestModelProfileMixedSignatures(t *testing.T) {
+	pre := benchPretrained()
+	m, err := newAdaptive(pre, Options{
+		AdaptSamplesPerClass: benchAdapt.SamplesPerClass,
+		AdaptEpochs:          benchAdapt.Epochs,
+		Seed:                 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := benchSharedProfile(9, 3)
+	reports, err := m.ModelProfile(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reports {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	s := m.AdaptCacheStats()
+	if s.Misses != 3 || s.Hits != 6 {
+		t.Fatalf("9 kernels on 3 layouts should adapt 3 times: %+v", s)
+	}
+}
+
+// TestAdaptCacheHitAllocations is the allocation-regression gate for the
+// steady-state hit path: a Model call served from the cache must allocate
+// O(report) — the modeling pipeline around the network — not O(adaptation)
+// (network clone + training workspace + dataset synthesis). Adaptation
+// dominates allocated *bytes* (the datasets are pooled, but the clone and
+// the per-Train workspace are not), so the gate compares bytes per call:
+// the hit path must stay under a quarter of the uncached path (measured
+// ~48 KB vs ~920 KB — a 19× reduction — so 4× leaves headroom without
+// masking a regression that reintroduces per-call adaptation cost).
+func TestAdaptCacheHitAllocations(t *testing.T) {
+	pre := benchPretrained()
+	prof := benchSharedProfile(1, 1)
+	set := prof.Entries[0].Set
+
+	bytesPerCall := func(m *AdaptiveModeler) uint64 {
+		const rounds = 5
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		for i := 0; i < rounds; i++ {
+			if _, err := m.Model(set); err != nil {
+				t.Fatal(err)
+			}
+		}
+		runtime.ReadMemStats(&after)
+		return (after.TotalAlloc - before.TotalAlloc) / rounds
+	}
+
+	cached, err := newAdaptive(pre, Options{
+		AdaptSamplesPerClass: benchAdapt.SamplesPerClass,
+		AdaptEpochs:          benchAdapt.Epochs,
+		Seed:                 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cached.Model(set); err != nil { // warm the cache
+		t.Fatal(err)
+	}
+	hitBytes := bytesPerCall(cached)
+
+	uncached, err := newAdaptive(pre, Options{
+		AdaptSamplesPerClass: benchAdapt.SamplesPerClass,
+		AdaptEpochs:          benchAdapt.Epochs,
+		Seed:                 1,
+		AdaptCacheSize:       -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	missBytes := bytesPerCall(uncached)
+
+	if hitBytes*4 > missBytes {
+		t.Fatalf("cache hit allocates %d B/call, uncached %d B/call: hit path must stay under a quarter (it skips clone + training)",
+			hitBytes, missBytes)
+	}
+	t.Logf("bytes per Model call: cache hit %d, uncached %d", hitBytes, missBytes)
+}

@@ -33,11 +33,110 @@ func benchProfile(numKernels int) *Profile {
 	return prof
 }
 
+// benchSharedProfile builds a profile whose kernels share experiment
+// layouts, the shape of real application campaigns (every kernel measured
+// over the same design). numKernels kernels are distributed round-robin over
+// numLayouts distinct parameter-value layouts; each kernel has its own
+// random ground-truth model. Zero injected noise keeps the estimated noise
+// range exactly [0, 0], so kernels on one layout share one adaptation task
+// signature deterministically.
+func benchSharedProfile(numKernels, numLayouts int) *Profile {
+	rng := rand.New(rand.NewSource(99))
+	layouts := make([][][]float64, numLayouts)
+	for l := range layouts {
+		inst := synth.GenInstance(rng, synth.TaskSpec{
+			NumParams:      1,
+			PointsPerParam: 5,
+			Reps:           5,
+			EvalPoints:     1,
+		})
+		layouts[l] = inst.ParamValues
+	}
+	prof := &Profile{Application: "bench-shared", ParamNames: []string{"p"}}
+	for k := 0; k < numKernels; k++ {
+		inst := synth.GenInstance(rng, synth.TaskSpec{
+			NumParams:      1,
+			PointsPerParam: 5,
+			Reps:           5,
+			EvalPoints:     1,
+			ParamValues:    layouts[k%numLayouts],
+		})
+		prof.Entries = append(prof.Entries, ProfileEntry{
+			Kernel: fmt.Sprintf("kernel%02d", k),
+			Metric: "runtime",
+			Set:    inst.Set,
+		})
+	}
+	return prof
+}
+
+// BenchmarkModelProfileCached measures the adaptation cache on an 8-kernel
+// profile: "hit" models a shared-layout profile with a warm cache (steady
+// state of a long-running service), "uncached" pays one adaptation per
+// kernel (cache disabled — today's pre-cache behavior), and "mixed" spreads
+// the kernels over three layouts (cold cache per iteration would be all
+// misses; the cache persists across iterations, so this measures the
+// realistic repeat-campaign mix). Reports are bit-identical across all
+// variants by the signature-seeded rng contract.
+func BenchmarkModelProfileCached(b *testing.B) {
+	pre := benchPretrained()
+	run := func(b *testing.B, m *AdaptiveModeler, prof *Profile) {
+		b.Helper()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			reports, err := m.ModelProfile(prof)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, r := range reports {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+		s := m.AdaptCacheStats()
+		b.ReportMetric(float64(s.Misses), "adaptations")
+		b.ReportMetric(float64(s.Hits), "cache-hits")
+	}
+	newModeler := func(b *testing.B, cacheSize int) *AdaptiveModeler {
+		b.Helper()
+		m, err := newAdaptive(pre, Options{
+			AdaptSamplesPerClass: benchAdapt.SamplesPerClass,
+			AdaptEpochs:          benchAdapt.Epochs,
+			Seed:                 1,
+			AdaptCacheSize:       cacheSize,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return m
+	}
+	b.Run("hit", func(b *testing.B) {
+		m := newModeler(b, 32)
+		prof := benchSharedProfile(8, 1)
+		if _, err := m.ModelProfile(prof); err != nil { // warm the cache
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		run(b, m, prof)
+	})
+	b.Run("uncached", func(b *testing.B) {
+		run(b, newModeler(b, -1), benchSharedProfile(8, 1))
+	})
+	b.Run("mixed", func(b *testing.B) {
+		run(b, newModeler(b, 32), benchSharedProfile(8, 3))
+	})
+}
+
 // BenchmarkModelProfile measures the profile-scale modeling pipeline at
 // worker counts 1 and GOMAXPROCS. The acceptance target is ≥2× speedup for
 // the parallel run on machines with GOMAXPROCS ≥ 4 — on fewer cores the two
 // sub-benchmarks coincide (the run is still bit-identical by construction;
-// see TestModelProfileParallelDeterminism).
+// see TestModelProfileParallelDeterminism). The modeler runs with the
+// default adaptation cache, so iterations after the first hit the cache for
+// every kernel whose task signature repeats — the steady state of repeat
+// campaigns; BenchmarkModelProfileCached isolates hit, uncached and mixed
+// workloads.
 func BenchmarkModelProfile(b *testing.B) {
 	pre := benchPretrained()
 	m, err := newAdaptive(pre, Options{

@@ -30,6 +30,13 @@ func ReadProfile(r io.Reader) (*Profile, error) {
 // worker count configured in Options.Workers (default GOMAXPROCS); because
 // Model is a pure function of each entry's measurement set, the reports are
 // bit-identical regardless of the worker count.
+//
+// All entries share the modeler's adaptation cache: kernels whose task
+// signatures match (same experiment layout, repetition count and quantized
+// noise bucket — the common case inside one application profile) pay a
+// single domain adaptation between them, and concurrent misses on one
+// signature coalesce into one training run. AdaptCacheStats reports the
+// resulting hit/miss counts.
 func (m *AdaptiveModeler) ModelProfile(p *Profile) ([]ProfileReport, error) {
 	return m.ModelProfileWorkers(p, m.workers)
 }

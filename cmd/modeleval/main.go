@@ -4,9 +4,14 @@
 //
 //	modeleval -model "8.51 + 0.11*x1^(1/3)*x2*x3^(4/5)" -at 32768,12,160
 //	modeleval -model "5 + 2*x1*log2(x1)" -sweep 1 -from 64 -to 4096 -steps 7
+//	modeleval -profile app.json -at 32768,12 -v
 //
 // A sweep doubles (geometric spacing) parameter -sweep from -from to -to
 // while holding the remaining parameters at the values given by -at.
+// With -profile, every kernel of an application profile is modeled with the
+// adaptive modeler (sharing one domain-adaptation cache) and each selected
+// model is evaluated at the -at point; -v additionally prints the cache
+// statistics.
 package main
 
 import (
@@ -17,24 +22,39 @@ import (
 	"strconv"
 	"strings"
 
+	"extrapdnn/internal/cliutil"
+	"extrapdnn/internal/core"
+	"extrapdnn/internal/dnnmodel"
 	"extrapdnn/internal/parallel"
 	"extrapdnn/internal/pmnf"
+	"extrapdnn/internal/profile"
 )
 
 func main() {
 	var (
-		modelStr = flag.String("model", "", "PMNF model expression (required)")
-		at       = flag.String("at", "", "comma-separated parameter values")
-		sweep    = flag.Int("sweep", 0, "1-based index of the parameter to sweep (0 = no sweep)")
-		from     = flag.Float64("from", 0, "sweep start value")
-		to       = flag.Float64("to", 0, "sweep end value")
-		steps    = flag.Int("steps", 8, "sweep steps")
-		workers  = flag.Int("workers", 0, "concurrent sweep-evaluation workers (0 = GOMAXPROCS)")
+		modelStr    = flag.String("model", "", "PMNF model expression")
+		profilePath = flag.String("profile", "", "application profile (from appsim): model every kernel and evaluate at -at")
+		netPath     = flag.String("net", "", "with -profile: pretrained network file; pretrains ad hoc when empty")
+		adaptCache  = flag.Int("adapt-cache", 32, "with -profile: LRU entries of the domain-adaptation cache (0 disables)")
+		verbose     = flag.Bool("v", false, "with -profile: print adaptation-cache statistics")
+		seed        = flag.Int64("seed", 1, "with -profile: random seed")
+		at          = flag.String("at", "", "comma-separated parameter values")
+		sweep       = flag.Int("sweep", 0, "1-based index of the parameter to sweep (0 = no sweep)")
+		from        = flag.Float64("from", 0, "sweep start value")
+		to          = flag.Float64("to", 0, "sweep end value")
+		steps       = flag.Int("steps", 8, "sweep steps")
+		workers     = flag.Int("workers", 0, "concurrent evaluation/modeling workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
+	if *profilePath != "" {
+		if err := evalProfile(*profilePath, *netPath, *at, *adaptCache, *workers, *seed, *verbose); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *modelStr == "" {
-		fatal(fmt.Errorf("-model is required"))
+		fatal(fmt.Errorf("-model or -profile is required"))
 	}
 	model, err := pmnf.Parse(*modelStr)
 	if err != nil {
@@ -91,6 +111,78 @@ func main() {
 	for s := 0; s < *steps; s++ {
 		fmt.Printf("%-14g | %g\n", xs[s], results[s])
 	}
+}
+
+// evalProfile models every kernel of an application profile with the
+// adaptive modeler — all kernels share one domain-adaptation cache, so
+// equal-signature kernels pay a single adaptation — and evaluates each
+// selected model at the -at point.
+func evalProfile(path, netPath, at string, adaptCache, workers int, seed int64, verbose bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	prof, err := profile.Read(f)
+	if err != nil {
+		return err
+	}
+	var point []float64
+	if at != "" {
+		parts := strings.Split(at, ",")
+		if len(parts) != prof.NumParams() {
+			return fmt.Errorf("-at has %d values, profile has %d parameters", len(parts), prof.NumParams())
+		}
+		point = make([]float64, len(parts))
+		for i, p := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return fmt.Errorf("invalid value %q: %w", p, err)
+			}
+			point[i] = v
+		}
+	}
+	pretrained, err := cliutil.LoadOrPretrain(netPath, "default", 300, 3, seed)
+	if err != nil {
+		return err
+	}
+	modeler, err := core.New(pretrained, core.Config{
+		Adapt:          dnnmodel.AdaptConfig{},
+		Seed:           seed,
+		AdaptCacheSize: adaptCache,
+	})
+	if err != nil {
+		return err
+	}
+	reps, errs := parallel.MapErr(len(prof.Entries), workers, func(i int) (core.Report, error) {
+		return modeler.Model(prof.Entries[i].Set)
+	})
+	fmt.Printf("application: %s (%d kernels, %d parameters)\n",
+		prof.Application, len(prof.Kernels()), prof.NumParams())
+	header := fmt.Sprintf("%-22s | %-9s | %s", "kernel", "SMAPE", "model")
+	if point != nil {
+		header = fmt.Sprintf("%-22s | %-9s | %-14s | %s", "kernel", "SMAPE", fmt.Sprintf("f(%s)", at), "model")
+	}
+	fmt.Println(header)
+	for i, e := range prof.Entries {
+		if errs != nil && errs[i] != nil {
+			fmt.Printf("%-22s | modeling failed: %v\n", e.Kernel, errs[i])
+			continue
+		}
+		rep := reps[i]
+		if point != nil {
+			fmt.Printf("%-22s | %8.3f%% | %-14g | %s\n",
+				e.Kernel, rep.Model.SMAPE, rep.Model.Model.Eval(point), rep.Model.Model)
+		} else {
+			fmt.Printf("%-22s | %8.3f%% | %s\n", e.Kernel, rep.Model.SMAPE, rep.Model.Model)
+		}
+	}
+	if verbose {
+		s := modeler.CacheStats()
+		fmt.Printf("adaptation cache:  %d hits, %d misses (adaptations trained), %d evictions, %d entries, %.1f KiB retained\n",
+			s.Hits, s.Misses, s.Evictions, s.Entries, float64(s.Bytes)/1024)
+	}
+	return nil
 }
 
 func fatal(err error) {

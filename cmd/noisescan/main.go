@@ -13,6 +13,7 @@ import (
 	"os"
 	"strings"
 
+	"extrapdnn/internal/core"
 	"extrapdnn/internal/measurement"
 	"extrapdnn/internal/noise"
 	"extrapdnn/internal/parallel"
@@ -27,11 +28,12 @@ func main() {
 		params      = flag.Int("params", 0, "number of execution parameters (text format without header)")
 		bins        = flag.Int("bins", 10, "histogram bins")
 		workers     = flag.Int("workers", 0, "with -profile: concurrent analysis workers (0 = GOMAXPROCS)")
+		bucketWidth = flag.Float64("noise-bucket", 0, "with -profile: noise-bucket width for adaptation-signature grouping (0 = default 2.5% steps, negative disables quantization)")
 	)
 	flag.Parse()
 
 	if *profilePath != "" {
-		if err := scanProfile(*profilePath, *workers); err != nil {
+		if err := scanProfile(*profilePath, *workers, *bucketWidth); err != nil {
 			fatal(err)
 		}
 		return
@@ -97,9 +99,13 @@ func main() {
 }
 
 // scanProfile analyzes the noise of every kernel in an application profile,
-// one line per entry. Entries are analyzed concurrently; noise.Analyze is a
-// pure function, so the output is identical for any worker count.
-func scanProfile(path string, workers int) error {
+// one line per entry, and groups the kernels by adaptation task signature:
+// kernels in one group share the experiment layout, repetition count and
+// quantized noise bucket, so the adaptive modeler pays a single domain
+// adaptation between them (see internal/adaptcache). Entries are analyzed
+// concurrently; noise.Analyze is a pure function, so the output is identical
+// for any worker count.
+func scanProfile(path string, workers int, bucketWidth float64) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -109,17 +115,39 @@ func scanProfile(path string, workers int) error {
 	if err != nil {
 		return err
 	}
-	analyses := parallel.Map(len(prof.Entries), workers, func(i int) noise.Analysis {
-		return noise.Analyze(prof.Entries[i].Set)
+	type entryScan struct {
+		analysis noise.Analysis
+		sig      string
+		sigErr   error
+	}
+	scans := parallel.Map(len(prof.Entries), workers, func(i int) entryScan {
+		s := entryScan{analysis: noise.Analyze(prof.Entries[i].Set)}
+		s.sig, s.sigErr = core.TaskSignature(prof.Entries[i].Set, bucketWidth)
+		return s
 	})
+	// Number signature groups in first-appearance order.
+	groups := map[string]int{}
+	for _, s := range scans {
+		if s.sigErr == nil {
+			if _, ok := groups[s.sig]; !ok {
+				groups[s.sig] = len(groups) + 1
+			}
+		}
+	}
 	fmt.Printf("application: %s (%d kernels, %d parameters)\n",
 		prof.Application, len(prof.Kernels()), prof.NumParams())
-	fmt.Printf("%-22s | %-8s | %-8s | %-8s | %s\n", "kernel", "global", "mean", "median", "range")
+	fmt.Printf("%-22s | %-8s | %-8s | %-8s | %-16s | %s\n", "kernel", "global", "mean", "median", "range", "sig")
 	for i, e := range prof.Entries {
-		a := analyses[i]
-		fmt.Printf("%-22s | %6.2f%% | %6.2f%% | %6.2f%% | [%.2f%%, %.2f%%]\n",
-			e.Kernel, a.Global*100, a.Mean*100, a.Median*100, a.Min*100, a.Max*100)
+		a := scans[i].analysis
+		sig := "-"
+		if scans[i].sigErr == nil {
+			sig = fmt.Sprintf("#%d", groups[scans[i].sig])
+		}
+		fmt.Printf("%-22s | %6.2f%% | %6.2f%% | %6.2f%% | [%5.2f%%, %5.2f%%] | %s\n",
+			e.Kernel, a.Global*100, a.Mean*100, a.Median*100, a.Min*100, a.Max*100, sig)
 	}
+	fmt.Printf("adaptation signatures: %d distinct across %d kernels (the adaptive modeler pays one domain adaptation per signature)\n",
+		len(groups), len(prof.Entries))
 	return nil
 }
 

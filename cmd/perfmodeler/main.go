@@ -45,6 +45,9 @@ func main() {
 		threshold      = flag.Float64("threshold", core.DefaultNoiseThreshold, "noise level above which the regression modeler is switched off")
 		regressionOnly = flag.Bool("regression-only", false, "use only the classic regression modeler")
 		workers        = flag.Int("workers", 0, "with -profile: concurrent modeling workers (0 = GOMAXPROCS); results are identical for any value")
+		adaptCache     = flag.Int("adapt-cache", 32, "LRU entries of the domain-adaptation cache (0 disables; results are identical either way)")
+		bucketWidth    = flag.Float64("noise-bucket", 0, "noise-bucket width for the adaptation cache signature (0 = default 2.5% steps, negative disables quantization)")
+		verbose        = flag.Bool("v", false, "print adaptation-cache statistics after modeling")
 		seed           = flag.Int64("seed", 1, "random seed")
 		predict        = flag.String("predict", "", `comma-separated parameter values to predict after modeling, e.g. "4096,1e6"`)
 		scalingParam   = flag.Int("scaling", 0, "1-based index of the process-count parameter: grade the model's scalability (0 = off)")
@@ -62,10 +65,12 @@ func main() {
 		}
 	}
 	modeler, err := core.New(pretrained, core.Config{
-		NoiseThreshold: *threshold,
-		Adapt:          dnnmodel.AdaptConfig{SamplesPerClass: *adaptSamples, Epochs: *adaptEpochs},
-		DisableDNN:     *regressionOnly,
-		Seed:           *seed,
+		NoiseThreshold:   *threshold,
+		Adapt:            dnnmodel.AdaptConfig{SamplesPerClass: *adaptSamples, Epochs: *adaptEpochs},
+		DisableDNN:       *regressionOnly,
+		Seed:             *seed,
+		AdaptCacheSize:   *adaptCache,
+		NoiseBucketWidth: *bucketWidth,
 	})
 	if err != nil {
 		fatal(err)
@@ -74,6 +79,9 @@ func main() {
 	if *profilePath != "" {
 		if err := modelProfile(modeler, *profilePath, *kernelFilter, *workers); err != nil {
 			fatal(err)
+		}
+		if *verbose {
+			printCacheStats(modeler)
 		}
 		return
 	}
@@ -115,6 +123,9 @@ func main() {
 		fmt.Printf("  dnn:             %s  (SMAPE %.3f%%)\n", rep.DNN.Model, rep.DNN.SMAPE)
 	}
 	fmt.Printf("modeling time:     %v (adaptation %v)\n", rep.Durations.Total, rep.Durations.Adapt)
+	if *verbose {
+		printCacheStats(modeler)
+	}
 
 	if *predict != "" {
 		pt, err := parsePoint(*predict, rep.Model.Model.NumParams())
@@ -219,6 +230,14 @@ func readInput(path, format string, params int) (*measurement.Set, error) {
 	default:
 		return nil, fmt.Errorf("unknown format %q (want text, json or extrap)", format)
 	}
+}
+
+// printCacheStats reports how many Model calls reused a cached adaptation
+// versus paid an adaptation-training run.
+func printCacheStats(modeler *core.Modeler) {
+	s := modeler.CacheStats()
+	fmt.Printf("adaptation cache:  %d hits, %d misses (adaptations trained), %d evictions, %d entries, %.1f KiB retained\n",
+		s.Hits, s.Misses, s.Evictions, s.Entries, float64(s.Bytes)/1024)
 }
 
 func selectedName(rep core.Report) string {

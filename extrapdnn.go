@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"io"
 
+	"extrapdnn/internal/adaptcache"
 	"extrapdnn/internal/core"
 	"extrapdnn/internal/dnnmodel"
 	"extrapdnn/internal/measurement"
@@ -83,7 +84,26 @@ type Options struct {
 	// Workers bounds the concurrency of ModelProfile (<= 0 means
 	// GOMAXPROCS). The reports are bit-identical for every worker count.
 	Workers int
+	// AdaptCacheSize bounds the LRU cache of domain-adapted networks shared
+	// by all Model/ModelProfile calls on this modeler. Zero means
+	// DefaultAdaptCacheSize; a negative value disables caching (every Model
+	// call pays its own adaptation). Reports are bit-identical either way.
+	AdaptCacheSize int
+	// NoiseBucketWidth quantizes the estimated adaptation noise range before
+	// it enters the cache signature (zero means
+	// core.DefaultNoiseBucketWidth, 2.5% steps; negative disables
+	// quantization).
+	NoiseBucketWidth float64
 }
+
+// DefaultAdaptCacheSize is the adaptation-cache bound used when
+// Options.AdaptCacheSize is zero. Profiles rarely span more than a handful of
+// distinct task signatures, so 32 entries amortize adaptation across whole
+// campaigns while bounding retained networks to a few megabytes.
+const DefaultAdaptCacheSize = 32
+
+// CacheStats reports the adaptation-cache counters of an AdaptiveModeler.
+type CacheStats = adaptcache.Stats
 
 // TrainStats summarizes one training run of the classification network.
 type TrainStats = nn.TrainStats
@@ -133,13 +153,22 @@ func NewAdaptiveModelerFromNetwork(r io.Reader, opts Options) (*AdaptiveModeler,
 }
 
 func newAdaptive(pre *dnnmodel.Modeler, opts Options) (*AdaptiveModeler, error) {
+	cacheSize := opts.AdaptCacheSize
+	switch {
+	case cacheSize == 0:
+		cacheSize = DefaultAdaptCacheSize
+	case cacheSize < 0:
+		cacheSize = 0 // core: zero disables caching
+	}
 	inner, err := core.New(pre, core.Config{
 		NoiseThreshold: opts.NoiseThreshold,
 		Adapt: dnnmodel.AdaptConfig{
 			SamplesPerClass: opts.AdaptSamplesPerClass,
 			Epochs:          opts.AdaptEpochs,
 		},
-		Seed: opts.Seed,
+		Seed:             opts.Seed,
+		AdaptCacheSize:   cacheSize,
+		NoiseBucketWidth: opts.NoiseBucketWidth,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("extrapdnn: %w", err)
@@ -151,6 +180,14 @@ func newAdaptive(pre *dnnmodel.Modeler, opts Options) (*AdaptiveModeler, error) 
 // nil when the modeler was built from a saved network (no pretraining ran).
 func (m *AdaptiveModeler) PretrainStats() *TrainStats {
 	return m.preStats
+}
+
+// AdaptCacheStats returns a snapshot of the adaptation-cache counters: how
+// many Model calls reused a cached domain-adapted network (Hits) versus paid
+// an adaptation-training run (Misses), plus eviction count and the retained
+// bytes of resident networks. All zeros when caching is disabled.
+func (m *AdaptiveModeler) AdaptCacheStats() CacheStats {
+	return m.inner.CacheStats()
 }
 
 // Model runs the adaptive modeling pipeline on a measurement set.

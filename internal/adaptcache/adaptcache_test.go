@@ -1,0 +1,247 @@
+package adaptcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"extrapdnn/internal/dnnmodel"
+)
+
+func modeler() *dnnmodel.Modeler { return &dnnmodel.Modeler{} }
+
+func TestSignatureKeyDistinguishesFields(t *testing.T) {
+	base := Signature{
+		ParamNames:      []string{"p"},
+		ParamValues:     [][]float64{{2, 4, 8, 16, 32}},
+		Reps:            5,
+		NoiseMin:        0.025,
+		NoiseMax:        0.05,
+		PerPointNoise:   true,
+		SamplesPerClass: 200,
+		Epochs:          1,
+		BatchSize:       64,
+		Fingerprint:     7,
+		Seed:            1,
+	}
+	variants := []Signature{}
+	v := base
+	v.ParamNames = []string{"q"}
+	variants = append(variants, v)
+	v = base
+	v.ParamNames = nil
+	variants = append(variants, v)
+	v = base
+	v.ParamValues = [][]float64{{2, 4, 8, 16, 64}}
+	variants = append(variants, v)
+	v = base
+	v.ParamValues = [][]float64{{2, 4, 8, 16}}
+	variants = append(variants, v)
+	v = base
+	v.Reps = 3
+	variants = append(variants, v)
+	v = base
+	v.NoiseMax = 0.075
+	variants = append(variants, v)
+	v = base
+	v.PerPointNoise = false
+	variants = append(variants, v)
+	v = base
+	v.SamplesPerClass = 100
+	variants = append(variants, v)
+	v = base
+	v.Fingerprint = 8
+	variants = append(variants, v)
+	v = base
+	v.Seed = 2
+	variants = append(variants, v)
+
+	baseKey := base.Key()
+	if copyKey := base.Key(); copyKey != baseKey {
+		t.Fatal("Key is not deterministic")
+	}
+	seen := map[string]int{baseKey: -1}
+	for i, v := range variants {
+		k := v.Key()
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("variant %d collides with variant %d", i, prev)
+		}
+		seen[k] = i
+	}
+}
+
+func TestSeedForMatchesKeyEquality(t *testing.T) {
+	a := Signature{Seed: 1, Reps: 5}
+	b := Signature{Seed: 1, Reps: 5}
+	if SeedFor(a.Key()) != SeedFor(b.Key()) {
+		t.Fatal("equal signatures must derive equal rng seeds")
+	}
+	c := Signature{Seed: 2, Reps: 5}
+	if SeedFor(a.Key()) == SeedFor(c.Key()) {
+		t.Fatal("different seeds should (virtually always) derive different rng seeds")
+	}
+}
+
+func TestNilCacheIsDisabled(t *testing.T) {
+	var c *Cache
+	if got := New(0); got != nil {
+		t.Fatal("New(0) must return the nil (disabled) cache")
+	}
+	if got := New(-3); got != nil {
+		t.Fatal("New(<0) must return the nil (disabled) cache")
+	}
+	calls := 0
+	m := modeler()
+	got := c.GetOrCreate("k", func() *dnnmodel.Modeler { calls++; return m })
+	if got != m || calls != 1 {
+		t.Fatalf("nil cache GetOrCreate: got %v after %d calls", got, calls)
+	}
+	c.GetOrCreate("k", func() *dnnmodel.Modeler { calls++; return m })
+	if calls != 2 {
+		t.Fatal("nil cache must run create on every call")
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("nil cache Get must miss")
+	}
+	c.Put("k", m)
+	if c.Len() != 0 || c.Stats() != (Stats{}) {
+		t.Fatal("nil cache must stay empty with zero stats")
+	}
+}
+
+func TestGetOrCreateHitSkipsCreate(t *testing.T) {
+	c := New(4)
+	m := modeler()
+	calls := 0
+	create := func() *dnnmodel.Modeler { calls++; return m }
+	if got := c.GetOrCreate("a", create); got != m {
+		t.Fatal("miss must return created modeler")
+	}
+	if got := c.GetOrCreate("a", create); got != m {
+		t.Fatal("hit must return cached modeler")
+	}
+	if calls != 1 {
+		t.Fatalf("create ran %d times, want 1", calls)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Entries != 1 || s.Evictions != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := New(2)
+	ms := map[string]*dnnmodel.Modeler{}
+	add := func(k string) {
+		ms[k] = modeler()
+		c.GetOrCreate(k, func() *dnnmodel.Modeler { return ms[k] })
+	}
+	add("a")
+	add("b")
+	// Touch "a" so "b" becomes least recently used.
+	if got := c.GetOrCreate("a", func() *dnnmodel.Modeler { t.Fatal("unexpected create"); return nil }); got != ms["a"] {
+		t.Fatal("expected hit on a")
+	}
+	add("c") // must evict "b"
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted (least recently used)")
+	}
+	if got, ok := c.Get("a"); !ok || got != ms["a"] {
+		t.Fatal("a should have survived eviction")
+	}
+	if got, ok := c.Get("c"); !ok || got != ms["c"] {
+		t.Fatal("c should be resident")
+	}
+	s := c.Stats()
+	if s.Evictions != 1 || s.Entries != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// Filling past capacity repeatedly evicts in insertion order of the
+	// untouched entries.
+	add("d") // evicts a (c and a resident, a is LRU after the Get order a,c)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a should have been evicted after c was touched more recently")
+	}
+}
+
+func TestSingleFlightConcurrentMisses(t *testing.T) {
+	c := New(4)
+	var mu sync.Mutex
+	calls := 0
+	m := modeler()
+	const goroutines = 16
+	var wg sync.WaitGroup
+	results := make([]*dnnmodel.Modeler, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = c.GetOrCreate("k", func() *dnnmodel.Modeler {
+				mu.Lock()
+				calls++
+				mu.Unlock()
+				return m
+			})
+		}(i)
+	}
+	wg.Wait()
+	if calls != 1 {
+		t.Fatalf("create ran %d times under concurrency, want 1 (single-flight)", calls)
+	}
+	for i, r := range results {
+		if r != m {
+			t.Fatalf("goroutine %d got %v, want the shared modeler", i, r)
+		}
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits != goroutines-1 {
+		t.Fatalf("stats = %+v, want 1 miss and %d hits", s, goroutines-1)
+	}
+}
+
+func TestGetOrCreatePanicRecovery(t *testing.T) {
+	c := New(4)
+	func() {
+		defer func() { recover() }()
+		c.GetOrCreate("k", func() *dnnmodel.Modeler { panic("boom") })
+	}()
+	if c.Len() != 0 {
+		t.Fatal("panicked create must not leave a pending entry")
+	}
+	m := modeler()
+	if got := c.GetOrCreate("k", func() *dnnmodel.Modeler { return m }); got != m {
+		t.Fatal("key must be creatable after a panicked create")
+	}
+}
+
+func TestPutReplacesAndStatsBytes(t *testing.T) {
+	c := New(2)
+	a, b := modeler(), modeler()
+	c.Put("k", a)
+	c.Put("k", b)
+	if got, ok := c.Get("k"); !ok || got != b {
+		t.Fatal("Put must replace the resident entry")
+	}
+	if s := c.Stats(); s.Entries != 1 || s.Bytes != 0 {
+		// Test modelers carry no network, so accounted bytes are zero.
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestEvictionUnderChurn(t *testing.T) {
+	c := New(3)
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("k%d", i%7)
+		c.GetOrCreate(k, modeler)
+	}
+	if c.Len() > 3 {
+		t.Fatalf("cache grew past capacity: %d", c.Len())
+	}
+	s := c.Stats()
+	if s.Misses+s.Hits != 50 {
+		t.Fatalf("lookup accounting off: %+v", s)
+	}
+	if s.Evictions == 0 {
+		t.Fatal("churn over capacity must evict")
+	}
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"extrapdnn/internal/adaptcache"
+	"extrapdnn/internal/measurement"
+)
+
+// scaledSet returns a copy of set with every measured value multiplied by
+// factor. Scaling leaves all relative deviations — and therefore the noise
+// analysis, the selected lines and the task signature — unchanged, so the
+// copy models a different kernel of the same application profile: same
+// experiment layout and noise band, different magnitude.
+func scaledSet(set *measurement.Set, factor float64) *measurement.Set {
+	out := &measurement.Set{Metric: set.Metric, ParamNames: set.ParamNames}
+	for _, d := range set.Data {
+		vals := make([]float64, len(d.Values))
+		for i, v := range d.Values {
+			vals[i] = v * factor
+		}
+		out.Data = append(out.Data, measurement.Measurement{Point: d.Point, Values: vals})
+	}
+	return out
+}
+
+func sameBits(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
+func TestTaskSignatureScaleInvariant(t *testing.T) {
+	set := noisySetSeed(31, 0.3)
+	scaled := scaledSet(set, 137.5)
+	a, err := TaskSignature(set, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TaskSignature(scaled, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("scaling all values must not change the task signature")
+	}
+	// A different layout must not alias.
+	other := &measurement.Set{}
+	for _, d := range set.Data {
+		pt := measurement.Point{d.Point[0] * 2}
+		other.Data = append(other.Data, measurement.Measurement{Point: pt, Values: d.Values})
+	}
+	c, err := TaskSignature(other, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatal("different layouts must have different signatures")
+	}
+}
+
+func noisySetSeed(seed int64, level float64) *measurement.Set {
+	rng := rand.New(rand.NewSource(seed))
+	return noisySet(rng, level, func(x float64) float64 { return 5 + 2*x })
+}
+
+// TestAdaptCacheHitBitIdentical pins the cache soundness contract: a Model
+// call served by a cache hit must produce the bit-identical report that a
+// fresh adaptation (cache disabled) produces for the same set.
+func TestAdaptCacheHitBitIdentical(t *testing.T) {
+	base := noisySetSeed(41, 0.3)
+	scaled := scaledSet(base, 3.25) // equal signature, different kernel
+
+	cached, err := New(testPretrained(), Config{Adapt: quietAdapt, Seed: 42, AdaptCacheSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cached.Model(base); err != nil { // warm the cache
+		t.Fatal(err)
+	}
+	hit, err := cached.Model(scaled) // served by the cached adaptation
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cached.CacheStats()
+	if s.Misses != 1 || s.Hits != 1 {
+		t.Fatalf("expected 1 miss + 1 hit, got %+v", s)
+	}
+	if s.Bytes <= 0 || s.Entries != 1 {
+		t.Fatalf("resident entry not accounted: %+v", s)
+	}
+
+	uncached, err := New(testPretrained(), Config{Adapt: quietAdapt, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := uncached.Model(scaled) // pays its own adaptation
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uncached.CacheStats() != (adaptcache.Stats{}) {
+		t.Fatal("zero cache size must disable caching entirely")
+	}
+
+	if got, want := hit.Model.Model.String(), fresh.Model.Model.String(); got != want {
+		t.Fatalf("cached model %q != fresh model %q", got, want)
+	}
+	if !sameBits(hit.Model.SMAPE, fresh.Model.SMAPE) {
+		t.Fatalf("cached SMAPE %v != fresh SMAPE %v", hit.Model.SMAPE, fresh.Model.SMAPE)
+	}
+	if hit.SelectedDNN != fresh.SelectedDNN || hit.UsedRegression != fresh.UsedRegression {
+		t.Fatalf("selection diverged: cached %+v vs fresh %+v", hit, fresh)
+	}
+	if hit.DNN != nil && fresh.DNN != nil && !sameBits(hit.DNN.SMAPE, fresh.DNN.SMAPE) {
+		t.Fatalf("DNN SMAPE diverged: %v vs %v", hit.DNN.SMAPE, fresh.DNN.SMAPE)
+	}
+}
+
+// TestConcurrentModelSharedCache exercises the single-flight path: many
+// goroutines model equal-signature sets on one modeler (run under -race via
+// scripts/check.sh); every report must match the serial result and the
+// adaptation must run exactly once.
+func TestConcurrentModelSharedCache(t *testing.T) {
+	base := noisySetSeed(51, 0.3)
+	const kernels = 8
+	sets := make([]*measurement.Set, kernels)
+	for i := range sets {
+		sets[i] = scaledSet(base, float64(i+1))
+	}
+
+	m, err := New(testPretrained(), Config{Adapt: quietAdapt, Seed: 7, AdaptCacheSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	reports := make([]Report, kernels)
+	errs := make([]error, kernels)
+	for i := range sets {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reports[i], errs[i] = m.Model(sets[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("kernel %d: %v", i, err)
+		}
+	}
+	s := m.CacheStats()
+	if s.Misses != 1 || s.Hits != kernels-1 {
+		t.Fatalf("want 1 adaptation for %d kernels, got %+v", kernels, s)
+	}
+
+	serial, err := New(testPretrained(), Config{Adapt: quietAdapt, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sets {
+		want, err := serial.Model(sets[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := reports[i]; got.Model.Model.String() != want.Model.Model.String() ||
+			!sameBits(got.Model.SMAPE, want.Model.SMAPE) {
+			t.Fatalf("kernel %d: concurrent cached report diverged from serial uncached", i)
+		}
+	}
+}
+
+func TestQuantizeNoise(t *testing.T) {
+	cases := []struct {
+		v, width, want float64
+	}{
+		{0.037, 0.025, 0.025},  // rounds down to the nearer edge
+		{0.04, 0.025, 0.05},    // rounds up
+		{0.0, 0.025, 0.0},      // exact edge
+		{0.9999, 0.025, 1.0},   // clamped top bucket
+		{-0.001, 0.025, 0.0},   // clamped at zero
+		{0.0371, -1, 0.0371},   // negative width disables quantization
+		{0.0371, 0, 0.0371},    // zero width disables (callers pass effective width)
+		{1.2, 0.025, 1.0},      // clamped above one
+		{0.0125, 0.025, 0.025}, // ties round half away from zero (math.Round)
+	}
+	for _, c := range cases {
+		if got := quantizeNoise(c.v, c.width); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("quantizeNoise(%v, %v) = %v, want %v", c.v, c.width, got, c.want)
+		}
+	}
+}
+
+func TestConfigBucketWidth(t *testing.T) {
+	if (Config{}).bucketWidth() != DefaultNoiseBucketWidth {
+		t.Fatal("zero width must default")
+	}
+	if (Config{NoiseBucketWidth: 0.1}).bucketWidth() != 0.1 {
+		t.Fatal("explicit width ignored")
+	}
+	if (Config{NoiseBucketWidth: -1}).bucketWidth() != -1 {
+		t.Fatal("negative width must pass through (disables quantization)")
+	}
+}
+
+// TestNoiseBucketMergesNearbyEstimates verifies the quantization trade-off:
+// two sets whose raw noise estimates differ by less than the bucket width can
+// share a signature, while disabling quantization separates them.
+func TestNoiseBucketMergesNearbyEstimates(t *testing.T) {
+	base := noisySetSeed(61, 0.3)
+	// Perturb one repetition slightly: the rrd estimate moves a little, the
+	// bucket (2.5% wide) usually absorbs it.
+	perturbed := scaledSet(base, 1)
+	perturbed.Data[0].Values[0] *= 1.0001
+	a, err := TaskSignature(base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TaskSignature(perturbed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Skip("perturbation crossed a bucket edge for this draw")
+	}
+	aRaw, err := TaskSignature(base, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bRaw, err := TaskSignature(perturbed, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aRaw == bRaw {
+		t.Fatal("unquantized signatures must see the perturbed estimate")
+	}
+}

@@ -18,13 +18,12 @@
 package core
 
 import (
-	"encoding/binary"
 	"fmt"
-	"hash/fnv"
 	"math"
 	"math/rand"
 	"time"
 
+	"extrapdnn/internal/adaptcache"
 	"extrapdnn/internal/dnnmodel"
 	"extrapdnn/internal/measurement"
 	"extrapdnn/internal/noise"
@@ -36,6 +35,14 @@ import (
 // (cmd/evalsynth) locates the accuracy crossover of the two modelers in the
 // 10–20% band, matching the paper's analysis.
 const DefaultNoiseThreshold = 0.20
+
+// DefaultNoiseBucketWidth quantizes the estimated adaptation noise range in
+// 2.5% steps. The rrd noise estimate is itself a coarse order statistic (its
+// run-to-run resolution is no finer than a few percent), so snapping the
+// range to 2.5% buckets costs no adaptation fidelity while letting kernels
+// in the same noise band share one cached adaptation. See DESIGN.md
+// ("Adaptation caching") for the width trade-off.
+const DefaultNoiseBucketWidth = 0.025
 
 // Config tunes the adaptive modeler.
 type Config struct {
@@ -55,6 +62,18 @@ type Config struct {
 	TopK int
 	// Seed makes the synthetic adaptation data deterministic.
 	Seed int64
+	// AdaptCacheSize bounds the modeler's LRU cache of domain-adapted
+	// networks, keyed by canonical task signature (parameter names and value
+	// sets, repetition count, quantized noise bucket, adaptation config and
+	// pretrained-network fingerprint). Zero disables caching and restores
+	// the one-adaptation-per-Model-call cost; results are bit-identical
+	// either way because the adaptation is a pure function of the signature.
+	AdaptCacheSize int
+	// NoiseBucketWidth quantizes the estimated adaptation noise range before
+	// it enters the task signature and the synthetic data generator. Zero
+	// means DefaultNoiseBucketWidth; a negative value disables quantization
+	// (every distinct estimate is its own signature).
+	NoiseBucketWidth float64
 }
 
 func (c Config) threshold() float64 {
@@ -64,14 +83,31 @@ func (c Config) threshold() float64 {
 	return c.NoiseThreshold
 }
 
+// bucketWidth returns the effective noise-bucket width (<= 0 disables
+// quantization).
+func (c Config) bucketWidth() float64 {
+	if c.NoiseBucketWidth == 0 {
+		return DefaultNoiseBucketWidth
+	}
+	return c.NoiseBucketWidth
+}
+
 // Modeler is the adaptive performance modeler. It is safe for concurrent use
 // and Model is a pure function of its input: the adaptation random stream is
-// derived from the measurement set's content and the configured seed, so the
-// same set always produces the same model — independent of call order,
-// worker count or interleaving with other Model calls.
+// derived from the task signature (layout, repetitions, noise bucket) and the
+// configured seed, so the same set always produces the same model —
+// independent of call order, worker count, interleaving with other Model
+// calls, or whether the adapted network came from the cache.
 type Modeler struct {
 	pretrained *dnnmodel.Modeler
 	cfg        Config
+	// fp fingerprints the pretrained network (computed once; the network is
+	// never mutated) so cached adaptations never cross pretrained networks.
+	fp uint64
+	// cache holds domain-adapted networks keyed by task signature; nil when
+	// caching is disabled (adaptcache.New returns nil for size <= 0 and all
+	// its methods accept a nil receiver).
+	cache *adaptcache.Cache
 }
 
 // New builds an adaptive modeler around a pretrained DNN modeler. The
@@ -84,7 +120,19 @@ func New(pretrained *dnnmodel.Modeler, cfg Config) (*Modeler, error) {
 	if cfg.TopK > 0 && pretrained != nil {
 		pretrained = &dnnmodel.Modeler{Net: pretrained.Net, TopK: cfg.TopK}
 	}
-	return &Modeler{pretrained: pretrained, cfg: cfg}, nil
+	m := &Modeler{pretrained: pretrained, cfg: cfg}
+	if pretrained != nil && !cfg.DisableDNN && !cfg.DisableAdaptation {
+		m.fp = pretrained.Net.Fingerprint()
+		m.cache = adaptcache.New(cfg.AdaptCacheSize)
+	}
+	return m, nil
+}
+
+// CacheStats returns a snapshot of the adaptation-cache counters (zeros when
+// caching is disabled). Misses count actual adaptation-training runs; Hits
+// count Model calls that reused a cached network.
+func (m *Modeler) CacheStats() adaptcache.Stats {
+	return m.cache.Stats()
 }
 
 // Report is the complete outcome of one adaptive modeling run.
@@ -131,28 +179,7 @@ func (m *Modeler) Model(set *measurement.Set) (Report, error) {
 	if err != nil {
 		return rep, err
 	}
-	// The adaptation noise range is clamped at 100%: beyond that level the
-	// synthetic labels are essentially random and retraining on them would
-	// degrade the classifier (the paper pretrains on n ∈ [0, 100%]).
-	noiseMax := rep.Noise.Max
-	if noiseMax > 1 {
-		noiseMax = 1
-	}
-	noiseMin := rep.Noise.Min
-	if noiseMin > noiseMax {
-		noiseMin = noiseMax
-	}
-	// Per-point noise levels in the adaptation data mirror real campaigns,
-	// whose run-to-run variability differs between configurations.
-	task := dnnmodel.TaskInfo{
-		Reps:          set.Repetitions(),
-		NoiseMin:      noiseMin,
-		NoiseMax:      noiseMax,
-		PerPointNoise: true,
-	}
-	for _, line := range lines {
-		task.ParamValues = append(task.ParamValues, line.Xs)
-	}
+	task := extractTask(set, rep.Noise, lines, m.cfg.bucketWidth())
 
 	useRegression := m.cfg.DisableDNN || rep.Noise.Global <= m.threshold()
 	useDNN := !m.cfg.DisableDNN
@@ -160,11 +187,10 @@ func (m *Modeler) Model(set *measurement.Set) (Report, error) {
 	// Steps 3 and 4: domain adaptation and DNN modeling.
 	var dnnRes *regression.Result
 	if useDNN {
-		rng := m.taskRng(set)
 		adaptStart := time.Now()
 		modeler := m.pretrained
 		if !m.cfg.DisableAdaptation {
-			modeler = m.pretrained.DomainAdapt(rng, task, m.cfg.Adapt)
+			modeler = m.adapted(set, task)
 		}
 		rep.Durations.Adapt = time.Since(adaptStart)
 		dnnStart := time.Now()
@@ -223,31 +249,111 @@ func (m *Modeler) threshold() float64 {
 	return t
 }
 
-// taskRng returns the deterministic random stream for one modeling task,
-// seeded from a content hash of the measurement set mixed with the configured
-// seed. Deriving the stream from the task instead of a call counter makes
-// Model a pure function, which is what lets the profile pipeline run tasks in
-// parallel while staying bit-identical to a serial run.
-func (m *Modeler) taskRng(set *measurement.Set) *rand.Rand {
-	h := fnv.New64a()
-	var buf [8]byte
-	writeF64 := func(v float64) {
-		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
-		h.Write(buf[:])
+// extractTask derives the adaptation task properties from a measurement set:
+// the parameter-value sets of its selected lines, the repetition count, and
+// the estimated noise range — clamped at 100% (beyond that level the
+// synthetic labels are essentially random and retraining on them would
+// degrade the classifier; the paper pretrains on n ∈ [0, 100%]) and then
+// quantized to the noise-bucket width. Per-point noise levels in the
+// adaptation data mirror real campaigns, whose run-to-run variability
+// differs between configurations.
+func extractTask(set *measurement.Set, na noise.Analysis, lines []regression.Line, bucketWidth float64) dnnmodel.TaskInfo {
+	noiseMax := na.Max
+	if noiseMax > 1 {
+		noiseMax = 1
 	}
-	h.Write([]byte(set.Metric))
-	for _, d := range set.Data {
-		binary.LittleEndian.PutUint64(buf[:], uint64(len(d.Point)))
-		h.Write(buf[:])
-		for _, c := range d.Point {
-			writeF64(c)
-		}
-		binary.LittleEndian.PutUint64(buf[:], uint64(len(d.Values)))
-		h.Write(buf[:])
-		for _, v := range d.Values {
-			writeF64(v)
-		}
+	noiseMin := na.Min
+	if noiseMin > noiseMax {
+		noiseMin = noiseMax
 	}
-	seed := int64(h.Sum64()) ^ (m.cfg.Seed * 1_000_003)
-	return rand.New(rand.NewSource(seed))
+	task := dnnmodel.TaskInfo{
+		Reps:          set.Repetitions(),
+		NoiseMin:      quantizeNoise(noiseMin, bucketWidth),
+		NoiseMax:      quantizeNoise(noiseMax, bucketWidth),
+		PerPointNoise: true,
+	}
+	for _, line := range lines {
+		task.ParamValues = append(task.ParamValues, line.Xs)
+	}
+	return task
+}
+
+// quantizeNoise snaps a noise level to the nearest bucket edge. Rounding (not
+// flooring) keeps the quantization error within width/2, and the result is
+// clamped back into [0, 1]. A non-positive width disables quantization.
+func quantizeNoise(v, width float64) float64 {
+	if width <= 0 {
+		return v
+	}
+	q := math.Round(v/width) * width
+	if q < 0 {
+		return 0
+	}
+	if q > 1 {
+		return 1
+	}
+	return q
+}
+
+// signature builds the canonical cache signature of one adaptation task for
+// this modeler. The quantized task plus the signature fields fully determine
+// the adapted network: the rng stream is seeded from the signature key, so
+// equal signatures produce bit-identical adaptations.
+func (m *Modeler) signature(set *measurement.Set, task dnnmodel.TaskInfo) adaptcache.Signature {
+	adapt := m.cfg.Adapt.WithDefaults()
+	return adaptcache.Signature{
+		ParamNames:      set.ParamNames,
+		ParamValues:     task.ParamValues,
+		Reps:            task.Reps,
+		NoiseMin:        task.NoiseMin,
+		NoiseMax:        task.NoiseMax,
+		PerPointNoise:   task.PerPointNoise,
+		SamplesPerClass: adapt.SamplesPerClass,
+		Epochs:          adapt.Epochs,
+		BatchSize:       adapt.BatchSize,
+		LearningRate:    adapt.LearningRate,
+		Fingerprint:     m.fp,
+		Seed:            m.cfg.Seed,
+	}
+}
+
+// adapted returns the domain-adapted modeler for a task, from the cache when
+// an equal-signature adaptation already ran. The adaptation is a pure
+// function of the signature key (the rng is seeded from it), so a cache hit
+// is bit-identical to the fresh adaptation it replaces; concurrent misses on
+// one signature share a single adaptation run (adaptcache single-flight).
+func (m *Modeler) adapted(set *measurement.Set, task dnnmodel.TaskInfo) *dnnmodel.Modeler {
+	key := m.signature(set, task).Key()
+	return m.cache.GetOrCreate(key, func() *dnnmodel.Modeler {
+		rng := rand.New(rand.NewSource(adaptcache.SeedFor(key)))
+		return m.pretrained.DomainAdapt(rng, task, m.cfg.Adapt)
+	})
+}
+
+// TaskSignature returns the layout-and-noise part of the canonical
+// adaptation signature of a measurement set: parameter names, the exact
+// value sets of the selected lines, the repetition count and the quantized
+// noise bucket. Modeler-specific components (adaptation config, pretrained
+// fingerprint, seed) are zero, so the result compares task *properties*
+// across kernels — noisescan uses it to report how many distinct adaptations
+// a profile would pay. bucketWidth follows Config.NoiseBucketWidth semantics:
+// 0 means DefaultNoiseBucketWidth, negative disables quantization.
+func TaskSignature(set *measurement.Set, bucketWidth float64) (string, error) {
+	if err := set.Validate(); err != nil {
+		return "", err
+	}
+	lines, err := regression.SelectLines(set)
+	if err != nil {
+		return "", err
+	}
+	na := noise.Analyze(set)
+	task := extractTask(set, na, lines, Config{NoiseBucketWidth: bucketWidth}.bucketWidth())
+	return adaptcache.Signature{
+		ParamNames:    set.ParamNames,
+		ParamValues:   task.ParamValues,
+		Reps:          task.Reps,
+		NoiseMin:      task.NoiseMin,
+		NoiseMax:      task.NoiseMax,
+		PerPointNoise: task.PerPointNoise,
+	}.Key(), nil
 }

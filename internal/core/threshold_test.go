@@ -1,0 +1,84 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestNoiseThresholdSemantics pins the documented Config.NoiseThreshold
+// contract end to end: zero means DefaultNoiseThreshold, negative disables
+// the regression modeler entirely, and the boundary case — estimated global
+// noise exactly equal to the threshold — still runs regression (the docs say
+// regression is switched off when the noise *exceeds* the threshold).
+func TestNoiseThresholdSemantics(t *testing.T) {
+	if got := (Config{}).threshold(); got != DefaultNoiseThreshold {
+		t.Fatalf("zero threshold = %v, want DefaultNoiseThreshold %v", got, DefaultNoiseThreshold)
+	}
+	if got := (Config{NoiseThreshold: 0.07}).threshold(); got != 0.07 {
+		t.Fatalf("explicit threshold = %v, want 0.07", got)
+	}
+	if got := (Config{NoiseThreshold: -0.5}).threshold(); got >= 0 {
+		t.Fatalf("negative threshold = %v, must stay negative (regression disabled)", got)
+	}
+
+	// Learn the exact estimated noise of a moderately noisy set, then model
+	// with the threshold pinned exactly at that estimate and just below it.
+	set := noisySetSeed(71, 0.3)
+	probe, err := New(testPretrained(), Config{Adapt: quietAdapt, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := probe.Model(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	global := rep.Noise.Global
+	if global <= 0 {
+		t.Fatalf("test set estimated noise %v, need > 0 for the boundary probe", global)
+	}
+
+	atBoundary, err := New(testPretrained(), Config{
+		NoiseThreshold: global, Adapt: quietAdapt, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repAt, err := atBoundary.Model(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !repAt.UsedRegression {
+		t.Fatalf("noise %v exactly at threshold must still run regression", global)
+	}
+
+	justBelow, err := New(testPretrained(), Config{
+		NoiseThreshold: math.Nextafter(global, 0), Adapt: quietAdapt, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repBelow, err := justBelow.Model(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repBelow.UsedRegression {
+		t.Fatalf("noise %v just above threshold must switch regression off", global)
+	}
+
+	negative, err := New(testPretrained(), Config{
+		NoiseThreshold: -1, Adapt: quietAdapt, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repNeg, err := negative.Model(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repNeg.UsedRegression {
+		t.Fatal("negative threshold must disable regression for any noise level")
+	}
+	if !repNeg.UsedDNN {
+		t.Fatal("DNN must still run with regression disabled")
+	}
+}

@@ -237,6 +237,12 @@ type AdaptConfig struct {
 	LearningRate    float64 // default nn default
 }
 
+// WithDefaults returns the effective configuration with zero fields replaced
+// by their documented defaults. The adaptation cache records these effective
+// values in its task signature, so an explicit config equal to the defaults
+// and the zero config share one cache entry.
+func (c AdaptConfig) WithDefaults() AdaptConfig { return c.withDefaults() }
+
 func (c AdaptConfig) withDefaults() AdaptConfig {
 	if c.SamplesPerClass <= 0 {
 		c.SamplesPerClass = 200

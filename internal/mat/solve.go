@@ -174,8 +174,22 @@ func SolveCholesky(a *Matrix, b []float64) ([]float64, error) {
 
 // Gram returns A^T A, the (cols×cols) Gram matrix of A.
 func Gram(a *Matrix) *Matrix {
+	g := New(a.cols, a.cols)
+	GramTo(g, a)
+	return g
+}
+
+// GramTo computes A^T A into g (cols×cols), allocation-free. g is zeroed
+// first; the accumulation order matches Gram exactly, so results are
+// bit-identical.
+func GramTo(g *Matrix, a *Matrix) {
 	n := a.cols
-	g := New(n, n)
+	if g.rows != n || g.cols != n {
+		panic(fmt.Sprintf("mat: GramTo needs %dx%d dst, got %dx%d", n, n, g.rows, g.cols))
+	}
+	for i := range g.data {
+		g.data[i] = 0
+	}
 	for i := 0; i < a.rows; i++ {
 		ri := a.data[i*n : (i+1)*n]
 		for p, vp := range ri {
@@ -188,5 +202,4 @@ func Gram(a *Matrix) *Matrix {
 			}
 		}
 	}
-	return g
 }

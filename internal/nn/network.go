@@ -17,7 +17,9 @@
 package nn
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"math/rand"
 
@@ -124,6 +126,34 @@ func (n *Network) NumParams() int {
 		total += l.W.Rows()*l.W.Cols() + len(l.B)
 	}
 	return total
+}
+
+// Fingerprint returns an FNV-1a hash over the network's architecture and
+// exact parameter bits. Two networks have equal fingerprints iff they are
+// structurally identical and bit-identical in every weight and bias, so the
+// fingerprint identifies a pretrained network inside cache keys (the
+// adaptation cache keys adapted networks by task signature, which must
+// distinguish different pretrained starting points).
+func (n *Network) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	writeU64(uint64(len(n.Layers)))
+	for _, l := range n.Layers {
+		writeU64(uint64(l.In()))
+		writeU64(uint64(l.Out()))
+		writeU64(uint64(l.Act))
+		for _, w := range l.W.Data() {
+			writeU64(math.Float64bits(w))
+		}
+		for _, b := range l.B {
+			writeU64(math.Float64bits(b))
+		}
+	}
+	return h.Sum64()
 }
 
 // Clone returns a deep copy of the network.

@@ -90,17 +90,18 @@ func FitLine(xs, vs []float64, classes []pmnf.Exponents, topK int) ([]Candidate,
 	}
 	var cands []Candidate
 	seenConstant := false
+	ws := newFitWorkspace(len(xs))
 	for _, e := range classes {
 		if e.IsConstant() {
 			seenConstant = true
 		}
-		c, ok := fitHypothesis(xs, vs, e)
+		c, ok := ws.fitHypothesis(xs, vs, e)
 		if ok {
 			cands = append(cands, c)
 		}
 	}
 	if !seenConstant {
-		if c, ok := fitHypothesis(xs, vs, pmnf.Exponents{}); ok {
+		if c, ok := ws.fitHypothesis(xs, vs, pmnf.Exponents{}); ok {
 			cands = append(cands, c)
 		}
 	}
@@ -125,9 +126,42 @@ func FitLine(xs, vs []float64, classes []pmnf.Exponents, topK int) ([]Candidate,
 	return cands, nil
 }
 
+// fitWorkspace holds the buffers of the single-parameter hypothesis search.
+// One workspace serves the whole class loop of a FitLine call: the n×2
+// design matrix, its equilibrated copy, the 2×2 Gram matrix and inverse, and
+// the fit/LOO vectors are written in place per class instead of reallocated,
+// and the basis column e.Eval(x) is evaluated once per class and shared by
+// all n leave-one-out folds through the hat-matrix identity. Every
+// accumulation runs in the same order as the allocating helpers it replaces
+// (mat.MulVecTo vs MulVec, mat.GramTo vs Gram), so the candidates are
+// bit-identical — pinned by TestFitLineMatchesReference.
+type fitWorkspace struct {
+	a    *mat.Matrix // n×2 design: intercept column + basis column
+	eq   *mat.Matrix // column-equilibrated copy of a
+	gram *mat.Matrix // 2×2 Gram matrix of eq
+	inv  *mat.Matrix // 2×2 inverse of gram
+	fits []float64   // in-sample predictions a·coef
+	loo  []float64   // leave-one-out predictions
+	hv   []float64   // inv·a_i scratch for hat values
+	unit []float64   // unit vector for the column-wise Gram inversion
+}
+
+func newFitWorkspace(n int) *fitWorkspace {
+	return &fitWorkspace{
+		a:    mat.New(n, 2),
+		eq:   mat.New(n, 2),
+		gram: mat.New(2, 2),
+		inv:  mat.New(2, 2),
+		fits: make([]float64, n),
+		loo:  make([]float64, n),
+		hv:   make([]float64, 2),
+		unit: make([]float64, 2),
+	}
+}
+
 // fitHypothesis fits one exponent class to a line and scores it by
 // leave-one-out cross-validation.
-func fitHypothesis(xs, vs []float64, e pmnf.Exponents) (Candidate, bool) {
+func (ws *fitWorkspace) fitHypothesis(xs, vs []float64, e pmnf.Exponents) (Candidate, bool) {
 	n := len(xs)
 	if e.IsConstant() {
 		// Constant model: the LOO prediction for point i is the mean of the
@@ -136,26 +170,62 @@ func fitHypothesis(xs, vs []float64, e pmnf.Exponents) (Candidate, bool) {
 		for _, v := range vs {
 			total += v
 		}
-		loo := make([]float64, n)
+		loo := ws.loo
 		for i, v := range vs {
 			loo[i] = (total - v) / float64(n-1)
 		}
 		return Candidate{Exps: e, C0: total / float64(n), SMAPE: stats.SMAPE(loo, vs)}, true
 	}
-	a := mat.New(n, 2)
 	for i, x := range xs {
-		a.Set(i, 0, 1)
-		a.Set(i, 1, e.Eval(x))
+		ws.a.Set(i, 0, 1)
+		ws.a.Set(i, 1, e.Eval(x))
 	}
-	coef, err := mat.LeastSquares(a, vs)
+	coef, err := mat.LeastSquares(ws.a, vs)
 	if err != nil {
 		return Candidate{}, false
 	}
-	loo, err := looPredictions(a, vs, coef)
-	if err != nil {
+	if err := ws.looPredictions(vs, coef); err != nil {
 		return Candidate{}, false
 	}
-	return Candidate{Exps: e, C0: coef[0], C1: coef[1], SMAPE: stats.SMAPE(loo, vs)}, true
+	return Candidate{Exps: e, C0: coef[0], C1: coef[1], SMAPE: stats.SMAPE(ws.loo, vs)}, true
+}
+
+// looPredictions computes the exact leave-one-out predictions of the current
+// design (ws.a) into ws.loo, reusing the workspace buffers. It is the
+// allocation-free twin of the package-level looPredictions and matches its
+// arithmetic exactly.
+func (ws *fitWorkspace) looPredictions(y, coef []float64) error {
+	n, p := ws.a.Rows(), ws.a.Cols()
+	mat.MulVecTo(ws.fits, ws.a, coef)
+	equilibratedInto(ws.eq, ws.a)
+	mat.GramTo(ws.gram, ws.eq)
+	// Invert the Gram matrix column by column via Cholesky solves.
+	for j := 0; j < p; j++ {
+		ws.unit[j] = 1
+		col, err := mat.SolveCholesky(ws.gram, ws.unit)
+		ws.unit[j] = 0
+		if err != nil {
+			return err
+		}
+		for i := 0; i < p; i++ {
+			ws.inv.Set(i, j, col[i])
+		}
+	}
+	for i := 0; i < n; i++ {
+		ai := ws.eq.Row(i)
+		fit := ws.fits[i]
+		mat.MulVecTo(ws.hv, ws.inv, ai)
+		h := mat.Dot(ai, ws.hv)
+		den := 1 - h
+		if den < 1e-10 {
+			// The point fully determines its own fit; fall back to the
+			// in-sample prediction (the hypothesis is too flexible for LOO).
+			ws.loo[i] = fit
+			continue
+		}
+		ws.loo[i] = y[i] - (y[i]-fit)/den
+	}
+	return nil
 }
 
 // looPredictions returns the exact leave-one-out predictions of a linear
@@ -205,8 +275,20 @@ func looPredictions(a *mat.Matrix, y, coef []float64) ([]float64, error) {
 
 // equilibrated returns a copy of a with each column scaled to unit norm.
 func equilibrated(a *mat.Matrix) *mat.Matrix {
-	n, p := a.Rows(), a.Cols()
 	c := a.Clone()
+	scaleColumnsToUnitNorm(c)
+	return c
+}
+
+// equilibratedInto copies a into dst (same shape) and scales each column to
+// unit norm, allocation-free.
+func equilibratedInto(dst, a *mat.Matrix) {
+	copy(dst.Data(), a.Data())
+	scaleColumnsToUnitNorm(dst)
+}
+
+func scaleColumnsToUnitNorm(c *mat.Matrix) {
+	n, p := c.Rows(), c.Cols()
 	for j := 0; j < p; j++ {
 		norm := 0.0
 		for i := 0; i < n; i++ {
@@ -219,7 +301,6 @@ func equilibrated(a *mat.Matrix) *mat.Matrix {
 			c.Set(i, j, c.At(i, j)/norm)
 		}
 	}
-	return c
 }
 
 // Model builds a performance model for a measurement set with any number of

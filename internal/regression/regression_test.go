@@ -43,7 +43,7 @@ func TestFitHypothesisExactRecovery(t *testing.T) {
 	for i, x := range xs {
 		vs[i] = 3 + 2*e.Eval(x)
 	}
-	c, ok := fitHypothesis(xs, vs, e)
+	c, ok := newFitWorkspace(len(xs)).fitHypothesis(xs, vs, e)
 	if !ok {
 		t.Fatal("fit failed")
 	}
@@ -58,7 +58,7 @@ func TestFitHypothesisExactRecovery(t *testing.T) {
 func TestFitHypothesisConstant(t *testing.T) {
 	xs := []float64{1, 2, 3, 4, 5}
 	vs := []float64{7, 7, 7, 7, 7}
-	c, ok := fitHypothesis(xs, vs, pmnf.Exponents{})
+	c, ok := newFitWorkspace(len(xs)).fitHypothesis(xs, vs, pmnf.Exponents{})
 	if !ok || math.Abs(c.C0-7) > 1e-12 || c.SMAPE > 1e-9 {
 		t.Fatalf("constant fit = %+v", c)
 	}

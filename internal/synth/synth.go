@@ -283,6 +283,14 @@ type TaskSpec struct {
 	Reps           int     // typically 5
 	NoiseLevel     float64 // fraction, e.g. 0.5 for 50%
 	EvalPoints     int     // extrapolation points P+, typically 4
+	// ParamValues optionally fixes the per-parameter value sequences of the
+	// measured grid instead of drawing random ones, so many instances can
+	// share one experiment layout — the shape of a real application profile,
+	// where every kernel is measured over the same design (and which the
+	// adaptation cache exploits). When set it must hold NumParams strictly
+	// increasing sequences of PointsPerParam positive values; extrapolation
+	// points continue each sequence linearly (next = last + last step).
+	ParamValues [][]float64
 }
 
 // Instance is one generated evaluation task: the ground-truth model, the
@@ -309,11 +317,25 @@ func GenInstance(rng *rand.Rand, spec TaskSpec) Instance {
 	}
 	m := spec.NumParams
 
-	// Parameter-value sequences, extended for extrapolation points.
+	// Parameter-value sequences, extended for extrapolation points. A fixed
+	// layout (spec.ParamValues) is continued linearly past the measured grid;
+	// a random one extends by its own generation rule.
 	seqs := make([][]float64, m)
 	values := make([][]float64, m)
 	for l := 0; l < m; l++ {
-		seqs[l] = GenSequence(rng, RandomSequenceKind(rng), spec.PointsPerParam+spec.EvalPoints)
+		if spec.ParamValues != nil {
+			if len(spec.ParamValues) != m || len(spec.ParamValues[l]) != spec.PointsPerParam {
+				panic("synth: TaskSpec.ParamValues must hold NumParams sequences of PointsPerParam values")
+			}
+			seq := append([]float64(nil), spec.ParamValues[l]...)
+			step := seq[len(seq)-1] - seq[len(seq)-2]
+			for e := 0; e < spec.EvalPoints; e++ {
+				seq = append(seq, seq[len(seq)-1]+step)
+			}
+			seqs[l] = seq
+		} else {
+			seqs[l] = GenSequence(rng, RandomSequenceKind(rng), spec.PointsPerParam+spec.EvalPoints)
+		}
 		values[l] = seqs[l][:spec.PointsPerParam]
 	}
 

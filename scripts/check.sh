@@ -31,7 +31,11 @@ go build ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race -short (root, mat, nn, parallel, dnnmodel, core, synth)"
-go test -race -short . ./internal/mat/... ./internal/nn/... ./internal/parallel/... ./internal/dnnmodel/... ./internal/core/... ./internal/synth/...
+echo "==> go test -race -short (root, mat, nn, parallel, dnnmodel, core, synth, adaptcache)"
+go test -race -short . ./internal/mat/... ./internal/nn/... ./internal/parallel/... ./internal/dnnmodel/... ./internal/core/... ./internal/synth/... ./internal/adaptcache/...
+
+echo "==> adaptation-cache allocation gate (steady-state hit path allocates O(report), not O(adaptation))"
+go test -run 'TestAdaptCacheHitAllocations' -count=1 .
+go test -bench 'BenchmarkModelProfileCached/hit' -benchtime 2x -benchmem -run '^$' .
 
 echo "All checks passed."
