@@ -1,6 +1,8 @@
 package extrapdnn
 
 import (
+	"context"
+	"fmt"
 	"io"
 
 	"extrapdnn/internal/design"
@@ -44,11 +46,28 @@ func (m *AdaptiveModeler) ModelProfile(p *Profile) ([]ProfileReport, error) {
 // ModelProfileWorkers is ModelProfile with an explicit worker count
 // (<= 0 means GOMAXPROCS), overriding Options.Workers.
 func (m *AdaptiveModeler) ModelProfileWorkers(p *Profile, workers int) ([]ProfileReport, error) {
+	return m.ModelProfileWorkersCtx(context.Background(), p, workers)
+}
+
+// ModelProfileCtx is ModelProfile with cancellation (see
+// ModelProfileWorkersCtx).
+func (m *AdaptiveModeler) ModelProfileCtx(ctx context.Context, p *Profile) ([]ProfileReport, error) {
+	return m.ModelProfileWorkersCtx(ctx, p, m.workers)
+}
+
+// ModelProfileWorkersCtx is ModelProfileWorkers with cancellation: once ctx
+// is done, no further entries are dispatched, in-flight entries stop at their
+// next training-epoch boundary, and the partial reports are returned together
+// with ctx's error — entries that never ran carry ctx's error as their
+// per-entry Err. A panicking entry (e.g. a corrupted measurement set tripping
+// a kernel-level bug) degrades into a per-entry *parallel.PanicError instead
+// of crashing the campaign.
+func (m *AdaptiveModeler) ModelProfileWorkersCtx(ctx context.Context, p *Profile, workers int) ([]ProfileReport, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	reports, errs := parallel.MapErr(len(p.Entries), workers, func(i int) (*Report, error) {
-		rep, err := m.Model(p.Entries[i].Set)
+	reports, errs := parallel.MapErrCtx(ctx, len(p.Entries), workers, func(i int) (*Report, error) {
+		rep, err := m.ModelCtx(ctx, p.Entries[i].Set)
 		if err != nil {
 			return nil, err
 		}
@@ -62,7 +81,7 @@ func (m *AdaptiveModeler) ModelProfileWorkers(p *Profile, workers int) ([]Profil
 		}
 		out[i] = pr
 	}
-	return out, nil
+	return out, ctx.Err()
 }
 
 // ProfileReport is the outcome of modeling one profile entry.
@@ -71,6 +90,20 @@ type ProfileReport struct {
 	Metric string
 	Report *Report
 	Err    error
+}
+
+// ProfileError flattens the per-entry failures of a profile run into one
+// structured multi-error naming each failed kernel (errors.Join semantics:
+// errors.Is/As see every cause), or nil when every entry modeled. Use it to
+// decide process exit codes after a partially failed campaign.
+func ProfileError(reports []ProfileReport) error {
+	var errs []error
+	for _, r := range reports {
+		if r.Err != nil {
+			errs = append(errs, fmt.Errorf("%s/%s: %w", r.Kernel, r.Metric, r.Err))
+		}
+	}
+	return parallel.JoinErrs(errs)
 }
 
 // Experiment design: planning which measurement points to run.

@@ -1,0 +1,62 @@
+package extrapdnn
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestModelProfileCtxCancelled pins acceptance criterion (c) at the public
+// API: a cancelled context stops the profile run, returns ctx's error at the
+// top level, and marks never-run entries with the same error.
+func TestModelProfileCtxCancelled(t *testing.T) {
+	m := apiTestModeler(t)
+	prof := multiKernelProfile(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	reports, err := m.ModelProfileCtx(ctx, prof)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(reports) != len(prof.Entries) {
+		t.Fatalf("got %d reports for %d entries", len(reports), len(prof.Entries))
+	}
+	for _, r := range reports {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("entry %s: err = %v, want context.Canceled", r.Kernel, r.Err)
+		}
+	}
+}
+
+func TestModelProfileCtxHealthyMatchesModelProfile(t *testing.T) {
+	m := apiTestModeler(t)
+	prof := demoProfile(t)
+	a, err := m.ModelProfile(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.ModelProfileCtx(context.Background(), prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) || a[0].Err != nil || b[0].Err != nil {
+		t.Fatalf("reports differ: %+v vs %+v", a, b)
+	}
+	if a[0].Report.Model.Model.String() != b[0].Report.Model.Model.String() {
+		t.Fatal("ctx variant produced a different model on the healthy path")
+	}
+}
+
+func TestProfileErrorNilOnSuccess(t *testing.T) {
+	if ProfileError(nil) != nil {
+		t.Fatal("ProfileError(nil) must be nil")
+	}
+	if ProfileError([]ProfileReport{{Kernel: "k"}}) != nil {
+		t.Fatal("ProfileError of healthy reports must be nil")
+	}
+	e := errors.New("boom")
+	err := ProfileError([]ProfileReport{{Kernel: "k", Metric: "runtime", Err: e}})
+	if err == nil || !errors.Is(err, e) {
+		t.Fatalf("ProfileError = %v", err)
+	}
+}

@@ -1,0 +1,58 @@
+//go:build faultinject
+
+package extrapdnn
+
+import (
+	"errors"
+	"testing"
+
+	"extrapdnn/internal/faultinject"
+	"extrapdnn/internal/measurement"
+	"extrapdnn/internal/parallel"
+)
+
+// TestModelProfileKernelPanicIsolated pins acceptance criterion (a) of the
+// fault-tolerance layer: a kernel whose modeling run panics mid-profile
+// becomes one failed entry with a *parallel.PanicError while every other
+// kernel still delivers its report, and ProfileError names the casualty.
+func TestModelProfileKernelPanicIsolated(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	m := apiTestModeler(t)
+	prof := multiKernelProfile(t)
+	// Panic on exactly one kernel's measurement set.
+	victim := prof.Entries[2].Set
+	faultinject.Set(faultinject.SiteCoreModel, func(args ...any) {
+		if args[0].(*measurement.Set) == victim {
+			panic("kernel exploded")
+		}
+	})
+	for _, workers := range []int{1, 4} {
+		reports, err := m.ModelProfileWorkers(prof, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: profile-level error: %v", workers, err)
+		}
+		for i, r := range reports {
+			if i == 2 {
+				var pe *parallel.PanicError
+				if !errors.As(r.Err, &pe) {
+					t.Fatalf("workers=%d: victim kernel err = %v, want *parallel.PanicError", workers, r.Err)
+				}
+				if r.Report != nil {
+					t.Fatalf("workers=%d: victim kernel still has a report", workers)
+				}
+				continue
+			}
+			if r.Err != nil || r.Report == nil {
+				t.Fatalf("workers=%d: healthy kernel %s failed: %v", workers, r.Kernel, r.Err)
+			}
+		}
+		perr := ProfileError(reports)
+		if perr == nil {
+			t.Fatalf("workers=%d: ProfileError must report the panicked kernel", workers)
+		}
+		var pe *parallel.PanicError
+		if !errors.As(perr, &pe) || pe.Index != 2 {
+			t.Fatalf("workers=%d: ProfileError = %v, want a PanicError for entry 2", workers, perr)
+		}
+	}
+}

@@ -12,9 +12,13 @@
 // adaptive modeler (sharing one domain-adaptation cache) and each selected
 // model is evaluated at the -at point; -v additionally prints the cache
 // statistics.
+//
+// Exit codes: 0 full success, 1 fatal error, 3 some kernels failed while
+// others delivered models (-profile), 4 the -timeout deadline expired.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -44,12 +48,21 @@ func main() {
 		to          = flag.Float64("to", 0, "sweep end value")
 		steps       = flag.Int("steps", 8, "sweep steps")
 		workers     = flag.Int("workers", 0, "concurrent evaluation/modeling workers (0 = GOMAXPROCS)")
+		timeout     = flag.Duration("timeout", 0, "overall deadline, e.g. 90s or 5m (0 = none); expiry exits with code 4")
 	)
 	flag.Parse()
 
+	ctx, cancel := cliutil.TimeoutContext(*timeout)
+	defer cancel()
+
 	if *profilePath != "" {
-		if err := evalProfile(*profilePath, *netPath, *at, *adaptCache, *workers, *seed, *verbose); err != nil {
+		failed, err := evalProfile(ctx, *profilePath, *netPath, *at, *adaptCache, *workers, *seed, *verbose)
+		if err != nil {
 			fatal(err)
+		}
+		if failed > 0 {
+			fmt.Fprintf(os.Stderr, "modeleval: %d kernel(s) failed, results above are partial\n", failed)
+			os.Exit(cliutil.ExitPartialFailure)
 		}
 		return
 	}
@@ -116,35 +129,36 @@ func main() {
 // evalProfile models every kernel of an application profile with the
 // adaptive modeler — all kernels share one domain-adaptation cache, so
 // equal-signature kernels pay a single adaptation — and evaluates each
-// selected model at the -at point.
-func evalProfile(path, netPath, at string, adaptCache, workers int, seed int64, verbose bool) error {
+// selected model at the -at point. A failed kernel never takes the others
+// down: it prints an error line and counts toward the returned failure total.
+func evalProfile(ctx context.Context, path, netPath, at string, adaptCache, workers int, seed int64, verbose bool) (failed int, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer f.Close()
 	prof, err := profile.Read(f)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	var point []float64
 	if at != "" {
 		parts := strings.Split(at, ",")
 		if len(parts) != prof.NumParams() {
-			return fmt.Errorf("-at has %d values, profile has %d parameters", len(parts), prof.NumParams())
+			return 0, fmt.Errorf("-at has %d values, profile has %d parameters", len(parts), prof.NumParams())
 		}
 		point = make([]float64, len(parts))
 		for i, p := range parts {
 			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
 			if err != nil {
-				return fmt.Errorf("invalid value %q: %w", p, err)
+				return 0, fmt.Errorf("invalid value %q: %w", p, err)
 			}
 			point[i] = v
 		}
 	}
-	pretrained, err := cliutil.LoadOrPretrain(netPath, "default", 300, 3, seed)
+	pretrained, err := cliutil.LoadOrPretrainCtx(ctx, netPath, "default", 300, 3, seed)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	modeler, err := core.New(pretrained, core.Config{
 		Adapt:          dnnmodel.AdaptConfig{},
@@ -152,10 +166,10 @@ func evalProfile(path, netPath, at string, adaptCache, workers int, seed int64, 
 		AdaptCacheSize: adaptCache,
 	})
 	if err != nil {
-		return err
+		return 0, err
 	}
-	reps, errs := parallel.MapErr(len(prof.Entries), workers, func(i int) (core.Report, error) {
-		return modeler.Model(prof.Entries[i].Set)
+	reps, errs := parallel.MapErrCtx(ctx, len(prof.Entries), workers, func(i int) (core.Report, error) {
+		return modeler.ModelCtx(ctx, prof.Entries[i].Set)
 	})
 	fmt.Printf("application: %s (%d kernels, %d parameters)\n",
 		prof.Application, len(prof.Kernels()), prof.NumParams())
@@ -166,15 +180,21 @@ func evalProfile(path, netPath, at string, adaptCache, workers int, seed int64, 
 	fmt.Println(header)
 	for i, e := range prof.Entries {
 		if errs != nil && errs[i] != nil {
+			failed++
 			fmt.Printf("%-22s | modeling failed: %v\n", e.Kernel, errs[i])
 			continue
 		}
 		rep := reps[i]
+		suffix := ""
+		if rep.Resilience.Fallback != core.FallbackNone {
+			suffix = fmt.Sprintf("  [degraded: %s fallback, %d adaptation attempt(s)]",
+				rep.Resilience.Fallback, rep.Resilience.AdaptAttempts)
+		}
 		if point != nil {
-			fmt.Printf("%-22s | %8.3f%% | %-14g | %s\n",
-				e.Kernel, rep.Model.SMAPE, rep.Model.Model.Eval(point), rep.Model.Model)
+			fmt.Printf("%-22s | %8.3f%% | %-14g | %s%s\n",
+				e.Kernel, rep.Model.SMAPE, rep.Model.Model.Eval(point), rep.Model.Model, suffix)
 		} else {
-			fmt.Printf("%-22s | %8.3f%% | %s\n", e.Kernel, rep.Model.SMAPE, rep.Model.Model)
+			fmt.Printf("%-22s | %8.3f%% | %s%s\n", e.Kernel, rep.Model.SMAPE, rep.Model.Model, suffix)
 		}
 	}
 	if verbose {
@@ -182,10 +202,15 @@ func evalProfile(path, netPath, at string, adaptCache, workers int, seed int64, 
 		fmt.Printf("adaptation cache:  %d hits, %d misses (adaptations trained), %d evictions, %d entries, %.1f KiB retained\n",
 			s.Hits, s.Misses, s.Evictions, s.Entries, float64(s.Bytes)/1024)
 	}
-	return nil
+	// A deadline expiry outranks partial failure: the missing kernels were
+	// never tried, so the caller should see exit code 4, not 3.
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return failed, ctxErr
+	}
+	return failed, nil
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "modeleval:", err)
-	os.Exit(1)
+	os.Exit(cliutil.ExitCode(err))
 }

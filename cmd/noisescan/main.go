@@ -4,15 +4,20 @@
 //
 //	noisescan -in measurements.txt -params 2
 //	noisescan -profile app.json
+//
+// Exit codes: 0 full success, 1 fatal error, 3 some adaptation signatures
+// could not be computed (-profile), 4 the -timeout deadline expired.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 
+	"extrapdnn/internal/cliutil"
 	"extrapdnn/internal/core"
 	"extrapdnn/internal/measurement"
 	"extrapdnn/internal/noise"
@@ -29,12 +34,21 @@ func main() {
 		bins        = flag.Int("bins", 10, "histogram bins")
 		workers     = flag.Int("workers", 0, "with -profile: concurrent analysis workers (0 = GOMAXPROCS)")
 		bucketWidth = flag.Float64("noise-bucket", 0, "with -profile: noise-bucket width for adaptation-signature grouping (0 = default 2.5% steps, negative disables quantization)")
+		timeout     = flag.Duration("timeout", 0, "overall deadline, e.g. 90s (0 = none); expiry exits with code 4")
 	)
 	flag.Parse()
 
+	ctx, cancel := cliutil.TimeoutContext(*timeout)
+	defer cancel()
+
 	if *profilePath != "" {
-		if err := scanProfile(*profilePath, *workers, *bucketWidth); err != nil {
+		sigFailures, err := scanProfile(ctx, *profilePath, *workers, *bucketWidth)
+		if err != nil {
 			fatal(err)
+		}
+		if sigFailures > 0 {
+			fmt.Fprintf(os.Stderr, "noisescan: %d kernel(s) without adaptation signature, grouping above is partial\n", sigFailures)
+			os.Exit(cliutil.ExitPartialFailure)
 		}
 		return
 	}
@@ -104,27 +118,36 @@ func main() {
 // quantized noise bucket, so the adaptive modeler pays a single domain
 // adaptation between them (see internal/adaptcache). Entries are analyzed
 // concurrently; noise.Analyze is a pure function, so the output is identical
-// for any worker count.
-func scanProfile(path string, workers int, bucketWidth float64) error {
+// for any worker count. Returns how many kernels have no usable adaptation
+// signature (their sig column shows "-"); the caller maps that to exit code 3.
+func scanProfile(ctx context.Context, path string, workers int, bucketWidth float64) (sigFailures int, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer f.Close()
 	prof, err := profile.Read(f)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	type entryScan struct {
 		analysis noise.Analysis
 		sig      string
 		sigErr   error
 	}
-	scans := parallel.Map(len(prof.Entries), workers, func(i int) entryScan {
+	scans, errs := parallel.MapErrCtx(ctx, len(prof.Entries), workers, func(i int) (entryScan, error) {
 		s := entryScan{analysis: noise.Analyze(prof.Entries[i].Set)}
 		s.sig, s.sigErr = core.TaskSignature(prof.Entries[i].Set, bucketWidth)
-		return s
+		return s, nil
 	})
+	// MapErrCtx only reports per-entry errors on cancellation or an isolated
+	// panic; either way the table would be partial garbage, so bail out.
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return 0, ctxErr
+	}
+	if joined := parallel.JoinErrs(errs); joined != nil {
+		return 0, joined
+	}
 	// Number signature groups in first-appearance order.
 	groups := map[string]int{}
 	for _, s := range scans {
@@ -142,16 +165,18 @@ func scanProfile(path string, workers int, bucketWidth float64) error {
 		sig := "-"
 		if scans[i].sigErr == nil {
 			sig = fmt.Sprintf("#%d", groups[scans[i].sig])
+		} else {
+			sigFailures++
 		}
 		fmt.Printf("%-22s | %6.2f%% | %6.2f%% | %6.2f%% | [%5.2f%%, %5.2f%%] | %s\n",
 			e.Kernel, a.Global*100, a.Mean*100, a.Median*100, a.Min*100, a.Max*100, sig)
 	}
 	fmt.Printf("adaptation signatures: %d distinct across %d kernels (the adaptive modeler pays one domain adaptation per signature)\n",
 		len(groups), len(prof.Entries))
-	return nil
+	return sigFailures, nil
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "noisescan:", err)
-	os.Exit(1)
+	os.Exit(cliutil.ExitCode(err))
 }

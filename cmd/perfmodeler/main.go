@@ -7,9 +7,13 @@
 // The text format holds one measurement point per line: the parameter
 // values, then one or more repeated measured values. An optional
 // "# params: p size" header names the parameters.
+//
+// Exit codes: 0 full success, 1 fatal error, 3 some kernels failed while
+// others delivered models (-profile), 4 the -timeout deadline expired.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -42,13 +46,17 @@ func main() {
 		epochs         = flag.Int("pretrain-epochs", 3, "ad-hoc pretraining epochs")
 		adaptSamples   = flag.Int("adapt-samples", 200, "domain-adaptation samples per class")
 		adaptEpochs    = flag.Int("adapt-epochs", 1, "domain-adaptation epochs")
+		adaptRetries   = flag.Int("adapt-retries", 0, "divergence retries per adaptation (0 = default 2, negative disables)")
 		threshold      = flag.Float64("threshold", core.DefaultNoiseThreshold, "noise level above which the regression modeler is switched off")
 		regressionOnly = flag.Bool("regression-only", false, "use only the classic regression modeler")
+		noFallback     = flag.Bool("no-fallback", false, "fail instead of degrading to the pretrained network or regression on DNN failure")
 		workers        = flag.Int("workers", 0, "with -profile: concurrent modeling workers (0 = GOMAXPROCS); results are identical for any value")
 		adaptCache     = flag.Int("adapt-cache", 32, "LRU entries of the domain-adaptation cache (0 disables; results are identical either way)")
 		bucketWidth    = flag.Float64("noise-bucket", 0, "noise-bucket width for the adaptation cache signature (0 = default 2.5% steps, negative disables quantization)")
 		verbose        = flag.Bool("v", false, "print adaptation-cache statistics after modeling")
 		seed           = flag.Int64("seed", 1, "random seed")
+		timeout        = flag.Duration("timeout", 0, "overall deadline, e.g. 90s or 5m (0 = none); expiry exits with code 4")
+		noSanitize     = flag.Bool("no-sanitize", false, "reject measurement sets with bad points instead of repairing them")
 		predict        = flag.String("predict", "", `comma-separated parameter values to predict after modeling, e.g. "4096,1e6"`)
 		scalingParam   = flag.Int("scaling", 0, "1-based index of the process-count parameter: grade the model's scalability (0 = off)")
 		interval       = flag.Bool("interval", false, "with -predict: bootstrap a 95% prediction interval (regression refits)")
@@ -56,10 +64,13 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, cancel := cliutil.TimeoutContext(*timeout)
+	defer cancel()
+
 	var err error
 	var pretrained *dnnmodel.Modeler
 	if !*regressionOnly {
-		pretrained, err = cliutil.LoadOrPretrain(*netPath, *topology, *samples, *epochs, *seed)
+		pretrained, err = cliutil.LoadOrPretrainCtx(ctx, *netPath, *topology, *samples, *epochs, *seed)
 		if err != nil {
 			fatal(err)
 		}
@@ -71,26 +82,33 @@ func main() {
 		Seed:             *seed,
 		AdaptCacheSize:   *adaptCache,
 		NoiseBucketWidth: *bucketWidth,
+		AdaptRetries:     *adaptRetries,
+		DisableFallback:  *noFallback,
 	})
 	if err != nil {
 		fatal(err)
 	}
 
 	if *profilePath != "" {
-		if err := modelProfile(modeler, *profilePath, *kernelFilter, *workers); err != nil {
+		failed, err := modelProfile(ctx, modeler, *profilePath, *kernelFilter, *workers, *noSanitize)
+		if err != nil {
 			fatal(err)
 		}
 		if *verbose {
 			printCacheStats(modeler)
 		}
+		if failed > 0 {
+			fmt.Fprintf(os.Stderr, "perfmodeler: %d kernel(s) failed, results above are partial\n", failed)
+			os.Exit(cliutil.ExitPartialFailure)
+		}
 		return
 	}
 
-	set, err := readInput(*in, *format, *params)
+	set, err := readInput(*in, *format, *params, *noSanitize)
 	if err != nil {
 		fatal(err)
 	}
-	rep, err := modeler.Model(set)
+	rep, err := modeler.ModelCtx(ctx, set)
 	if err != nil {
 		fatal(err)
 	}
@@ -102,7 +120,10 @@ func main() {
 			NoiseGlobal    float64    `json:"noise_global"`
 			SelectedDNN    bool       `json:"selected_dnn"`
 			UsedRegression bool       `json:"used_regression"`
-		}{rep.Model.Model, rep.Model.SMAPE, rep.Noise.Global, rep.SelectedDNN, rep.UsedRegression}
+			Fallback       string     `json:"fallback,omitempty"`
+			AdaptAttempts  int        `json:"adapt_attempts,omitempty"`
+		}{rep.Model.Model, rep.Model.SMAPE, rep.Noise.Global, rep.SelectedDNN, rep.UsedRegression,
+			fallbackLabel(rep), rep.Resilience.AdaptAttempts}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
@@ -116,6 +137,10 @@ func main() {
 		rep.Noise.Global*100, rep.Noise.Mean*100, rep.Noise.Min*100, rep.Noise.Max*100)
 	fmt.Printf("modelers used:     regression=%v dnn=%v (selected: %s)\n",
 		rep.UsedRegression, rep.UsedDNN, selectedName(rep))
+	if r := rep.Resilience; r.Fallback != core.FallbackNone {
+		fmt.Printf("degraded:          %s fallback after %d adaptation attempt(s): %v\n",
+			r.Fallback, r.AdaptAttempts, r.FallbackErr)
+	}
 	fmt.Printf("model:             %s\n", rep.Model.Model)
 	fmt.Printf("cross-val SMAPE:   %.3f%%\n", rep.Model.SMAPE)
 	if rep.Regression != nil && rep.DNN != nil {
@@ -171,16 +196,19 @@ func parsePoint(s string, m int) ([]float64, error) {
 // modelProfile models every kernel of an application profile (or a single
 // kernel when filter is nonempty) and prints one line per kernel. Kernels are
 // modeled concurrently; since core.Modeler.Model is a pure function of each
-// measurement set, the output is identical for any worker count.
-func modelProfile(modeler *core.Modeler, path, filter string, workers int) error {
+// measurement set, the output is identical for any worker count. A failed
+// kernel — panic, divergence with fallback disabled, cancellation — never
+// takes the others down: it prints an error line and counts toward the
+// returned failure total (exit code 3).
+func modelProfile(ctx context.Context, modeler *core.Modeler, path, filter string, workers int, noSanitize bool) (failed int, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer f.Close()
 	prof, err := profile.Read(f)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	var entries []profile.Entry
 	for _, e := range prof.Entries {
@@ -190,27 +218,45 @@ func modelProfile(modeler *core.Modeler, path, filter string, workers int) error
 		entries = append(entries, e)
 	}
 	if len(entries) == 0 {
-		return fmt.Errorf("no kernel matched %q", filter)
+		return 0, fmt.Errorf("no kernel matched %q", filter)
+	}
+	if !noSanitize {
+		for _, e := range entries {
+			if rep := e.Set.Sanitize(); !rep.Clean() {
+				fmt.Fprintf(os.Stderr, "perfmodeler: %s: sanitized input: %s\n", e.Kernel, rep.String())
+			}
+		}
 	}
 	fmt.Printf("application: %s (%d kernels, %d parameters)\n",
 		prof.Application, len(prof.Kernels()), prof.NumParams())
 	fmt.Printf("%-22s | %-8s | %-9s | %s\n", "kernel", "noise", "SMAPE", "model")
-	reps, errs := parallel.MapErr(len(entries), workers, func(i int) (core.Report, error) {
-		return modeler.Model(entries[i].Set)
+	reps, errs := parallel.MapErrCtx(ctx, len(entries), workers, func(i int) (core.Report, error) {
+		return modeler.ModelCtx(ctx, entries[i].Set)
 	})
 	for i, e := range entries {
 		if errs != nil && errs[i] != nil {
+			failed++
 			fmt.Printf("%-22s | modeling failed: %v\n", e.Kernel, errs[i])
 			continue
 		}
 		rep := reps[i]
-		fmt.Printf("%-22s | %6.2f%% | %8.3f%% | %s\n",
+		line := fmt.Sprintf("%-22s | %6.2f%% | %8.3f%% | %s",
 			e.Kernel, rep.Noise.Global*100, rep.Model.SMAPE, rep.Model.Model)
+		if rep.Resilience.Fallback != core.FallbackNone {
+			line += fmt.Sprintf("  [degraded: %s fallback, %d adaptation attempt(s)]",
+				rep.Resilience.Fallback, rep.Resilience.AdaptAttempts)
+		}
+		fmt.Println(line)
 	}
-	return nil
+	// A deadline expiry outranks partial failure: the missing kernels were
+	// never tried, so the caller should see exit code 4, not 3.
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return failed, ctxErr
+	}
+	return failed, nil
 }
 
-func readInput(path, format string, params int) (*measurement.Set, error) {
+func readInput(path, format string, params int, noSanitize bool) (*measurement.Set, error) {
 	var r io.Reader = os.Stdin
 	if path != "-" {
 		f, err := os.Open(path)
@@ -220,16 +266,27 @@ func readInput(path, format string, params int) (*measurement.Set, error) {
 		defer f.Close()
 		r = f
 	}
+	var rep measurement.SanitizeReport
+	cfg := measurement.ReadConfig{NoSanitize: noSanitize, Report: &rep}
+	var set *measurement.Set
+	var err error
 	switch format {
 	case "json":
-		return measurement.ReadJSON(r)
+		set, err = measurement.ReadJSONWith(r, cfg)
 	case "text":
-		return measurement.ReadText(r, params)
+		set, err = measurement.ReadTextWith(r, params, cfg)
 	case "extrap":
-		return measurement.ReadExtraP(r)
+		set, err = measurement.ReadExtraPWith(r, cfg)
 	default:
 		return nil, fmt.Errorf("unknown format %q (want text, json or extrap)", format)
 	}
+	if err != nil {
+		return nil, err
+	}
+	if !rep.Clean() {
+		fmt.Fprintf(os.Stderr, "perfmodeler: sanitized input: %s\n", rep.String())
+	}
+	return set, nil
 }
 
 // printCacheStats reports how many Model calls reused a cached adaptation
@@ -247,7 +304,14 @@ func selectedName(rep core.Report) string {
 	return "regression"
 }
 
+func fallbackLabel(rep core.Report) string {
+	if rep.Resilience.Fallback == core.FallbackNone {
+		return ""
+	}
+	return rep.Resilience.Fallback.String()
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "perfmodeler:", err)
-	os.Exit(1)
+	os.Exit(cliutil.ExitCode(err))
 }

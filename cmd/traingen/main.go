@@ -4,6 +4,9 @@
 //
 //	traingen -o network.bin -topology default -samples 1000 -epochs 4
 //	perfmodeler -net network.bin -in measurements.txt
+//
+// Exit codes: 0 success, 1 fatal error, 4 the -timeout deadline expired
+// before pretraining finished (training stops at the next epoch boundary).
 package main
 
 import (
@@ -23,21 +26,28 @@ func main() {
 		epochs   = flag.Int("epochs", 4, "training epochs")
 		reps     = flag.Int("reps", 5, "simulated measurement repetitions per point")
 		seed     = flag.Int64("seed", 1, "random seed")
+		timeout  = flag.Duration("timeout", 0, "pretraining deadline, e.g. 10m (0 = none); expiry exits with code 4")
 	)
 	flag.Parse()
+
+	ctx, cancel := cliutil.TimeoutContext(*timeout)
+	defer cancel()
 
 	hidden, err := cliutil.ParseTopology(*topology)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "pretraining: topology %v, %d samples/class, %d epochs\n", hidden, *samples, *epochs)
-	m, stats := dnnmodel.Pretrain(dnnmodel.PretrainConfig{
+	m, stats, err := dnnmodel.PretrainCtx(ctx, dnnmodel.PretrainConfig{
 		Hidden:          hidden,
 		SamplesPerClass: *samples,
 		Epochs:          *epochs,
 		Reps:            *reps,
 		Seed:            *seed,
 	})
+	if err != nil {
+		fatal(err)
+	}
 	for e, loss := range stats.EpochLoss {
 		fmt.Fprintf(os.Stderr, "  epoch %d: loss %.4f\n", e+1, loss)
 	}
@@ -55,5 +65,5 @@ func main() {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "traingen:", err)
-	os.Exit(1)
+	os.Exit(cliutil.ExitCode(err))
 }

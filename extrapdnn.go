@@ -25,6 +25,7 @@
 package extrapdnn
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -56,6 +57,11 @@ type (
 	NoiseAnalysis = noise.Analysis
 	// Report is the full outcome of one adaptive modeling run.
 	Report = core.Report
+	// Resilience is the fault-tolerance record of one modeling run: adaptation
+	// attempts and the degradation path taken (Report.Resilience).
+	Resilience = core.Resilience
+	// FallbackPath identifies the degradation path of one modeling run.
+	FallbackPath = core.FallbackPath
 	// ModelResult is a model plus its cross-validated SMAPE.
 	ModelResult = regression.Result
 	// Interval is a two-sided confidence interval.
@@ -94,7 +100,28 @@ type Options struct {
 	// core.DefaultNoiseBucketWidth, 2.5% steps; negative disables
 	// quantization).
 	NoiseBucketWidth float64
+	// AdaptRetries bounds the deterministic divergence-recovery retries per
+	// domain adaptation (zero means core.DefaultAdaptRetries; negative
+	// disables retries).
+	AdaptRetries int
+	// DisableFallback surfaces DNN-path failures (e.g. ErrDiverged) as errors
+	// instead of degrading to the pretrained network or the regression
+	// modeler.
+	DisableFallback bool
 }
+
+// Degradation paths recorded in Report.Resilience (see core.FallbackPath).
+const (
+	FallbackNone       = core.FallbackNone
+	FallbackPretrained = core.FallbackPretrained
+	FallbackRegression = core.FallbackRegression
+)
+
+// ErrDiverged marks a training run that produced non-finite losses or
+// exploding weights. errors.Is(report.Resilience.FallbackErr, ErrDiverged)
+// identifies divergence-triggered degradation; with Options.DisableFallback
+// the error surfaces directly from Model/ModelCtx.
+var ErrDiverged = nn.ErrDiverged
 
 // DefaultAdaptCacheSize is the adaptation-cache bound used when
 // Options.AdaptCacheSize is zero. Profiles rarely span more than a handful of
@@ -169,6 +196,8 @@ func newAdaptive(pre *dnnmodel.Modeler, opts Options) (*AdaptiveModeler, error) 
 		Seed:             opts.Seed,
 		AdaptCacheSize:   cacheSize,
 		NoiseBucketWidth: opts.NoiseBucketWidth,
+		AdaptRetries:     opts.AdaptRetries,
+		DisableFallback:  opts.DisableFallback,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("extrapdnn: %w", err)
@@ -193,6 +222,13 @@ func (m *AdaptiveModeler) AdaptCacheStats() CacheStats {
 // Model runs the adaptive modeling pipeline on a measurement set.
 func (m *AdaptiveModeler) Model(set *MeasurementSet) (Report, error) {
 	return m.inner.Model(set)
+}
+
+// ModelCtx is Model with cancellation: ctx is observed at every
+// adaptation/training epoch boundary and between per-parameter DNN fits, so a
+// cancelled run stops within one training epoch and returns ctx's error.
+func (m *AdaptiveModeler) ModelCtx(ctx context.Context, set *MeasurementSet) (Report, error) {
+	return m.inner.ModelCtx(ctx, set)
 }
 
 // SaveNetwork writes the pretrained classification network so later runs can

@@ -111,6 +111,23 @@ func SeedFor(key string) int64 {
 	return int64(h.Sum64())
 }
 
+// RetrySeed derives the adaptation rng seed for a divergence-recovery
+// attempt. Attempt 0 is exactly SeedFor(key), so retry-capable callers are
+// bit-identical to the historical single-attempt path when no retry happens;
+// later attempts mix the attempt counter into the hash, staying a pure
+// function of (key, attempt) — deterministic across runs and worker counts.
+func RetrySeed(key string, attempt int) int64 {
+	if attempt <= 0 {
+		return SeedFor(key)
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(attempt))
+	h.Write(buf[:])
+	return int64(h.Sum64())
+}
+
 // Stats are the cache's monotonic counters plus its current occupancy.
 type Stats struct {
 	Hits      uint64 // lookups served from the cache (incl. single-flight waits)
@@ -161,6 +178,19 @@ func New(capacity int) *Cache {
 // a pure function of key (the adaptation-cache contract); if it panics, the
 // pending entry is removed and waiters fall back to their own create call.
 func (c *Cache) GetOrCreate(key string, create func() *dnnmodel.Modeler) *dnnmodel.Modeler {
+	m, _ := c.GetOrCreateErr(key, func() (*dnnmodel.Modeler, error) {
+		return create(), nil
+	})
+	return m
+}
+
+// GetOrCreateErr is GetOrCreate for fallible creation: when create returns an
+// error (or panics, or returns nil), the pending entry is dropped so the
+// failure is never cached — a diverged or cancelled adaptation must not
+// poison the cache for later equal-signature tasks. Waiters that observe a
+// failed in-flight create fall back to their own create call and report its
+// outcome.
+func (c *Cache) GetOrCreateErr(key string, create func() (*dnnmodel.Modeler, error)) (*dnnmodel.Modeler, error) {
 	if c == nil {
 		return create()
 	}
@@ -172,9 +202,9 @@ func (c *Cache) GetOrCreate(key string, create func() *dnnmodel.Modeler) *dnnmod
 		c.mu.Unlock()
 		<-e.ready
 		if e.m != nil {
-			return e.m
+			return e.m, nil
 		}
-		// The in-flight create panicked; recover by adapting locally.
+		// The in-flight create failed or panicked; recover locally.
 		return create()
 	}
 	e := &entry{key: key, ready: make(chan struct{})}
@@ -186,7 +216,8 @@ func (c *Cache) GetOrCreate(key string, create func() *dnnmodel.Modeler) *dnnmod
 	defer func() {
 		c.mu.Lock()
 		if e.m == nil {
-			// create panicked: drop the pending entry so later callers retry.
+			// create failed or panicked: drop the pending entry so later
+			// callers retry instead of inheriting the failure.
 			if cur, ok := c.items[key]; ok && cur == el {
 				delete(c.items, key)
 				c.ll.Remove(el)
@@ -201,8 +232,12 @@ func (c *Cache) GetOrCreate(key string, create func() *dnnmodel.Modeler) *dnnmod
 		c.mu.Unlock()
 		close(e.ready)
 	}()
-	e.m = create()
-	return e.m
+	m, err := create()
+	if err != nil {
+		return nil, err
+	}
+	e.m = m
+	return m, nil
 }
 
 // Get returns the cached modeler for key without creating one. A pending

@@ -1,0 +1,87 @@
+package adaptcache
+
+import (
+	"errors"
+	"testing"
+
+	"extrapdnn/internal/dnnmodel"
+)
+
+func TestRetrySeedAttemptZeroMatchesSeedFor(t *testing.T) {
+	for _, key := range []string{"", "k", "another signature key"} {
+		if RetrySeed(key, 0) != SeedFor(key) {
+			t.Fatalf("RetrySeed(%q, 0) must equal SeedFor", key)
+		}
+		if RetrySeed(key, -1) != SeedFor(key) {
+			t.Fatalf("RetrySeed(%q, -1) must clamp to SeedFor", key)
+		}
+	}
+}
+
+func TestRetrySeedDeterministicAndDistinct(t *testing.T) {
+	seen := map[int64]int{}
+	for attempt := 0; attempt < 5; attempt++ {
+		s := RetrySeed("sig", attempt)
+		if s != RetrySeed("sig", attempt) {
+			t.Fatalf("RetrySeed not deterministic at attempt %d", attempt)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("attempts %d and %d collide on seed %d", prev, attempt, s)
+		}
+		seen[s] = attempt
+	}
+	if RetrySeed("sig", 1) == RetrySeed("gis", 1) {
+		t.Fatal("different keys must not share retry seeds")
+	}
+}
+
+// TestGetOrCreateErrFailureNotCached pins the cache-poisoning rule: a failed
+// creation leaves no resident entry, and the next caller retries.
+func TestGetOrCreateErrFailureNotCached(t *testing.T) {
+	c := New(4)
+	fail := errors.New("adaptation diverged")
+	m, err := c.GetOrCreateErr("k", func() (*dnnmodel.Modeler, error) { return nil, fail })
+	if m != nil || !errors.Is(err, fail) {
+		t.Fatalf("failed create returned (%v, %v)", m, err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("failed create left %d resident entries, want 0", c.Len())
+	}
+	want := modeler()
+	got, err := c.GetOrCreateErr("k", func() (*dnnmodel.Modeler, error) { return want, nil })
+	if got != want || err != nil {
+		t.Fatalf("retry after failure returned (%v, %v)", got, err)
+	}
+	if c.Len() != 1 {
+		t.Fatal("successful retry must be cached")
+	}
+}
+
+func TestGetOrCreateErrNilCache(t *testing.T) {
+	var c *Cache
+	fail := errors.New("no")
+	if _, err := c.GetOrCreateErr("k", func() (*dnnmodel.Modeler, error) { return nil, fail }); !errors.Is(err, fail) {
+		t.Fatalf("nil cache must pass through the create error, got %v", err)
+	}
+	want := modeler()
+	got, err := c.GetOrCreateErr("k", func() (*dnnmodel.Modeler, error) { return want, nil })
+	if got != want || err != nil {
+		t.Fatalf("nil cache success path returned (%v, %v)", got, err)
+	}
+}
+
+func TestGetOrCreateErrHitSkipsCreate(t *testing.T) {
+	c := New(4)
+	want := modeler()
+	calls := 0
+	create := func() (*dnnmodel.Modeler, error) { calls++; return want, nil }
+	if got, err := c.GetOrCreateErr("a", create); got != want || err != nil {
+		t.Fatalf("miss returned (%v, %v)", got, err)
+	}
+	if got, err := c.GetOrCreateErr("a", create); got != want || err != nil {
+		t.Fatalf("hit returned (%v, %v)", got, err)
+	}
+	if calls != 1 {
+		t.Fatalf("create ran %d times, want 1", calls)
+	}
+}

@@ -4,14 +4,52 @@
 package cliutil
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"extrapdnn/internal/dnnmodel"
 	"extrapdnn/internal/nn"
 )
+
+// Process exit codes shared by the CLI tools, so scripts and CI can
+// distinguish "everything modeled" from "some kernels failed" from "the
+// deadline expired".
+const (
+	ExitOK             = 0 // full success
+	ExitFatal          = 1 // unusable input or total failure
+	ExitPartialFailure = 3 // some items failed, others delivered results
+	ExitTimeout        = 4 // the -timeout deadline expired (or ctx cancelled)
+)
+
+// TimeoutContext returns a context honoring a -timeout flag value: for d <= 0
+// it is context.Background() with a no-op cancel, otherwise a deadline of d
+// from now. Callers must call cancel either way.
+func TimeoutContext(d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), d)
+}
+
+// ExitCode maps an error to the shared exit-code convention: nil → ExitOK,
+// context cancellation or deadline expiry (anywhere in the error tree) →
+// ExitTimeout, anything else → ExitFatal. Partial failure is a caller-side
+// decision (the caller knows whether any results were delivered).
+func ExitCode(err error) int {
+	switch {
+	case err == nil:
+		return ExitOK
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return ExitTimeout
+	default:
+		return ExitFatal
+	}
+}
 
 // ParseTopology parses a -topology flag value: "default", "paper", "tiny",
 // or a comma-separated list of hidden-layer sizes such as "256,128,64".
@@ -43,6 +81,13 @@ func ParseTopology(s string) ([]int, error) {
 // otherwise pretrained with the supplied settings (progress goes to stderr,
 // keeping stdout clean for results).
 func LoadOrPretrain(netPath, topology string, samplesPerClass, epochs int, seed int64) (*dnnmodel.Modeler, error) {
+	return LoadOrPretrainCtx(context.Background(), netPath, topology, samplesPerClass, epochs, seed)
+}
+
+// LoadOrPretrainCtx is LoadOrPretrain with cancellation: a -timeout deadline
+// also bounds the (potentially minutes-long) pretraining run, which stops at
+// the next epoch boundary.
+func LoadOrPretrainCtx(ctx context.Context, netPath, topology string, samplesPerClass, epochs int, seed int64) (*dnnmodel.Modeler, error) {
 	if netPath != "" {
 		f, err := os.Open(netPath)
 		if err != nil {
@@ -62,12 +107,15 @@ func LoadOrPretrain(netPath, topology string, samplesPerClass, epochs int, seed 
 	}
 	fmt.Fprintf(os.Stderr, "pretraining network (topology %v, %d samples/class, %d epochs)...\n",
 		hidden, samplesPerClass, epochs)
-	m, stats := dnnmodel.Pretrain(dnnmodel.PretrainConfig{
+	m, stats, err := dnnmodel.PretrainCtx(ctx, dnnmodel.PretrainConfig{
 		Hidden:          hidden,
 		SamplesPerClass: samplesPerClass,
 		Epochs:          epochs,
 		Seed:            seed,
 	})
+	if err != nil {
+		return nil, fmt.Errorf("pretrain: %w", err)
+	}
 	fmt.Fprintf(os.Stderr, "pretraining done, final loss %.4f\n", stats.FinalLoss())
 	return m, nil
 }

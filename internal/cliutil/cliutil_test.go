@@ -1,9 +1,13 @@
 package cliutil
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"extrapdnn/internal/dnnmodel"
 )
@@ -80,5 +84,41 @@ func TestLoadOrPretrainErrors(t *testing.T) {
 	}
 	if _, err := LoadOrPretrain("", "bogus-topo", 5, 1, 1); err == nil {
 		t.Fatal("bad topology should fail")
+	}
+}
+
+func TestExitCode(t *testing.T) {
+	if ExitCode(nil) != ExitOK {
+		t.Fatal("nil error must map to ExitOK")
+	}
+	if ExitCode(context.DeadlineExceeded) != ExitTimeout {
+		t.Fatal("deadline expiry must map to ExitTimeout")
+	}
+	if ExitCode(fmt.Errorf("wrap: %w", context.Canceled)) != ExitTimeout {
+		t.Fatal("wrapped cancellation must map to ExitTimeout")
+	}
+	if ExitCode(errors.New("boom")) != ExitFatal {
+		t.Fatal("plain error must map to ExitFatal")
+	}
+}
+
+func TestTimeoutContext(t *testing.T) {
+	ctx, cancel := TimeoutContext(0)
+	defer cancel()
+	if _, ok := ctx.Deadline(); ok {
+		t.Fatal("zero timeout must not set a deadline")
+	}
+	ctx2, cancel2 := TimeoutContext(time.Hour)
+	defer cancel2()
+	if _, ok := ctx2.Deadline(); !ok {
+		t.Fatal("positive timeout must set a deadline")
+	}
+}
+
+func TestLoadOrPretrainCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := LoadOrPretrainCtx(ctx, "", "tiny", 2, 1, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -18,6 +18,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -25,7 +26,9 @@ import (
 
 	"extrapdnn/internal/adaptcache"
 	"extrapdnn/internal/dnnmodel"
+	"extrapdnn/internal/faultinject"
 	"extrapdnn/internal/measurement"
+	"extrapdnn/internal/nn"
 	"extrapdnn/internal/noise"
 	"extrapdnn/internal/regression"
 )
@@ -43,6 +46,13 @@ const DefaultNoiseThreshold = 0.20
 // in the same noise band share one cached adaptation. See DESIGN.md
 // ("Adaptation caching") for the width trade-off.
 const DefaultNoiseBucketWidth = 0.025
+
+// DefaultAdaptRetries is the default number of divergence-recovery retries
+// after a failed domain adaptation (so up to 1+DefaultAdaptRetries training
+// runs per adaptation). Each retry re-derives its rng deterministically from
+// the task signature and the attempt counter (adaptcache.RetrySeed) and
+// halves the learning rate, the standard first response to divergence.
+const DefaultAdaptRetries = 2
 
 // Config tunes the adaptive modeler.
 type Config struct {
@@ -74,6 +84,17 @@ type Config struct {
 	// means DefaultNoiseBucketWidth; a negative value disables quantization
 	// (every distinct estimate is its own signature).
 	NoiseBucketWidth float64
+	// AdaptRetries bounds the divergence-recovery retries after a failed
+	// domain adaptation. Zero means DefaultAdaptRetries; a negative value
+	// disables retries (one attempt only). Attempt 0 is bit-identical to the
+	// retry-free path; retries re-seed deterministically and halve the
+	// learning rate per attempt.
+	AdaptRetries int
+	// DisableFallback turns graceful degradation off: a DNN-path failure
+	// (diverged adaptation after retries, or a failed DNN modeling run) is
+	// returned as an error instead of falling back to the pretrained network
+	// or the regression modeler. Use it to surface nn.ErrDiverged directly.
+	DisableFallback bool
 }
 
 func (c Config) threshold() float64 {
@@ -90,6 +111,17 @@ func (c Config) bucketWidth() float64 {
 		return DefaultNoiseBucketWidth
 	}
 	return c.NoiseBucketWidth
+}
+
+// adaptRetries returns the effective retry count (negative disables).
+func (c Config) adaptRetries() int {
+	if c.AdaptRetries == 0 {
+		return DefaultAdaptRetries
+	}
+	if c.AdaptRetries < 0 {
+		return 0
+	}
+	return c.AdaptRetries
 }
 
 // Modeler is the adaptive performance modeler. It is safe for concurrent use
@@ -153,6 +185,50 @@ type Report struct {
 	DNN        *regression.Result
 	// Durations breaks down where the modeling time went.
 	Durations Durations
+	// Resilience records the fault-tolerance path of this run: how many
+	// adaptation attempts ran and whether (and why) the run degraded to a
+	// fallback modeler.
+	Resilience Resilience
+}
+
+// FallbackPath identifies the degradation path of one modeling run.
+type FallbackPath int
+
+const (
+	// FallbackNone: the primary path (adapted DNN, plus regression below the
+	// noise threshold) succeeded.
+	FallbackNone FallbackPath = iota
+	// FallbackPretrained: domain adaptation kept diverging, so the run used
+	// the pretrained un-adapted network.
+	FallbackPretrained
+	// FallbackRegression: the DNN modeling path failed entirely and the run
+	// degraded to the regression modeler (only taken below the noise
+	// threshold, where regression is trustworthy).
+	FallbackRegression
+)
+
+func (p FallbackPath) String() string {
+	switch p {
+	case FallbackPretrained:
+		return "pretrained"
+	case FallbackRegression:
+		return "regression"
+	default:
+		return "none"
+	}
+}
+
+// Resilience is the fault-tolerance record of one modeling run.
+type Resilience struct {
+	// AdaptAttempts is the number of adaptation training runs this call paid
+	// for: 1 on the healthy path, >1 after divergence retries, 0 when the
+	// adapted network came from the cache or adaptation was disabled.
+	AdaptAttempts int
+	// Fallback is the degradation path taken (FallbackNone when healthy).
+	Fallback FallbackPath
+	// FallbackErr is the error that forced the fallback (nil when healthy);
+	// errors.Is(FallbackErr, nn.ErrDiverged) identifies divergence.
+	FallbackErr error
 }
 
 // Durations breaks the modeling time down (Fig. 6 of the paper).
@@ -165,8 +241,25 @@ type Durations struct {
 
 // Model runs the adaptive modeling process on a measurement set.
 func (m *Modeler) Model(set *measurement.Set) (Report, error) {
+	return m.ModelCtx(context.Background(), set)
+}
+
+// ModelCtx is Model with cancellation and graceful degradation. The context
+// is observed at every adaptation/training epoch boundary and between
+// per-parameter DNN fits; a cancelled run returns ctx's error without
+// falling back. A diverged adaptation is retried deterministically (see
+// Config.AdaptRetries) and then degraded to the pretrained network; a failed
+// DNN modeling run degrades to the regression modeler when the noise level
+// permits it. Report.Resilience records the path taken.
+func (m *Modeler) ModelCtx(ctx context.Context, set *measurement.Set) (Report, error) {
 	start := time.Now()
 	var rep Report
+	if err := ctx.Err(); err != nil {
+		return rep, err
+	}
+	if faultinject.Enabled {
+		faultinject.Fire(faultinject.SiteCoreModel, set)
+	}
 	if err := set.Validate(); err != nil {
 		return rep, err
 	}
@@ -190,23 +283,53 @@ func (m *Modeler) Model(set *measurement.Set) (Report, error) {
 		adaptStart := time.Now()
 		modeler := m.pretrained
 		if !m.cfg.DisableAdaptation {
-			modeler = m.adapted(set, task)
+			adapted, attempts, err := m.adaptedCtx(ctx, set, task)
+			rep.Resilience.AdaptAttempts = attempts
+			switch {
+			case err == nil:
+				modeler = adapted
+			case ctx.Err() != nil:
+				// Cancellation is never degraded around.
+				rep.Durations.Adapt = time.Since(adaptStart)
+				return rep, err
+			case m.cfg.DisableFallback:
+				rep.Durations.Adapt = time.Since(adaptStart)
+				return rep, fmt.Errorf("core: domain adaptation: %w", err)
+			default:
+				// Diverged after all retries: degrade to the pretrained
+				// un-adapted network, which is always finite.
+				rep.Resilience.Fallback = FallbackPretrained
+				rep.Resilience.FallbackErr = err
+			}
 		}
 		rep.Durations.Adapt = time.Since(adaptStart)
 		dnnStart := time.Now()
-		res, err := modeler.Model(set)
+		res, err := modeler.ModelCtx(ctx, set)
 		rep.Durations.DNN = time.Since(dnnStart)
-		if err != nil {
+		switch {
+		case err == nil:
+			dnnRes = &res
+			rep.UsedDNN = true
+			rep.DNN = dnnRes
+		case ctx.Err() != nil:
+			return rep, err
+		case m.cfg.DisableFallback || !useRegression:
+			// Above the noise threshold regression is untrustworthy (its
+			// tight in-sample fit of noisy data destroys extrapolation), so
+			// there is nothing sound to degrade to.
 			return rep, fmt.Errorf("core: DNN modeler: %w", err)
+		default:
+			rep.Resilience.Fallback = FallbackRegression
+			rep.Resilience.FallbackErr = err
 		}
-		dnnRes = &res
-		rep.UsedDNN = true
-		rep.DNN = dnnRes
 	}
 
 	// Regression modeling (only below the noise threshold).
 	var regRes *regression.Result
 	if useRegression {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
 		regStart := time.Now()
 		res, err := regression.Model(set, regression.Options{TopK: m.cfg.TopK})
 		rep.Durations.Regression = time.Since(regStart)
@@ -317,17 +440,54 @@ func (m *Modeler) signature(set *measurement.Set, task dnnmodel.TaskInfo) adaptc
 	}
 }
 
-// adapted returns the domain-adapted modeler for a task, from the cache when
-// an equal-signature adaptation already ran. The adaptation is a pure
+// adaptedCtx returns the domain-adapted modeler for a task, from the cache
+// when an equal-signature adaptation already ran. The adaptation is a pure
 // function of the signature key (the rng is seeded from it), so a cache hit
 // is bit-identical to the fresh adaptation it replaces; concurrent misses on
-// one signature share a single adaptation run (adaptcache single-flight).
-func (m *Modeler) adapted(set *measurement.Set, task dnnmodel.TaskInfo) *dnnmodel.Modeler {
+// one signature share a single adaptation run (adaptcache single-flight). A
+// failed creation — divergence after all retries, or cancellation — returns
+// an error and is never cached (adaptcache.GetOrCreateErr drops the pending
+// entry), so a later equal-signature task retries from scratch. attempts is
+// the number of adaptation training runs paid for by this call (0 on a cache
+// hit).
+func (m *Modeler) adaptedCtx(ctx context.Context, set *measurement.Set, task dnnmodel.TaskInfo) (mod *dnnmodel.Modeler, attempts int, err error) {
 	key := m.signature(set, task).Key()
-	return m.cache.GetOrCreate(key, func() *dnnmodel.Modeler {
-		rng := rand.New(rand.NewSource(adaptcache.SeedFor(key)))
-		return m.pretrained.DomainAdapt(rng, task, m.cfg.Adapt)
+	mod, err = m.cache.GetOrCreateErr(key, func() (*dnnmodel.Modeler, error) {
+		mod, n, err := m.adaptWithRetry(ctx, key, task)
+		attempts = n
+		return mod, err
 	})
+	return mod, attempts, err
+}
+
+// adaptWithRetry runs the domain adaptation with bounded deterministic
+// divergence recovery: attempt 0 uses adaptcache.SeedFor(key) and the
+// configured learning rate — bit-identical to the historical retry-free path
+// — while attempt k>0 re-seeds via adaptcache.RetrySeed(key, k) and divides
+// the learning rate by 2^k. Cancellation aborts the retry loop immediately.
+func (m *Modeler) adaptWithRetry(ctx context.Context, key string, task dnnmodel.TaskInfo) (*dnnmodel.Modeler, int, error) {
+	maxAttempts := 1 + m.cfg.adaptRetries()
+	cfg := m.cfg.Adapt
+	baseLR := cfg.WithDefaults().LearningRate
+	if baseLR <= 0 {
+		baseLR = nn.DefaultLearningRate
+	}
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if attempt > 0 {
+			cfg.LearningRate = baseLR / float64(int64(1)<<uint(attempt))
+		}
+		rng := rand.New(rand.NewSource(adaptcache.RetrySeed(key, attempt)))
+		mod, _, err := m.pretrained.DomainAdaptCtx(ctx, rng, task, cfg)
+		if err == nil {
+			return mod, attempt + 1, nil
+		}
+		if ctx.Err() != nil {
+			return nil, attempt + 1, err
+		}
+		lastErr = err
+	}
+	return nil, maxAttempts, lastErr
 }
 
 // TaskSignature returns the layout-and-noise part of the canonical

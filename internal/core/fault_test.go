@@ -1,0 +1,162 @@
+//go:build faultinject
+
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"extrapdnn/internal/faultinject"
+	"extrapdnn/internal/nn"
+)
+
+// TestModelInjectedDivergenceRetriesThenSucceeds pins the recovery path: the
+// first adaptation attempt is forced to diverge, the deterministic retry
+// succeeds, and the recovered network is cached.
+func TestModelInjectedDivergenceRetriesThenSucceeds(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	testPretrained() // build the shared fixture before any hook installs
+	var mu sync.Mutex
+	fires := 0
+	faultinject.Set(faultinject.SiteTrainEpochLoss, func(args ...any) {
+		mu.Lock()
+		fires++
+		first := fires == 1
+		mu.Unlock()
+		if first {
+			*args[0].(*float64) = math.NaN()
+		}
+	})
+	m, err := New(testPretrained(), Config{Adapt: quietAdapt, Seed: 1, AdaptCacheSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := noisySet(rand.New(rand.NewSource(11)), 0.05, func(x float64) float64 { return 10 + 2*x })
+	rep, err := m.Model(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Resilience.AdaptAttempts != 2 {
+		t.Fatalf("AdaptAttempts = %d, want 2 (one divergence, one successful retry)",
+			rep.Resilience.AdaptAttempts)
+	}
+	if rep.Resilience.Fallback != FallbackNone || rep.Resilience.FallbackErr != nil {
+		t.Fatalf("successful retry must not record a fallback: %+v", rep.Resilience)
+	}
+	if got := m.CacheStats().Entries; got != 1 {
+		t.Fatalf("recovered adaptation must be cached: %d resident entries", got)
+	}
+}
+
+// TestModelInjectedDivergenceExhaustsRetries forces every attempt to diverge
+// and checks the degradation to the pretrained network, with nothing cached.
+func TestModelInjectedDivergenceExhaustsRetries(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	testPretrained() // build the shared fixture before any hook installs
+	faultinject.Set(faultinject.SiteTrainEpochLoss, func(args ...any) {
+		*args[0].(*float64) = math.Inf(1)
+	})
+	m, err := New(testPretrained(), Config{Adapt: quietAdapt, Seed: 1, AdaptCacheSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := noisySet(rand.New(rand.NewSource(12)), 0.05, func(x float64) float64 { return 10 + 2*x })
+	rep, err := m.Model(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1 + DefaultAdaptRetries; rep.Resilience.AdaptAttempts != want {
+		t.Fatalf("AdaptAttempts = %d, want %d", rep.Resilience.AdaptAttempts, want)
+	}
+	if rep.Resilience.Fallback != FallbackPretrained ||
+		!errors.Is(rep.Resilience.FallbackErr, nn.ErrDiverged) {
+		t.Fatalf("Resilience = %+v, want pretrained fallback with ErrDiverged", rep.Resilience)
+	}
+	if got := m.CacheStats().Entries; got != 0 {
+		t.Fatalf("diverged adaptation poisoned the cache: %d resident entries", got)
+	}
+}
+
+// TestModelInjectedDNNFailureFallsBackToRegression fails the DNN modeling
+// path below the noise threshold: the run must degrade to the regression
+// modeler instead of erroring.
+func TestModelInjectedDNNFailureFallsBackToRegression(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	testPretrained() // build the shared fixture before any hook installs
+	injected := errors.New("injected DNN failure")
+	faultinject.Set(faultinject.SiteDNNModel, func(args ...any) {
+		*args[0].(*error) = injected
+	})
+	m, err := New(testPretrained(), Config{Adapt: quietAdapt, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := noisySet(rand.New(rand.NewSource(13)), 0.05, func(x float64) float64 { return 10 + 2*x })
+	rep, err := m.Model(set)
+	if err != nil {
+		t.Fatalf("regression fallback must still produce a model: %v", err)
+	}
+	if rep.Resilience.Fallback != FallbackRegression ||
+		!errors.Is(rep.Resilience.FallbackErr, injected) {
+		t.Fatalf("Resilience = %+v, want regression fallback with the injected error", rep.Resilience)
+	}
+	if rep.UsedDNN || !rep.UsedRegression || rep.SelectedDNN {
+		t.Fatalf("report flags = {UsedDNN:%v UsedRegression:%v SelectedDNN:%v}",
+			rep.UsedDNN, rep.UsedRegression, rep.SelectedDNN)
+	}
+}
+
+// TestModelInjectedDNNFailureAboveThresholdErrors pins the policy boundary:
+// above the noise threshold regression is untrustworthy, so a total DNN
+// failure is an error, not a silent degradation.
+func TestModelInjectedDNNFailureAboveThresholdErrors(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	testPretrained() // build the shared fixture before any hook installs
+	injected := errors.New("injected DNN failure")
+	faultinject.Set(faultinject.SiteDNNModel, func(args ...any) {
+		*args[0].(*error) = injected
+	})
+	m, err := New(testPretrained(), Config{Adapt: quietAdapt, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := noisySet(rand.New(rand.NewSource(14)), 0.6, func(x float64) float64 { return 10 + 2*x })
+	rep, errModel := m.Model(set)
+	if rep.Noise.Global <= DefaultNoiseThreshold {
+		t.Skipf("fixture landed below the threshold (noise %.3f)", rep.Noise.Global)
+	}
+	if !errors.Is(errModel, injected) {
+		t.Fatalf("err = %v, want the injected DNN failure", errModel)
+	}
+}
+
+// TestModelCtxCancelDuringAdaptation cancels from inside the first training
+// epoch and checks ModelCtx stops at the next epoch boundary with ctx's
+// error — no retries, no fallback.
+func TestModelCtxCancelDuringAdaptation(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	testPretrained() // build the shared fixture before any hook installs
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	faultinject.Set(faultinject.SiteTrainEpochLoss, func(args ...any) { cancel() })
+	m, err := New(testPretrained(), Config{Adapt: quietAdapt, Seed: 1, AdaptCacheSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := noisySet(rand.New(rand.NewSource(15)), 0.05, func(x float64) float64 { return 10 + 2*x })
+	rep, errModel := m.ModelCtx(ctx, set)
+	if !errors.Is(errModel, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", errModel)
+	}
+	if rep.Resilience.AdaptAttempts != 1 {
+		t.Fatalf("AdaptAttempts = %d, want 1 (cancellation must not retry)",
+			rep.Resilience.AdaptAttempts)
+	}
+	if got := m.CacheStats().Entries; got != 0 {
+		t.Fatalf("cancelled adaptation must not be cached: %d resident entries", got)
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"extrapdnn/internal/dnnmodel"
+	"extrapdnn/internal/nn"
+)
+
+// divergingAdapt makes every adaptation attempt diverge: the runaway learning
+// rate stays above the weight-explosion limit even after the per-retry
+// halving (1e9, 5e8, 2.5e8 vs the 1e8 limit).
+var divergingAdapt = dnnmodel.AdaptConfig{
+	SamplesPerClass: 10,
+	Epochs:          1,
+	LearningRate:    10 * nn.WeightExplosionLimit,
+}
+
+func TestModelDivergedAdaptationFallsBackToPretrained(t *testing.T) {
+	m, err := New(testPretrained(), Config{Adapt: divergingAdapt, Seed: 1, AdaptCacheSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := noisySet(rand.New(rand.NewSource(3)), 0.05, func(x float64) float64 { return 10 + 2*x })
+	rep, err := m.Model(set)
+	if err != nil {
+		t.Fatalf("fallback path must still produce a model: %v", err)
+	}
+	if rep.Resilience.Fallback != FallbackPretrained {
+		t.Fatalf("Fallback = %v, want pretrained", rep.Resilience.Fallback)
+	}
+	if want := 1 + DefaultAdaptRetries; rep.Resilience.AdaptAttempts != want {
+		t.Fatalf("AdaptAttempts = %d, want %d", rep.Resilience.AdaptAttempts, want)
+	}
+	if !errors.Is(rep.Resilience.FallbackErr, nn.ErrDiverged) {
+		t.Fatalf("FallbackErr = %v, want ErrDiverged", rep.Resilience.FallbackErr)
+	}
+	if !rep.UsedDNN {
+		t.Fatal("pretrained fallback must still run the DNN modeler")
+	}
+	if got := m.CacheStats().Entries; got != 0 {
+		t.Fatalf("diverged adaptation poisoned the cache: %d resident entries", got)
+	}
+
+	// The degraded path is as deterministic as the healthy one.
+	rep2, err := m.Model(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Model.Model.String() != rep.Model.Model.String() || rep2.Model.SMAPE != rep.Model.SMAPE {
+		t.Fatalf("degraded path not deterministic: %v vs %v", rep.Model.Model, rep2.Model.Model)
+	}
+	if rep2.Resilience.AdaptAttempts != rep.Resilience.AdaptAttempts {
+		t.Fatalf("retry count not deterministic: %d vs %d",
+			rep.Resilience.AdaptAttempts, rep2.Resilience.AdaptAttempts)
+	}
+}
+
+func TestModelDisableFallbackSurfacesErrDiverged(t *testing.T) {
+	m, err := New(testPretrained(), Config{Adapt: divergingAdapt, Seed: 1, DisableFallback: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := noisySet(rand.New(rand.NewSource(4)), 0.05, func(x float64) float64 { return 10 + 2*x })
+	if _, err := m.Model(set); !errors.Is(err, nn.ErrDiverged) {
+		t.Fatalf("err = %v, want ErrDiverged", err)
+	}
+}
+
+func TestModelNegativeAdaptRetriesDisablesRetry(t *testing.T) {
+	m, err := New(testPretrained(), Config{Adapt: divergingAdapt, Seed: 1, AdaptRetries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := noisySet(rand.New(rand.NewSource(5)), 0.05, func(x float64) float64 { return 10 + 2*x })
+	rep, err := m.Model(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Resilience.AdaptAttempts != 1 {
+		t.Fatalf("AdaptAttempts = %d, want 1 with retries disabled", rep.Resilience.AdaptAttempts)
+	}
+	if rep.Resilience.Fallback != FallbackPretrained {
+		t.Fatalf("Fallback = %v, want pretrained", rep.Resilience.Fallback)
+	}
+}
+
+func TestModelCtxCancelledBeforeStart(t *testing.T) {
+	m, err := New(testPretrained(), Config{Adapt: quietAdapt, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := noisySet(rand.New(rand.NewSource(6)), 0.05, func(x float64) float64 { return 10 + 2*x })
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.ModelCtx(ctx, set); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestModelHealthyRunRecordsNoFallback(t *testing.T) {
+	m, err := New(testPretrained(), Config{Adapt: quietAdapt, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := noisySet(rand.New(rand.NewSource(7)), 0.05, func(x float64) float64 { return 10 + 2*x })
+	rep, err := m.Model(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Resilience.Fallback != FallbackNone || rep.Resilience.FallbackErr != nil {
+		t.Fatalf("healthy run recorded fallback: %+v", rep.Resilience)
+	}
+	if rep.Resilience.AdaptAttempts != 1 {
+		t.Fatalf("AdaptAttempts = %d, want 1 on the healthy uncached path", rep.Resilience.AdaptAttempts)
+	}
+}
+
+func TestFallbackPathString(t *testing.T) {
+	cases := map[FallbackPath]string{
+		FallbackNone:       "none",
+		FallbackPretrained: "pretrained",
+		FallbackRegression: "regression",
+	}
+	for p, want := range cases {
+		if p.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", p, p.String(), want)
+		}
+	}
+}

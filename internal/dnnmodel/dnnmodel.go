@@ -11,10 +11,12 @@
 package dnnmodel
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
 
+	"extrapdnn/internal/faultinject"
 	"extrapdnn/internal/mat"
 	"extrapdnn/internal/measurement"
 	"extrapdnn/internal/nn"
@@ -209,6 +211,15 @@ func (c PretrainConfig) withDefaults() PretrainConfig {
 // full noise range [0, 100%], the first stage of the paper's transfer
 // learning.
 func Pretrain(cfg PretrainConfig) (*Modeler, nn.TrainStats) {
+	m, stats, _ := PretrainCtx(context.Background(), cfg)
+	return m, stats
+}
+
+// PretrainCtx is Pretrain with cancellation and divergence reporting: the
+// context is checked at every training epoch boundary, and a diverged run is
+// surfaced as nn.ErrDiverged instead of silently returning a garbage network.
+// The modeler is nil whenever the error is non-nil.
+func PretrainCtx(ctx context.Context, cfg PretrainConfig) (*Modeler, nn.TrainStats, error) {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	sizes := append([]int{preprocess.InputSize}, cfg.Hidden...)
@@ -220,13 +231,19 @@ func Pretrain(cfg PretrainConfig) (*Modeler, nn.TrainStats) {
 		NoiseMin:        0,
 		NoiseMax:        1,
 	})
-	stats := net.Train(x, labels, nn.TrainOptions{
+	stats, err := net.TrainCtx(ctx, x, labels, nn.TrainOptions{
 		Epochs:       cfg.Epochs,
 		BatchSize:    cfg.BatchSize,
 		LearningRate: cfg.LearningRate,
 		Rng:          rng,
 	})
-	return &Modeler{Net: net}, stats
+	if err == nil {
+		err = stats.Err()
+	}
+	if err != nil {
+		return nil, stats, err
+	}
+	return &Modeler{Net: net}, stats, nil
 }
 
 // AdaptConfig configures per-task domain adaptation.
@@ -274,6 +291,21 @@ type TaskInfo struct {
 // and the noise range estimated from the measurements. The receiver is not
 // modified, so one pretrained network serves many tasks.
 func (m *Modeler) DomainAdapt(rng *rand.Rand, task TaskInfo, cfg AdaptConfig) *Modeler {
+	adapted, _, err := m.DomainAdaptCtx(context.Background(), rng, task, cfg)
+	if err != nil {
+		// Divergence with no ctx in play: preserve the historical contract of
+		// always returning a network; callers that care use DomainAdaptCtx.
+		return &Modeler{Net: m.Net.Clone(), TopK: m.TopK}
+	}
+	return adapted
+}
+
+// DomainAdaptCtx is DomainAdapt with cancellation and divergence reporting.
+// The context is checked at every adaptation epoch boundary; a diverged
+// training run returns nn.ErrDiverged (via stats.Err()) and a nil modeler, so
+// a poisoned network can never leak into the adaptation cache. The rng is
+// consumed identically to DomainAdapt on the healthy path.
+func (m *Modeler) DomainAdaptCtx(ctx context.Context, rng *rand.Rand, task TaskInfo, cfg AdaptConfig) (*Modeler, nn.TrainStats, error) {
 	cfg = cfg.withDefaults()
 	buf := adaptPool.Get().(*datasetBuf)
 	x, labels := buildDataset(rng, TrainSpec{
@@ -285,14 +317,20 @@ func (m *Modeler) DomainAdapt(rng *rand.Rand, task TaskInfo, cfg AdaptConfig) *M
 		PerPointNoise:   task.PerPointNoise,
 	}, buf)
 	adapted := m.Net.Clone()
-	adapted.Train(x, labels, nn.TrainOptions{
+	stats, err := adapted.TrainCtx(ctx, x, labels, nn.TrainOptions{
 		Epochs:       cfg.Epochs,
 		BatchSize:    cfg.BatchSize,
 		LearningRate: cfg.LearningRate,
 		Rng:          rng,
 	})
 	adaptPool.Put(buf)
-	return &Modeler{Net: adapted, TopK: m.TopK}
+	if err == nil {
+		err = stats.Err()
+	}
+	if err != nil {
+		return nil, stats, err
+	}
+	return &Modeler{Net: adapted, TopK: m.TopK}, stats, nil
 }
 
 // ClassifyLine returns the network's top-k exponent classes for one
@@ -316,6 +354,23 @@ func (m *Modeler) ClassifyLine(xs, vs []float64) ([]pmnf.Exponents, error) {
 // single-parameter hypotheses are combined exactly as in the regression
 // modeler (additive and multiplicative combinations, cross-validated SMAPE).
 func (m *Modeler) Model(set *measurement.Set) (regression.Result, error) {
+	return m.ModelCtx(context.Background(), set)
+}
+
+// ModelCtx is Model with cancellation: the context is checked before each
+// parameter's classification/fit, so a cancelled profile run stops between
+// parameters instead of finishing the whole combination search.
+func (m *Modeler) ModelCtx(ctx context.Context, set *measurement.Set) (regression.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return regression.Result{}, err
+	}
+	if faultinject.Enabled {
+		var injected error
+		faultinject.Fire(faultinject.SiteDNNModel, &injected)
+		if injected != nil {
+			return regression.Result{}, injected
+		}
+	}
 	if err := set.Validate(); err != nil {
 		return regression.Result{}, err
 	}
@@ -325,6 +380,9 @@ func (m *Modeler) Model(set *measurement.Set) (regression.Result, error) {
 	}
 	perParam := make([][]regression.Candidate, len(lines))
 	for l, line := range lines {
+		if err := ctx.Err(); err != nil {
+			return regression.Result{}, err
+		}
 		classes, err := m.ClassifyLine(line.Xs, line.Vs)
 		if err != nil {
 			return regression.Result{}, fmt.Errorf("dnnmodel: parameter %d: %w", l, err)

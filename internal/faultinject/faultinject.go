@@ -1,0 +1,26 @@
+// Package faultinject is the deterministic fault-injection hook used by the
+// robustness tests. Production binaries compile it away entirely: without the
+// `faultinject` build tag, Enabled is a false constant and every function is
+// an empty no-op, so guarded call sites
+//
+//	if faultinject.Enabled {
+//		faultinject.Fire(faultinject.SiteTrainEpochLoss, &loss)
+//	}
+//
+// are eliminated at compile time — the production pipeline carries zero
+// branches, zero allocations and zero atomic loads for injection support.
+//
+// Test binaries built with `-tags faultinject` (scripts/check.sh runs the
+// fault-path packages this way, under -race) flip Enabled to true and route
+// every Fire through a concurrency-safe registry of per-site hooks. A hook
+// receives the call site's arguments — typically pointers into live pipeline
+// state — and may mutate them (e.g. force a training loss to NaN), panic (to
+// prove worker isolation), or cancel a context (to prove epoch-boundary
+// cancellation). Hooks are installed with Set and removed with Clear/Reset;
+// tests that install hooks must Reset in cleanup so sites never leak across
+// tests.
+//
+// Determinism contract: a fire never consumes randomness and never runs
+// unless a test installed a hook for exactly that site, so an idle registry
+// (and any production build) is bit-identical to a tree without the hooks.
+package faultinject

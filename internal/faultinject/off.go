@@ -1,0 +1,21 @@
+//go:build !faultinject
+
+package faultinject
+
+// Enabled is false in production builds; `if faultinject.Enabled { ... }`
+// blocks are dead code the compiler removes entirely.
+const Enabled = false
+
+// Set is a no-op without the faultinject build tag.
+func Set(site string, fn func(args ...any)) {}
+
+// Clear is a no-op without the faultinject build tag.
+func Clear(site string) {}
+
+// Reset is a no-op without the faultinject build tag.
+func Reset() {}
+
+// Fire is a no-op without the faultinject build tag. Call sites must guard
+// with `if faultinject.Enabled` so the variadic argument slice is never
+// built in production binaries.
+func Fire(site string, args ...any) {}

@@ -1,0 +1,22 @@
+//go:build !faultinject
+
+package faultinject
+
+import "testing"
+
+// TestDisabledIsInert pins the production contract: without the build tag
+// every entry point is a no-op and Enabled is a false constant, so guarded
+// call sites compile away.
+func TestDisabledIsInert(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled must be false without the faultinject build tag")
+	}
+	fired := false
+	Set(SiteTrainEpochLoss, func(args ...any) { fired = true })
+	Fire(SiteTrainEpochLoss, nil)
+	Clear(SiteTrainEpochLoss)
+	Reset()
+	if fired {
+		t.Fatal("a hook must never fire in a production build")
+	}
+}

@@ -1,0 +1,50 @@
+//go:build faultinject
+
+package faultinject
+
+import "sync"
+
+// Enabled is true when the binary was built with the faultinject tag.
+const Enabled = true
+
+var (
+	mu    sync.RWMutex
+	hooks = map[string]func(args ...any){}
+)
+
+// Set installs fn as the hook for site, replacing any previous hook. A nil
+// fn clears the site.
+func Set(site string, fn func(args ...any)) {
+	mu.Lock()
+	defer mu.Unlock()
+	if fn == nil {
+		delete(hooks, site)
+		return
+	}
+	hooks[site] = fn
+}
+
+// Clear removes the hook for site.
+func Clear(site string) { Set(site, nil) }
+
+// Reset removes every installed hook. Tests that Set hooks must call it in
+// cleanup so sites never leak across tests.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	for k := range hooks {
+		delete(hooks, k)
+	}
+}
+
+// Fire invokes the hook installed for site, if any, with the call site's
+// arguments. Panics from the hook propagate to the caller — that is the
+// point of panic-injection sites.
+func Fire(site string, args ...any) {
+	mu.RLock()
+	fn := hooks[site]
+	mu.RUnlock()
+	if fn != nil {
+		fn(args...)
+	}
+}

@@ -1,0 +1,70 @@
+//go:build faultinject
+
+package faultinject
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestFireInvokesHookAndMutatesArgs(t *testing.T) {
+	t.Cleanup(Reset)
+	Set(SiteTrainEpochLoss, func(args ...any) {
+		*args[0].(*float64) = math.NaN()
+	})
+	loss := 0.5
+	Fire(SiteTrainEpochLoss, &loss)
+	if !math.IsNaN(loss) {
+		t.Fatalf("hook did not mutate the argument: loss = %v", loss)
+	}
+	Fire(SiteCoreModel) // no hook installed: must be a no-op
+}
+
+func TestClearAndReset(t *testing.T) {
+	t.Cleanup(Reset)
+	count := 0
+	Set(SiteCoreModel, func(args ...any) { count++ })
+	Fire(SiteCoreModel)
+	Clear(SiteCoreModel)
+	Fire(SiteCoreModel)
+	if count != 1 {
+		t.Fatalf("fired %d times, want 1 (Clear must remove the hook)", count)
+	}
+	Set(SiteCoreModel, func(args ...any) { count++ })
+	Set(SiteTrainEpochLoss, func(args ...any) { count++ })
+	Reset()
+	Fire(SiteCoreModel)
+	Fire(SiteTrainEpochLoss)
+	if count != 1 {
+		t.Fatalf("fired %d times, want 1 (Reset must remove every hook)", count)
+	}
+}
+
+// TestConcurrentFire exercises the registry under the race detector: hooks
+// fire from worker goroutines exactly as the modeling pipeline does.
+func TestConcurrentFire(t *testing.T) {
+	t.Cleanup(Reset)
+	var mu sync.Mutex
+	count := 0
+	Set(SiteTrainEpochLoss, func(args ...any) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				loss := 1.0
+				Fire(SiteTrainEpochLoss, &loss)
+			}
+		}()
+	}
+	wg.Wait()
+	if count != 800 {
+		t.Fatalf("fired %d times, want 800", count)
+	}
+}

@@ -1,0 +1,22 @@
+package faultinject
+
+// Site names fired by the pipeline. They live here — not in the firing
+// packages — so tests and call sites share one spelling and a grep for a
+// site name finds both ends.
+const (
+	// SiteTrainEpochLoss fires in nn.Network.TrainCtx after each epoch's mean
+	// training loss is computed, with args[0] = *float64 pointing at that
+	// mean. A hook may overwrite it (e.g. with NaN) to trigger the divergence
+	// detector deterministically.
+	SiteTrainEpochLoss = "nn/train/epoch-loss"
+
+	// SiteCoreModel fires at the start of core.Modeler.ModelCtx with
+	// args[0] = *measurement.Set (typed as any). A hook may panic to simulate
+	// a crashing kernel inside a profile run.
+	SiteCoreModel = "core/model"
+
+	// SiteDNNModel fires at the start of dnnmodel.Modeler.ModelCtx with
+	// args[0] = *error. A hook may set the error to make the DNN modeling
+	// path fail deterministically (exercising the regression fallback).
+	SiteDNNModel = "dnnmodel/model"
+)

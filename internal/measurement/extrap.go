@@ -27,7 +27,13 @@ import (
 // "POINTS 8 16 32"); each DATA line holds the repetitions of one point, in
 // POINTS order. REGION and METRIC are optional labels; only the first
 // region's data is read (use internal/profile for multi-kernel campaigns).
+// The parsed set is sanitized (see Set.Sanitize) and validated.
 func ReadExtraP(r io.Reader) (*Set, error) {
+	return ReadExtraPWith(r, ReadConfig{})
+}
+
+// ReadExtraPWith is ReadExtraP with explicit sanitization control.
+func ReadExtraPWith(r io.Reader, cfg ReadConfig) (*Set, error) {
 	scanner := bufio.NewScanner(r)
 	set := &Set{}
 	var points []Point
@@ -94,10 +100,7 @@ done:
 	if dataIdx != len(points) {
 		return nil, fmt.Errorf("measurement: %d DATA lines for %d points", dataIdx, len(points))
 	}
-	if err := set.Validate(); err != nil {
-		return nil, fmt.Errorf("measurement: invalid set: %w", err)
-	}
-	return set, nil
+	return finishRead(set, cfg)
 }
 
 // parseExtraPPoints parses "( 8 1024 ) ( 16 1024 )" or, for one parameter,

@@ -16,16 +16,19 @@ func (s *Set) WriteJSON(w io.Writer) error {
 	return enc.Encode(s)
 }
 
-// ReadJSON parses a set from JSON and validates it.
+// ReadJSON parses a set from JSON, sanitizes it (see Set.Sanitize) and
+// validates it.
 func ReadJSON(r io.Reader) (*Set, error) {
+	return ReadJSONWith(r, ReadConfig{})
+}
+
+// ReadJSONWith is ReadJSON with explicit sanitization control.
+func ReadJSONWith(r io.Reader, cfg ReadConfig) (*Set, error) {
 	var s Set
 	if err := json.NewDecoder(r).Decode(&s); err != nil {
 		return nil, fmt.Errorf("measurement: decode: %w", err)
 	}
-	if err := s.Validate(); err != nil {
-		return nil, fmt.Errorf("measurement: invalid set: %w", err)
-	}
-	return &s, nil
+	return finishRead(&s, cfg)
 }
 
 // ReadText parses the whitespace-separated text format:
@@ -39,7 +42,13 @@ func ReadJSON(r io.Reader) (*Set, error) {
 // Each data line holds the m parameter values followed by one or more
 // repetition values. The parameter count m is taken from the header when
 // present; otherwise every line must carry exactly numParams coordinates.
+// The parsed set is sanitized (see Set.Sanitize) and validated.
 func ReadText(r io.Reader, numParams int) (*Set, error) {
+	return ReadTextWith(r, numParams, ReadConfig{})
+}
+
+// ReadTextWith is ReadText with explicit sanitization control.
+func ReadTextWith(r io.Reader, numParams int, cfg ReadConfig) (*Set, error) {
 	scanner := bufio.NewScanner(r)
 	set := &Set{}
 	lineNo := 0
@@ -79,8 +88,5 @@ func ReadText(r io.Reader, numParams int) (*Set, error) {
 	if err := scanner.Err(); err != nil {
 		return nil, fmt.Errorf("measurement: read: %w", err)
 	}
-	if err := set.Validate(); err != nil {
-		return nil, fmt.Errorf("measurement: invalid set: %w", err)
-	}
-	return set, nil
+	return finishRead(set, cfg)
 }

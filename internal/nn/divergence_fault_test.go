@@ -1,0 +1,39 @@
+//go:build faultinject
+
+package nn
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"extrapdnn/internal/faultinject"
+)
+
+// TestTrainInjectedDivergence forces a NaN epoch loss through the fault hook
+// and checks the detector aborts at exactly that epoch.
+func TestTrainInjectedDivergence(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	fires := 0
+	faultinject.Set(faultinject.SiteTrainEpochLoss, func(args ...any) {
+		fires++
+		if fires == 2 {
+			*args[0].(*float64) = math.NaN()
+		}
+	})
+	rng := rand.New(rand.NewSource(21))
+	x, labels := divergenceFixture(rng, 48)
+	net := NewNetwork([]int{4, 8, 2}, rng)
+	stats := net.Train(x, labels, TrainOptions{Epochs: 5, Rng: rand.New(rand.NewSource(22))})
+	if !stats.Diverged || stats.DivergedEpoch != 2 {
+		t.Fatalf("stats = {Diverged:%v DivergedEpoch:%d}, want divergence at epoch 2",
+			stats.Diverged, stats.DivergedEpoch)
+	}
+	if len(stats.EpochLoss) != 2 {
+		t.Fatalf("trained %d epochs after injected NaN, want 2", len(stats.EpochLoss))
+	}
+	if err := stats.Err(); !errors.Is(err, ErrDiverged) {
+		t.Fatalf("stats.Err() = %v, want ErrDiverged", err)
+	}
+}

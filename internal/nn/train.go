@@ -1,12 +1,32 @@
 package nn
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 
+	"extrapdnn/internal/faultinject"
 	"extrapdnn/internal/mat"
 )
+
+// DefaultLearningRate is the step size used when TrainOptions.LearningRate
+// is zero — the AdaMax default. Exported so retry policies can derive a
+// reduced rate from the effective one.
+const DefaultLearningRate = 0.002
+
+// WeightExplosionLimit is the largest finite weight magnitude the divergence
+// detector tolerates. The networks train on inputs normalized to [0, 1] and
+// healthy runs keep weights within single digits, so anything beyond 1e8 is
+// a runaway optimizer — detected at the next epoch boundary, long before the
+// float64 range overflows into ±Inf.
+const WeightExplosionLimit = 1e8
+
+// ErrDiverged reports that a training run produced a non-finite loss or
+// exploding weights. Callers test for it with errors.Is; TrainStats carries
+// the epoch at which the detector tripped.
+var ErrDiverged = errors.New("nn: training diverged")
 
 // OptimizerKind selects the gradient-descent variant.
 type OptimizerKind int
@@ -73,7 +93,7 @@ func (o TrainOptions) withDefaults() TrainOptions {
 		o.BatchSize = 64
 	}
 	if o.LearningRate <= 0 {
-		o.LearningRate = 0.002
+		o.LearningRate = DefaultLearningRate
 	}
 	if o.Beta1 <= 0 {
 		o.Beta1 = 0.9
@@ -90,6 +110,13 @@ type TrainStats struct {
 	ValLoss   []float64 // mean validation cross-entropy per epoch (when enabled)
 	Batches   int       // total optimizer steps taken
 	Stopped   bool      // true when early stopping ended training
+	// Diverged is true when the run was aborted by the divergence detector:
+	// the epoch loss went non-finite or a weight escaped
+	// WeightExplosionLimit. The network then holds garbage parameters and
+	// must not be used (or cached); DivergedEpoch is the 1-based epoch at
+	// which the detector tripped.
+	Diverged      bool
+	DivergedEpoch int
 }
 
 // FinalLoss returns the loss of the last epoch (NaN when no epoch ran).
@@ -98,6 +125,26 @@ func (s TrainStats) FinalLoss() float64 {
 		return math.NaN()
 	}
 	return s.EpochLoss[len(s.EpochLoss)-1]
+}
+
+// Err returns a typed divergence error when the run diverged (wrapping
+// ErrDiverged) and nil otherwise, so callers can surface a bad training run
+// without inspecting individual fields. A run whose final loss is
+// non-finite counts as diverged even if the detector flag was not set —
+// that is the blind spot this method exists to close.
+func (s TrainStats) Err() error {
+	if s.Diverged {
+		return fmt.Errorf("%w: non-finite loss or exploding weights at epoch %d", ErrDiverged, s.DivergedEpoch)
+	}
+	if len(s.EpochLoss) > 0 && !isFinite(s.FinalLoss()) {
+		return fmt.Errorf("%w: final loss %v", ErrDiverged, s.FinalLoss())
+	}
+	return nil
+}
+
+// isFinite reports whether v is neither NaN nor ±Inf.
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
 }
 
 // optState holds per-layer optimizer accumulators.
@@ -111,13 +158,25 @@ type optState struct {
 // x holds one sample per row; labels are class indices. It returns per-epoch
 // loss statistics. Training mutates the network in place.
 func (n *Network) Train(x *mat.Matrix, labels []int, opts TrainOptions) TrainStats {
+	stats, _ := n.TrainCtx(context.Background(), x, labels, opts)
+	return stats
+}
+
+// TrainCtx is Train with cooperative cancellation: the context is checked at
+// every epoch boundary, so a cancelled training run stops within one epoch
+// and returns ctx.Err() along with the statistics of the epochs that
+// completed. The arithmetic is bit-identical to Train — the checks only
+// read. TrainCtx also runs the divergence detector after every epoch (see
+// TrainStats.Diverged); divergence is reported through the stats, not the
+// error, because it is a property of the run, not of the call.
+func (n *Network) TrainCtx(ctx context.Context, x *mat.Matrix, labels []int, opts TrainOptions) (TrainStats, error) {
 	opts = opts.withDefaults()
 	numSamples := x.Rows()
 	if numSamples != len(labels) {
 		panic(fmt.Sprintf("nn: %d samples vs %d labels", numSamples, len(labels)))
 	}
 	if numSamples == 0 {
-		return TrainStats{}
+		return TrainStats{}, ctx.Err()
 	}
 	if n.Layers[len(n.Layers)-1].Act != Softmax {
 		panic("nn: Train requires a softmax output layer")
@@ -174,6 +233,9 @@ func (n *Network) Train(x *mat.Matrix, labels []int, opts TrainOptions) TrainSta
 		rng = rand.New(rand.NewSource(1))
 	}
 	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
 		rng.Shuffle(trainCount, func(a, b int) { order[a], order[b] = order[b], order[a] })
 		epochLoss, batches := 0.0, 0
 		for start := 0; start < trainCount; start += opts.BatchSize {
@@ -186,8 +248,23 @@ func (n *Network) Train(x *mat.Matrix, labels []int, opts TrainOptions) TrainSta
 			epochLoss += loss * float64(len(batch))
 			batches++
 		}
-		stats.EpochLoss = append(stats.EpochLoss, epochLoss/float64(trainCount))
+		meanLoss := epochLoss / float64(trainCount)
+		if faultinject.Enabled {
+			faultinject.Fire(faultinject.SiteTrainEpochLoss, &meanLoss)
+		}
+		stats.EpochLoss = append(stats.EpochLoss, meanLoss)
 		stats.Batches += batches
+
+		// Divergence detector: a non-finite epoch loss or a runaway weight
+		// means the optimizer left the stable region; everything the
+		// remaining epochs would compute is garbage, so abort now and let
+		// the caller retry or fall back. Healthy runs only pay a read-only
+		// scan per epoch — results stay bit-identical.
+		if !isFinite(meanLoss) || !n.weightsHealthy() {
+			stats.Diverged = true
+			stats.DivergedEpoch = epoch + 1
+			return stats, ctx.Err()
+		}
 
 		if opts.LRDecay > 0 && opts.LRDecay != 1 {
 			opts.LearningRate *= opts.LRDecay
@@ -207,7 +284,26 @@ func (n *Network) Train(x *mat.Matrix, labels []int, opts TrainOptions) TrainSta
 			}
 		}
 	}
-	return stats
+	return stats, ctx.Err()
+}
+
+// weightsHealthy reports whether every weight and bias is finite and within
+// WeightExplosionLimit. It only reads, so calling it never perturbs
+// training.
+func (n *Network) weightsHealthy() bool {
+	for _, l := range n.Layers {
+		for _, w := range l.W.Data() {
+			if !isFinite(w) || math.Abs(w) > WeightExplosionLimit {
+				return false
+			}
+		}
+		for _, b := range l.B {
+			if !isFinite(b) || math.Abs(b) > WeightExplosionLimit {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // meanLoss computes the mean cross-entropy of the network on `in`, whose row

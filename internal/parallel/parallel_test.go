@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"sync/atomic"
@@ -155,5 +156,126 @@ func TestMapSeededEmpty(t *testing.T) {
 		func(i int, rng *rand.Rand) (int, error) { return 0, nil })
 	if out != nil || errs != nil {
 		t.Fatal("empty run should return nils")
+	}
+}
+
+// TestMapErrPanicIsolation pins the failure-isolation contract: a panicking
+// item becomes a *PanicError for exactly that item; every other item still
+// delivers its result.
+func TestMapErrPanicIsolation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		out, errs := MapErr(8, workers, func(i int) (int, error) {
+			if i == 2 {
+				panic("kernel exploded")
+			}
+			if i == 5 {
+				return 0, errors.New("plain failure")
+			}
+			return i * 3, nil
+		})
+		if errs == nil {
+			t.Fatalf("workers=%d: panic swallowed without error", workers)
+		}
+		var pe *PanicError
+		if !errors.As(errs[2], &pe) {
+			t.Fatalf("workers=%d: errs[2] = %v, want *PanicError", workers, errs[2])
+		}
+		if pe.Index != 2 || pe.Value != "kernel exploded" || len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: PanicError = {Index:%d Value:%v stack:%d bytes}",
+				workers, pe.Index, pe.Value, len(pe.Stack))
+		}
+		var pe5 *PanicError
+		if errs[5] == nil || errors.As(errs[5], &pe5) {
+			t.Fatalf("workers=%d: plain error mishandled: %v", workers, errs[5])
+		}
+		for _, i := range []int{0, 1, 3, 4, 6, 7} {
+			if errs[i] != nil || out[i] != i*3 {
+				t.Fatalf("workers=%d: healthy item %d = (%d, %v)", workers, i, out[i], errs[i])
+			}
+		}
+	}
+}
+
+// TestForEachCtxCancelStopsDispatch checks that no new items start once the
+// context is cancelled, while completed items stay completed.
+func TestForEachCtxCancelStopsDispatch(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var started atomic.Int32
+		err := ForEachCtx(ctx, 100, workers, func(i int) {
+			if started.Add(1) == 3 {
+				cancel()
+			}
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// At most the in-flight items (≤ workers) may start after the cancel.
+		if n := started.Load(); int(n) > 3+workers {
+			t.Fatalf("workers=%d: %d items started after cancellation", workers, n)
+		}
+	}
+}
+
+func TestForEachCtxCompletesWithoutCancel(t *testing.T) {
+	seen := make([]int32, 23)
+	err := ForEachCtx(context.Background(), len(seen), 4, func(i int) {
+		atomic.AddInt32(&seen[i], 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+// TestMapErrCtxMarksUnstartedItems checks that items skipped by cancellation
+// carry ctx.Err() so callers can distinguish "never ran" from "failed".
+func TestMapErrCtxMarksUnstartedItems(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before any dispatch
+	out, errs := MapErrCtx(ctx, 5, 2, func(i int) (int, error) { return i, nil })
+	if len(out) != 5 || errs == nil {
+		t.Fatalf("out = %v, errs = %v", out, errs)
+	}
+	for i, err := range errs {
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("errs[%d] = %v, want context.Canceled", i, err)
+		}
+	}
+}
+
+// TestMapSeededCtxConsumesAllSeeds pins the resume-determinism contract: a
+// cancelled seeded run still consumes one sub-seed per item from the parent
+// rng, exactly like a completed run.
+func TestMapSeededCtxConsumesAllSeeds(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rngA := rand.New(rand.NewSource(7))
+	MapSeededCtx(ctx, 9, 3, rngA, func(i int, rng *rand.Rand) (int, error) { return i, nil })
+	rngB := rand.New(rand.NewSource(7))
+	for i := 0; i < 9; i++ {
+		rngB.Int63()
+	}
+	if a, b := rngA.Int63(), rngB.Int63(); a != b {
+		t.Fatalf("cancelled run consumed a different amount of parent rng: %d vs %d", a, b)
+	}
+}
+
+func TestJoinErrs(t *testing.T) {
+	if JoinErrs(nil) != nil {
+		t.Fatal("JoinErrs(nil) must be nil")
+	}
+	if JoinErrs([]error{nil, nil}) != nil {
+		t.Fatal("JoinErrs of all-nil slice must be nil")
+	}
+	e1, e2 := errors.New("first"), errors.New("second")
+	joined := JoinErrs([]error{nil, e1, nil, e2})
+	if joined == nil || !errors.Is(joined, e1) || !errors.Is(joined, e2) {
+		t.Fatalf("joined = %v", joined)
 	}
 }

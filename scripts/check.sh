@@ -31,8 +31,16 @@ go build ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race -short (root, mat, nn, parallel, dnnmodel, core, synth, adaptcache)"
-go test -race -short . ./internal/mat/... ./internal/nn/... ./internal/parallel/... ./internal/dnnmodel/... ./internal/core/... ./internal/synth/... ./internal/adaptcache/...
+echo "==> go test -race -short (root, mat, nn, parallel, dnnmodel, core, synth, adaptcache, measurement)"
+go test -race -short . ./internal/mat/... ./internal/nn/... ./internal/parallel/... ./internal/dnnmodel/... ./internal/core/... ./internal/synth/... ./internal/adaptcache/... ./internal/measurement/...
+
+echo "==> go test -race -tags faultinject (injected divergence, DNN failure, kernel panic)"
+go test -race -tags faultinject . ./internal/nn/... ./internal/core/... ./internal/faultinject/...
+
+echo "==> fuzz smoke (5s per reader target)"
+for target in FuzzReadText FuzzReadJSON FuzzReadExtraP; do
+    go test -run '^$' -fuzz "^${target}\$" -fuzztime 5s ./internal/measurement/
+done
 
 echo "==> adaptation-cache allocation gate (steady-state hit path allocates O(report), not O(adaptation))"
 go test -run 'TestAdaptCacheHitAllocations' -count=1 .
