@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"extrapdnn/internal/design"
+	"extrapdnn/internal/obs"
 	"extrapdnn/internal/parallel"
 	"extrapdnn/internal/profile"
 )
@@ -66,9 +67,23 @@ func (m *AdaptiveModeler) ModelProfileWorkersCtx(ctx context.Context, p *Profile
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	runCtx, runSpan := obs.StartSpan(ctx, "profile.run")
+	if runSpan != nil {
+		runSpan.SetInt("entries", int64(len(p.Entries)))
+		runSpan.SetInt("workers", int64(workers))
+		defer runSpan.End()
+	}
 	reports, errs := parallel.MapErrCtx(ctx, len(p.Entries), workers, func(i int) (*Report, error) {
-		rep, err := m.ModelCtx(ctx, p.Entries[i].Set)
+		e := p.Entries[i]
+		entryCtx, span := obs.StartSpan(runCtx, "profile.entry")
+		if span != nil {
+			span.SetString(obs.KernelAttr, e.Kernel)
+			span.SetString("metric", e.Metric)
+			defer span.End()
+		}
+		rep, err := m.ModelCtx(entryCtx, e.Set)
 		if err != nil {
+			span.SetString("error", err.Error())
 			return nil, err
 		}
 		return &rep, nil

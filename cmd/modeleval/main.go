@@ -29,6 +29,7 @@ import (
 	"extrapdnn/internal/cliutil"
 	"extrapdnn/internal/core"
 	"extrapdnn/internal/dnnmodel"
+	"extrapdnn/internal/obs"
 	"extrapdnn/internal/parallel"
 	"extrapdnn/internal/pmnf"
 	"extrapdnn/internal/profile"
@@ -40,7 +41,7 @@ func main() {
 		profilePath = flag.String("profile", "", "application profile (from appsim): model every kernel and evaluate at -at")
 		netPath     = flag.String("net", "", "with -profile: pretrained network file; pretrains ad hoc when empty")
 		adaptCache  = flag.Int("adapt-cache", 32, "with -profile: LRU entries of the domain-adaptation cache (0 disables)")
-		verbose     = flag.Bool("v", false, "with -profile: print adaptation-cache statistics")
+		verbose     = flag.Bool("v", false, "with -profile: print adaptation-cache statistics and the run-telemetry digest")
 		seed        = flag.Int64("seed", 1, "with -profile: random seed")
 		at          = flag.String("at", "", "comma-separated parameter values")
 		sweep       = flag.Int("sweep", 0, "1-based index of the parameter to sweep (0 = no sweep)")
@@ -50,10 +51,17 @@ func main() {
 		workers     = flag.Int("workers", 0, "concurrent evaluation/modeling workers (0 = GOMAXPROCS)")
 		timeout     = flag.Duration("timeout", 0, "overall deadline, e.g. 90s or 5m (0 = none); expiry exits with code 4")
 	)
+	obsFlags := cliutil.RegisterObsFlags()
 	flag.Parse()
 
 	ctx, cancel := cliutil.TimeoutContext(*timeout)
 	defer cancel()
+
+	obsShutdown, err := obsFlags.Setup("modeleval", *verbose)
+	if err != nil {
+		fatal(err)
+	}
+	defer obsShutdown()
 
 	if *profilePath != "" {
 		failed, err := evalProfile(ctx, *profilePath, *netPath, *at, *adaptCache, *workers, *seed, *verbose)
@@ -62,6 +70,7 @@ func main() {
 		}
 		if failed > 0 {
 			fmt.Fprintf(os.Stderr, "modeleval: %d kernel(s) failed, results above are partial\n", failed)
+			obsShutdown()
 			os.Exit(cliutil.ExitPartialFailure)
 		}
 		return
@@ -168,8 +177,19 @@ func evalProfile(ctx context.Context, path, netPath, at string, adaptCache, work
 	if err != nil {
 		return 0, err
 	}
+	runCtx, runSpan := obs.StartSpan(ctx, "profile.run")
+	if runSpan != nil {
+		runSpan.SetInt("entries", int64(len(prof.Entries)))
+		defer runSpan.End()
+	}
 	reps, errs := parallel.MapErrCtx(ctx, len(prof.Entries), workers, func(i int) (core.Report, error) {
-		return modeler.ModelCtx(ctx, prof.Entries[i].Set)
+		entryCtx, span := obs.StartSpan(runCtx, "profile.entry")
+		if span != nil {
+			span.SetString(obs.KernelAttr, prof.Entries[i].Kernel)
+			span.SetString("metric", prof.Entries[i].Metric)
+			defer span.End()
+		}
+		return modeler.ModelCtx(entryCtx, prof.Entries[i].Set)
 	})
 	fmt.Printf("application: %s (%d kernels, %d parameters)\n",
 		prof.Application, len(prof.Kernels()), prof.NumParams())
@@ -189,6 +209,8 @@ func evalProfile(ctx context.Context, path, netPath, at string, adaptCache, work
 		if rep.Resilience.Fallback != core.FallbackNone {
 			suffix = fmt.Sprintf("  [degraded: %s fallback, %d adaptation attempt(s)]",
 				rep.Resilience.Fallback, rep.Resilience.AdaptAttempts)
+		} else if rep.Resilience.Outcome() == core.OutcomeRetried {
+			suffix = fmt.Sprintf("  [recovered: %d adaptation attempts]", rep.Resilience.AdaptAttempts)
 		}
 		if point != nil {
 			fmt.Printf("%-22s | %8.3f%% | %-14g | %s%s\n",
@@ -198,9 +220,8 @@ func evalProfile(ctx context.Context, path, netPath, at string, adaptCache, work
 		}
 	}
 	if verbose {
-		s := modeler.CacheStats()
-		fmt.Printf("adaptation cache:  %d hits, %d misses (adaptations trained), %d evictions, %d entries, %.1f KiB retained\n",
-			s.Hits, s.Misses, s.Evictions, s.Entries, float64(s.Bytes)/1024)
+		cliutil.PrintCacheStats(os.Stdout, modeler.CacheStats())
+		cliutil.PrintRunSummary(os.Stdout)
 	}
 	// A deadline expiry outranks partial failure: the missing kernels were
 	// never tried, so the caller should see exit code 4, not 3.

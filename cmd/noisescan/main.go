@@ -21,6 +21,7 @@ import (
 	"extrapdnn/internal/core"
 	"extrapdnn/internal/measurement"
 	"extrapdnn/internal/noise"
+	"extrapdnn/internal/obs"
 	"extrapdnn/internal/parallel"
 	"extrapdnn/internal/profile"
 )
@@ -36,10 +37,17 @@ func main() {
 		bucketWidth = flag.Float64("noise-bucket", 0, "with -profile: noise-bucket width for adaptation-signature grouping (0 = default 2.5% steps, negative disables quantization)")
 		timeout     = flag.Duration("timeout", 0, "overall deadline, e.g. 90s (0 = none); expiry exits with code 4")
 	)
+	obsFlags := cliutil.RegisterObsFlags()
 	flag.Parse()
 
 	ctx, cancel := cliutil.TimeoutContext(*timeout)
 	defer cancel()
+
+	obsShutdown, err := obsFlags.Setup("noisescan", false)
+	if err != nil {
+		fatal(err)
+	}
+	defer obsShutdown()
 
 	if *profilePath != "" {
 		sigFailures, err := scanProfile(ctx, *profilePath, *workers, *bucketWidth)
@@ -48,6 +56,7 @@ func main() {
 		}
 		if sigFailures > 0 {
 			fmt.Fprintf(os.Stderr, "noisescan: %d kernel(s) without adaptation signature, grouping above is partial\n", sigFailures)
+			obsShutdown()
 			os.Exit(cliutil.ExitPartialFailure)
 		}
 		return
@@ -63,7 +72,6 @@ func main() {
 		r = f
 	}
 	var set *measurement.Set
-	var err error
 	switch *format {
 	case "json":
 		set, err = measurement.ReadJSON(r)
@@ -130,12 +138,22 @@ func scanProfile(ctx context.Context, path string, workers int, bucketWidth floa
 	if err != nil {
 		return 0, err
 	}
+	scanCtx, scanSpan := obs.StartSpan(ctx, "noisescan.profile")
+	if scanSpan != nil {
+		scanSpan.SetInt("entries", int64(len(prof.Entries)))
+		defer scanSpan.End()
+	}
 	type entryScan struct {
 		analysis noise.Analysis
 		sig      string
 		sigErr   error
 	}
 	scans, errs := parallel.MapErrCtx(ctx, len(prof.Entries), workers, func(i int) (entryScan, error) {
+		_, span := obs.StartSpan(scanCtx, "noisescan.entry")
+		if span != nil {
+			span.SetString(obs.KernelAttr, prof.Entries[i].Kernel)
+			defer span.End()
+		}
 		s := entryScan{analysis: noise.Analyze(prof.Entries[i].Set)}
 		s.sig, s.sigErr = core.TaskSignature(prof.Entries[i].Set, bucketWidth)
 		return s, nil
@@ -155,6 +173,22 @@ func scanProfile(ctx context.Context, path string, workers int, bucketWidth floa
 			if _, ok := groups[s.sig]; !ok {
 				groups[s.sig] = len(groups) + 1
 			}
+		}
+	}
+	// With -trace: one span per signature group, so the trace records how
+	// many kernels would share each domain adaptation.
+	if obs.CurrentTracer() != nil {
+		members := map[string]int{}
+		for _, s := range scans {
+			if s.sigErr == nil {
+				members[s.sig]++
+			}
+		}
+		for sig, id := range groups {
+			_, gs := obs.StartSpan(scanCtx, "noisescan.siggroup")
+			gs.SetInt("group", int64(id))
+			gs.SetInt("kernels", int64(members[sig]))
+			gs.End()
 		}
 	}
 	fmt.Printf("application: %s (%d kernels, %d parameters)\n",

@@ -26,6 +26,7 @@ import (
 	"extrapdnn/internal/core"
 	"extrapdnn/internal/dnnmodel"
 	"extrapdnn/internal/measurement"
+	"extrapdnn/internal/obs"
 	"extrapdnn/internal/parallel"
 	"extrapdnn/internal/pmnf"
 	"extrapdnn/internal/profile"
@@ -53,7 +54,7 @@ func main() {
 		workers        = flag.Int("workers", 0, "with -profile: concurrent modeling workers (0 = GOMAXPROCS); results are identical for any value")
 		adaptCache     = flag.Int("adapt-cache", 32, "LRU entries of the domain-adaptation cache (0 disables; results are identical either way)")
 		bucketWidth    = flag.Float64("noise-bucket", 0, "noise-bucket width for the adaptation cache signature (0 = default 2.5% steps, negative disables quantization)")
-		verbose        = flag.Bool("v", false, "print adaptation-cache statistics after modeling")
+		verbose        = flag.Bool("v", false, "print adaptation-cache statistics and the run-telemetry digest after modeling")
 		seed           = flag.Int64("seed", 1, "random seed")
 		timeout        = flag.Duration("timeout", 0, "overall deadline, e.g. 90s or 5m (0 = none); expiry exits with code 4")
 		noSanitize     = flag.Bool("no-sanitize", false, "reject measurement sets with bad points instead of repairing them")
@@ -62,12 +63,18 @@ func main() {
 		interval       = flag.Bool("interval", false, "with -predict: bootstrap a 95% prediction interval (regression refits)")
 		jsonOut        = flag.Bool("json", false, "emit the selected model as JSON instead of the text report")
 	)
+	obsFlags := cliutil.RegisterObsFlags()
 	flag.Parse()
 
 	ctx, cancel := cliutil.TimeoutContext(*timeout)
 	defer cancel()
 
-	var err error
+	obsShutdown, err := obsFlags.Setup("perfmodeler", *verbose)
+	if err != nil {
+		fatal(err)
+	}
+	defer obsShutdown()
+
 	var pretrained *dnnmodel.Modeler
 	if !*regressionOnly {
 		pretrained, err = cliutil.LoadOrPretrainCtx(ctx, *netPath, *topology, *samples, *epochs, *seed)
@@ -95,10 +102,12 @@ func main() {
 			fatal(err)
 		}
 		if *verbose {
-			printCacheStats(modeler)
+			cliutil.PrintCacheStats(os.Stdout, modeler.CacheStats())
+			cliutil.PrintRunSummary(os.Stdout)
 		}
 		if failed > 0 {
 			fmt.Fprintf(os.Stderr, "perfmodeler: %d kernel(s) failed, results above are partial\n", failed)
+			obsShutdown()
 			os.Exit(cliutil.ExitPartialFailure)
 		}
 		return
@@ -122,8 +131,9 @@ func main() {
 			UsedRegression bool       `json:"used_regression"`
 			Fallback       string     `json:"fallback,omitempty"`
 			AdaptAttempts  int        `json:"adapt_attempts,omitempty"`
+			Resilience     string     `json:"resilience"`
 		}{rep.Model.Model, rep.Model.SMAPE, rep.Noise.Global, rep.SelectedDNN, rep.UsedRegression,
-			fallbackLabel(rep), rep.Resilience.AdaptAttempts}
+			fallbackLabel(rep), rep.Resilience.AdaptAttempts, rep.Resilience.Outcome()}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
@@ -140,6 +150,11 @@ func main() {
 	if r := rep.Resilience; r.Fallback != core.FallbackNone {
 		fmt.Printf("degraded:          %s fallback after %d adaptation attempt(s): %v\n",
 			r.Fallback, r.AdaptAttempts, r.FallbackErr)
+	} else if r.Outcome() == core.OutcomeRetried {
+		// A successful retry is healthy output but not a first-try success;
+		// surface it instead of conflating the two.
+		fmt.Printf("recovered:         adaptation succeeded on attempt %d after divergence retries\n",
+			r.AdaptAttempts)
 	}
 	fmt.Printf("model:             %s\n", rep.Model.Model)
 	fmt.Printf("cross-val SMAPE:   %.3f%%\n", rep.Model.SMAPE)
@@ -149,7 +164,8 @@ func main() {
 	}
 	fmt.Printf("modeling time:     %v (adaptation %v)\n", rep.Durations.Total, rep.Durations.Adapt)
 	if *verbose {
-		printCacheStats(modeler)
+		cliutil.PrintCacheStats(os.Stdout, modeler.CacheStats())
+		cliutil.PrintRunSummary(os.Stdout)
 	}
 
 	if *predict != "" {
@@ -230,8 +246,19 @@ func modelProfile(ctx context.Context, modeler *core.Modeler, path, filter strin
 	fmt.Printf("application: %s (%d kernels, %d parameters)\n",
 		prof.Application, len(prof.Kernels()), prof.NumParams())
 	fmt.Printf("%-22s | %-8s | %-9s | %s\n", "kernel", "noise", "SMAPE", "model")
+	runCtx, runSpan := obs.StartSpan(ctx, "profile.run")
+	if runSpan != nil {
+		runSpan.SetInt("entries", int64(len(entries)))
+		defer runSpan.End()
+	}
 	reps, errs := parallel.MapErrCtx(ctx, len(entries), workers, func(i int) (core.Report, error) {
-		return modeler.ModelCtx(ctx, entries[i].Set)
+		entryCtx, span := obs.StartSpan(runCtx, "profile.entry")
+		if span != nil {
+			span.SetString(obs.KernelAttr, entries[i].Kernel)
+			span.SetString("metric", entries[i].Metric)
+			defer span.End()
+		}
+		return modeler.ModelCtx(entryCtx, entries[i].Set)
 	})
 	for i, e := range entries {
 		if errs != nil && errs[i] != nil {
@@ -245,6 +272,8 @@ func modelProfile(ctx context.Context, modeler *core.Modeler, path, filter strin
 		if rep.Resilience.Fallback != core.FallbackNone {
 			line += fmt.Sprintf("  [degraded: %s fallback, %d adaptation attempt(s)]",
 				rep.Resilience.Fallback, rep.Resilience.AdaptAttempts)
+		} else if rep.Resilience.Outcome() == core.OutcomeRetried {
+			line += fmt.Sprintf("  [recovered: %d adaptation attempts]", rep.Resilience.AdaptAttempts)
 		}
 		fmt.Println(line)
 	}
@@ -287,14 +316,6 @@ func readInput(path, format string, params int, noSanitize bool) (*measurement.S
 		fmt.Fprintf(os.Stderr, "perfmodeler: sanitized input: %s\n", rep.String())
 	}
 	return set, nil
-}
-
-// printCacheStats reports how many Model calls reused a cached adaptation
-// versus paid an adaptation-training run.
-func printCacheStats(modeler *core.Modeler) {
-	s := modeler.CacheStats()
-	fmt.Printf("adaptation cache:  %d hits, %d misses (adaptations trained), %d evictions, %d entries, %.1f KiB retained\n",
-		s.Hits, s.Misses, s.Evictions, s.Entries, float64(s.Bytes)/1024)
 }
 
 func selectedName(rep core.Report) string {

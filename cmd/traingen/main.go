@@ -28,10 +28,17 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		timeout  = flag.Duration("timeout", 0, "pretraining deadline, e.g. 10m (0 = none); expiry exits with code 4")
 	)
+	obsFlags := cliutil.RegisterObsFlags()
 	flag.Parse()
 
 	ctx, cancel := cliutil.TimeoutContext(*timeout)
 	defer cancel()
+
+	obsShutdown, err := obsFlags.Setup("traingen", false)
+	if err != nil {
+		fatal(err)
+	}
+	defer obsShutdown()
 
 	hidden, err := cliutil.ParseTopology(*topology)
 	if err != nil {

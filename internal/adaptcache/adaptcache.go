@@ -30,6 +30,22 @@ import (
 	"sync"
 
 	"extrapdnn/internal/dnnmodel"
+	"extrapdnn/internal/obs"
+)
+
+// Cache telemetry, mirroring the per-cache Stats counters as process-wide
+// metrics so a scrape (or the CLI run digest) sees hit/miss/eviction rates
+// without holding a *Cache. Singleflight waits count lookups that blocked on
+// another caller's in-flight adaptation — the coalescing PR 3 introduced.
+var (
+	obsHits = obs.NewCounter("extrapdnn_adaptcache_hits_total",
+		"Lookups served from the adaptation cache (incl. single-flight waits).")
+	obsMisses = obs.NewCounter("extrapdnn_adaptcache_misses_total",
+		"Lookups that ran a fresh adaptation.")
+	obsEvictions = obs.NewCounter("extrapdnn_adaptcache_evictions_total",
+		"Entries dropped by the LRU bound.")
+	obsSingleflightWaits = obs.NewCounter("extrapdnn_adaptcache_singleflight_waits_total",
+		"Lookups that blocked on another caller's in-flight adaptation.")
 )
 
 // Signature carries the adaptation-relevant properties of one modeling task.
@@ -200,7 +216,8 @@ func (c *Cache) GetOrCreateErr(key string, create func() (*dnnmodel.Modeler, err
 		c.ll.MoveToFront(el)
 		c.stats.Hits++
 		c.mu.Unlock()
-		<-e.ready
+		obsHits.Inc()
+		waitReady(e)
 		if e.m != nil {
 			return e.m, nil
 		}
@@ -212,6 +229,7 @@ func (c *Cache) GetOrCreateErr(key string, create func() (*dnnmodel.Modeler, err
 	c.items[key] = el
 	c.stats.Misses++
 	c.mu.Unlock()
+	obsMisses.Inc()
 
 	defer func() {
 		c.mu.Lock()
@@ -251,14 +269,27 @@ func (c *Cache) Get(key string) (*dnnmodel.Modeler, bool) {
 	if !ok {
 		c.stats.Misses++
 		c.mu.Unlock()
+		obsMisses.Inc()
 		return nil, false
 	}
 	e := el.Value.(*entry)
 	c.ll.MoveToFront(el)
 	c.stats.Hits++
 	c.mu.Unlock()
-	<-e.ready
+	obsHits.Inc()
+	waitReady(e)
 	return e.m, e.m != nil
+}
+
+// waitReady blocks until an entry's create completes, counting the lookups
+// that actually had to wait on an in-flight single-flight adaptation.
+func waitReady(e *entry) {
+	select {
+	case <-e.ready:
+	default:
+		obsSingleflightWaits.Inc()
+		<-e.ready
+	}
 }
 
 // Put inserts a ready modeler, replacing any resident entry for key.
@@ -295,6 +326,7 @@ func (c *Cache) evictOverCapLocked() {
 		delete(c.items, e.key)
 		c.stats.Bytes -= e.bytes
 		c.stats.Evictions++
+		obsEvictions.Inc()
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 	"extrapdnn/internal/measurement"
 	"extrapdnn/internal/nn"
 	"extrapdnn/internal/noise"
+	"extrapdnn/internal/obs"
 	"extrapdnn/internal/regression"
 )
 
@@ -224,11 +225,51 @@ type Resilience struct {
 	// for: 1 on the healthy path, >1 after divergence retries, 0 when the
 	// adapted network came from the cache or adaptation was disabled.
 	AdaptAttempts int
+	// AdaptSkipped reports that no domain adaptation was even attempted
+	// (DisableDNN or DisableAdaptation), disambiguating AdaptAttempts == 0
+	// from the cache-hit case.
+	AdaptSkipped bool
 	// Fallback is the degradation path taken (FallbackNone when healthy).
 	Fallback FallbackPath
 	// FallbackErr is the error that forced the fallback (nil when healthy);
 	// errors.Is(FallbackErr, nn.ErrDiverged) identifies divergence.
 	FallbackErr error
+}
+
+// Resilience outcome labels, as returned by Resilience.Outcome and used as
+// the "outcome" label of the extrapdnn_core_resilience_total metric family.
+const (
+	OutcomeFirstTry           = "first_try"           // one adaptation attempt, no fallback
+	OutcomeRetried            = "retried"             // >1 attempts, recovered without fallback
+	OutcomeCached             = "cached"              // adapted network reused from the cache
+	OutcomeNoAdapt            = "no_adapt"            // adaptation disabled by config
+	OutcomeFallbackPretrained = "fallback_pretrained" // degraded to the un-adapted network
+	OutcomeFallbackRegression = "fallback_regression" // degraded to the regression modeler
+)
+
+// Outcome classifies the fault-tolerance path of a successful run into one of
+// the Outcome* labels. In particular it distinguishes a run that recovered
+// via divergence retries (OutcomeRetried) from plain first-try success —
+// before this classification a successful retry was only visible by comparing
+// AdaptAttempts against 1 and was silently conflated with the healthy path in
+// the CLI output.
+func (r Resilience) Outcome() string {
+	switch r.Fallback {
+	case FallbackPretrained:
+		return OutcomeFallbackPretrained
+	case FallbackRegression:
+		return OutcomeFallbackRegression
+	}
+	switch {
+	case r.AdaptSkipped:
+		return OutcomeNoAdapt
+	case r.AdaptAttempts == 0:
+		return OutcomeCached
+	case r.AdaptAttempts == 1:
+		return OutcomeFirstTry
+	default:
+		return OutcomeRetried
+	}
 }
 
 // Durations breaks the modeling time down (Fig. 6 of the paper).
@@ -252,6 +293,40 @@ func (m *Modeler) Model(set *measurement.Set) (Report, error) {
 // DNN modeling run degrades to the regression modeler when the noise level
 // permits it. Report.Resilience records the path taken.
 func (m *Modeler) ModelCtx(ctx context.Context, set *measurement.Set) (Report, error) {
+	ctx, span := obs.StartSpan(ctx, "core.model")
+	rep, err := m.modelCtx(ctx, set)
+	if err != nil {
+		obsModelErrors.Inc()
+		if span != nil {
+			span.SetString("error", err.Error())
+			span.End()
+		}
+		return rep, err
+	}
+	obsModels.Inc()
+	if obs.MetricsEnabled() {
+		obsNoiseEstimate.Observe(rep.Noise.Global)
+		obsModelSMAPE.Observe(rep.Model.SMAPE)
+		if rep.SelectedDNN {
+			obsSelectedDNN.Inc()
+		} else {
+			obsSelectedRegression.Inc()
+		}
+		obsResilience[rep.Resilience.Outcome()].Inc()
+	}
+	if span != nil {
+		span.SetFloat("noise", rep.Noise.Global)
+		span.SetFloat("smape", rep.Model.SMAPE)
+		span.SetBool("selected_dnn", rep.SelectedDNN)
+		span.SetString("outcome", rep.Resilience.Outcome())
+		span.SetInt("adapt_attempts", int64(rep.Resilience.AdaptAttempts))
+		span.End()
+	}
+	return rep, nil
+}
+
+// modelCtx is the uninstrumented body of ModelCtx.
+func (m *Modeler) modelCtx(ctx context.Context, set *measurement.Set) (Report, error) {
 	start := time.Now()
 	var rep Report
 	if err := ctx.Err(); err != nil {
@@ -276,6 +351,7 @@ func (m *Modeler) ModelCtx(ctx context.Context, set *measurement.Set) (Report, e
 
 	useRegression := m.cfg.DisableDNN || rep.Noise.Global <= m.threshold()
 	useDNN := !m.cfg.DisableDNN
+	rep.Resilience.AdaptSkipped = m.cfg.DisableDNN || m.cfg.DisableAdaptation
 
 	// Steps 3 and 4: domain adaptation and DNN modeling.
 	var dnnRes *regression.Result
@@ -331,7 +407,9 @@ func (m *Modeler) ModelCtx(ctx context.Context, set *measurement.Set) (Report, e
 			return rep, err
 		}
 		regStart := time.Now()
+		_, regSpan := obs.StartSpan(ctx, "core.regression")
 		res, err := regression.Model(set, regression.Options{TopK: m.cfg.TopK})
+		regSpan.End()
 		rep.Durations.Regression = time.Since(regStart)
 		if err != nil {
 			if dnnRes == nil {
@@ -475,6 +553,7 @@ func (m *Modeler) adaptWithRetry(ctx context.Context, key string, task dnnmodel.
 	var lastErr error
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		if attempt > 0 {
+			obsAdaptRetries.Inc()
 			cfg.LearningRate = baseLR / float64(int64(1)<<uint(attempt))
 		}
 		rng := rand.New(rand.NewSource(adaptcache.RetrySeed(key, attempt)))

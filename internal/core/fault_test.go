@@ -12,6 +12,7 @@ import (
 
 	"extrapdnn/internal/faultinject"
 	"extrapdnn/internal/nn"
+	"extrapdnn/internal/obs"
 )
 
 // TestModelInjectedDivergenceRetriesThenSucceeds pins the recovery path: the
@@ -36,6 +37,10 @@ func TestModelInjectedDivergenceRetriesThenSucceeds(t *testing.T) {
 		t.Fatal(err)
 	}
 	set := noisySet(rand.New(rand.NewSource(11)), 0.05, func(x float64) float64 { return 10 + 2*x })
+	obs.EnableMetrics()
+	t.Cleanup(obs.DisableMetrics)
+	retriedBefore := obsResilience[OutcomeRetried].Value()
+	retriesBefore := obsAdaptRetries.Value()
 	rep, err := m.Model(set)
 	if err != nil {
 		t.Fatal(err)
@@ -46,6 +51,16 @@ func TestModelInjectedDivergenceRetriesThenSucceeds(t *testing.T) {
 	}
 	if rep.Resilience.Fallback != FallbackNone || rep.Resilience.FallbackErr != nil {
 		t.Fatalf("successful retry must not record a fallback: %+v", rep.Resilience)
+	}
+	if got := rep.Resilience.Outcome(); got != OutcomeRetried {
+		t.Fatalf("Outcome = %q, want %q (recovery must not masquerade as first-try success)",
+			got, OutcomeRetried)
+	}
+	if got := obsResilience[OutcomeRetried].Value() - retriedBefore; got != 1 {
+		t.Fatalf("resilience{outcome=retried} advanced by %d, want 1", got)
+	}
+	if got := obsAdaptRetries.Value() - retriesBefore; got != 1 {
+		t.Fatalf("adapt_retries_total advanced by %d, want 1", got)
 	}
 	if got := m.CacheStats().Entries; got != 1 {
 		t.Fatalf("recovered adaptation must be cached: %d resident entries", got)

@@ -1,0 +1,40 @@
+package core
+
+import "extrapdnn/internal/obs"
+
+// Adaptive-modeler telemetry. The resilience family is labeled by
+// Resilience.Outcome() — one pre-registered handle per outcome, so the
+// successful-retry path (outcome="retried") is distinguishable from first-try
+// success and from cache reuse in scrapes as well as in CLI digests.
+var (
+	obsModels = obs.NewCounter("extrapdnn_core_models_total",
+		"Adaptive modeling runs completed successfully.")
+	obsModelErrors = obs.NewCounter("extrapdnn_core_model_errors_total",
+		"Adaptive modeling runs that returned an error (including cancellation).")
+	obsAdaptRetries = obs.NewCounter("extrapdnn_core_adapt_retries_total",
+		"Divergence-recovery adaptation attempts beyond the first (successful or not).")
+	obsSelectedDNN = obs.NewCounter("extrapdnn_core_selected_total",
+		"Final model selections by winning modeler.", "modeler", "dnn")
+	obsSelectedRegression = obs.NewCounter("extrapdnn_core_selected_total",
+		"Final model selections by winning modeler.", "modeler", "regression")
+	obsNoiseEstimate = obs.NewHistogram("extrapdnn_core_noise_estimate",
+		"Estimated global noise level (fraction) per modeling run.",
+		obs.LinearBuckets(0.05, 0.05, 12))
+	obsModelSMAPE = obs.NewHistogram("extrapdnn_core_model_smape",
+		"Cross-validated SMAPE of the selected model.",
+		obs.LinearBuckets(0.05, 0.05, 12))
+	obsResilience = map[string]*obs.Counter{
+		OutcomeFirstTry:           newResilienceCounter(OutcomeFirstTry),
+		OutcomeRetried:            newResilienceCounter(OutcomeRetried),
+		OutcomeCached:             newResilienceCounter(OutcomeCached),
+		OutcomeNoAdapt:            newResilienceCounter(OutcomeNoAdapt),
+		OutcomeFallbackPretrained: newResilienceCounter(OutcomeFallbackPretrained),
+		OutcomeFallbackRegression: newResilienceCounter(OutcomeFallbackRegression),
+	}
+)
+
+func newResilienceCounter(outcome string) *obs.Counter {
+	return obs.NewCounter("extrapdnn_core_resilience_total",
+		"Successful modeling runs by fault-tolerance outcome (Resilience.Outcome).",
+		"outcome", outcome)
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// TestResilienceOutcome pins the classification behind the
+// extrapdnn_core_resilience_total metric label and the CLI suffixes — in
+// particular that a successful divergence retry (attempts > 1, no fallback)
+// is distinguishable from first-try success and from a cache hit.
+func TestResilienceOutcome(t *testing.T) {
+	cases := []struct {
+		name string
+		r    Resilience
+		want string
+	}{
+		{"first try", Resilience{AdaptAttempts: 1}, OutcomeFirstTry},
+		{"successful retry", Resilience{AdaptAttempts: 2}, OutcomeRetried},
+		{"retry at the cap", Resilience{AdaptAttempts: 1 + DefaultAdaptRetries}, OutcomeRetried},
+		{"cache hit", Resilience{AdaptAttempts: 0}, OutcomeCached},
+		{"adaptation disabled", Resilience{AdaptSkipped: true}, OutcomeNoAdapt},
+		{"pretrained fallback", Resilience{AdaptAttempts: 3, Fallback: FallbackPretrained,
+			FallbackErr: errors.New("diverged")}, OutcomeFallbackPretrained},
+		{"regression fallback", Resilience{AdaptAttempts: 1, Fallback: FallbackRegression,
+			FallbackErr: errors.New("dnn failed")}, OutcomeFallbackRegression},
+		{"fallback outranks skip", Resilience{AdaptSkipped: true, Fallback: FallbackRegression},
+			OutcomeFallbackRegression},
+	}
+	for _, tc := range cases {
+		if got := tc.r.Outcome(); got != tc.want {
+			t.Errorf("%s: Outcome() = %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestModelOutcomeDistinguishesCachedFromSkipped runs the three zero-attempt
+// shapes end to end: a healthy first model, a cache hit for the same
+// signature, and an adaptation-disabled modeler. Before AdaptSkipped was
+// recorded, the last two were indistinguishable in the report.
+func TestModelOutcomeDistinguishesCachedFromSkipped(t *testing.T) {
+	set := noisySet(rand.New(rand.NewSource(8)), 0.05, func(x float64) float64 { return 10 + 2*x })
+
+	m, err := New(testPretrained(), Config{Adapt: quietAdapt, Seed: 1, AdaptCacheSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Model(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Resilience.Outcome(); got != OutcomeFirstTry {
+		t.Fatalf("fresh model Outcome = %q, want %q", got, OutcomeFirstTry)
+	}
+	rep, err = m.Model(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Resilience.Outcome(); got != OutcomeCached {
+		t.Fatalf("repeat model Outcome = %q, want %q", got, OutcomeCached)
+	}
+
+	noAdapt, err := New(testPretrained(), Config{Adapt: quietAdapt, Seed: 1, DisableAdaptation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err = noAdapt.Model(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Resilience.Outcome(); got != OutcomeNoAdapt {
+		t.Fatalf("adaptation-disabled Outcome = %q, want %q", got, OutcomeNoAdapt)
+	}
+	if !rep.Resilience.AdaptSkipped {
+		t.Fatal("AdaptSkipped not recorded with DisableAdaptation")
+	}
+}
+
+// TestModelOutcomeFallbackPretrained pins the degraded classification on the
+// real divergence path (every attempt diverges, pretrained network serves).
+func TestModelOutcomeFallbackPretrained(t *testing.T) {
+	m, err := New(testPretrained(), Config{Adapt: divergingAdapt, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := noisySet(rand.New(rand.NewSource(9)), 0.05, func(x float64) float64 { return 10 + 2*x })
+	rep, err := m.Model(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Resilience.Outcome(); got != OutcomeFallbackPretrained {
+		t.Fatalf("Outcome = %q, want %q", got, OutcomeFallbackPretrained)
+	}
+}

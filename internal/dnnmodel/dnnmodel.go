@@ -15,11 +15,13 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"extrapdnn/internal/faultinject"
 	"extrapdnn/internal/mat"
 	"extrapdnn/internal/measurement"
 	"extrapdnn/internal/nn"
+	"extrapdnn/internal/obs"
 	"extrapdnn/internal/parallel"
 	"extrapdnn/internal/pmnf"
 	"extrapdnn/internal/preprocess"
@@ -113,6 +115,10 @@ var wsPool = sync.Pool{New: func() any { return new(synth.LineWorkspace) }}
 // buildDataset is BuildDataset writing into buf's storage when buf is
 // non-nil (growing it as needed).
 func buildDataset(rng *rand.Rand, spec TrainSpec, buf *datasetBuf) (*mat.Matrix, []int) {
+	var buildStart time.Time
+	if obs.MetricsEnabled() {
+		buildStart = time.Now()
+	}
 	perClass := spec.SamplesPerClass
 	if perClass < 1 {
 		perClass = 1
@@ -174,6 +180,11 @@ func buildDataset(rng *rand.Rand, spec TrainSpec, buf *datasetBuf) (*mat.Matrix,
 	if rows != total {
 		x = mat.NewFromData(rows, cols, data[:rows*cols])
 	}
+	if obs.MetricsEnabled() {
+		obsDatasetBuilds.Inc()
+		obsDatasetRows.Add(uint64(rows))
+		obsDatasetSeconds.Observe(time.Since(buildStart).Seconds())
+	}
 	return x, labels
 }
 
@@ -221,6 +232,11 @@ func Pretrain(cfg PretrainConfig) (*Modeler, nn.TrainStats) {
 // The modeler is nil whenever the error is non-nil.
 func PretrainCtx(ctx context.Context, cfg PretrainConfig) (*Modeler, nn.TrainStats, error) {
 	cfg = cfg.withDefaults()
+	obsPretrains.Inc()
+	ctx, span := obs.StartSpan(ctx, "dnnmodel.pretrain")
+	span.SetInt("samples_per_class", int64(cfg.SamplesPerClass))
+	span.SetInt("epochs", int64(cfg.Epochs))
+	defer span.End()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	sizes := append([]int{preprocess.InputSize}, cfg.Hidden...)
 	sizes = append(sizes, pmnf.NumClasses)
@@ -307,6 +323,11 @@ func (m *Modeler) DomainAdapt(rng *rand.Rand, task TaskInfo, cfg AdaptConfig) *M
 // consumed identically to DomainAdapt on the healthy path.
 func (m *Modeler) DomainAdaptCtx(ctx context.Context, rng *rand.Rand, task TaskInfo, cfg AdaptConfig) (*Modeler, nn.TrainStats, error) {
 	cfg = cfg.withDefaults()
+	obsAdapts.Inc()
+	ctx, span := obs.StartSpan(ctx, "dnnmodel.adapt")
+	span.SetInt("samples_per_class", int64(cfg.SamplesPerClass))
+	span.SetFloat("noise_max", task.NoiseMax)
+	defer span.End()
 	buf := adaptPool.Get().(*datasetBuf)
 	x, labels := buildDataset(rng, TrainSpec{
 		SamplesPerClass: cfg.SamplesPerClass,
@@ -364,6 +385,9 @@ func (m *Modeler) ModelCtx(ctx context.Context, set *measurement.Set) (regressio
 	if err := ctx.Err(); err != nil {
 		return regression.Result{}, err
 	}
+	obsPredicts.Inc()
+	ctx, span := obs.StartSpan(ctx, "dnnmodel.predict")
+	defer span.End()
 	if faultinject.Enabled {
 		var injected error
 		faultinject.Fire(faultinject.SiteDNNModel, &injected)

@@ -1,0 +1,28 @@
+package nn
+
+import "extrapdnn/internal/obs"
+
+// Training telemetry (docs/OBSERVABILITY.md catalogs the families). The
+// handles exist unconditionally; with observability disabled every update is
+// a single atomic-bool load (see internal/obs), so the zero-allocation
+// training loop of DESIGN.md §6 is untouched — pinned by the obs allocation
+// gate and the BenchmarkTrain* alloc counts.
+var (
+	obsTrainRuns = obs.NewCounter("extrapdnn_nn_train_runs_total",
+		"Training runs started (pretraining and domain adaptation).")
+	obsTrainEpochs = obs.NewCounter("extrapdnn_nn_train_epochs_total",
+		"Training epochs completed across all runs.")
+	obsTrainBatches = obs.NewCounter("extrapdnn_nn_train_batches_total",
+		"Optimizer steps taken across all runs.")
+	obsTrainDivergence = obs.NewCounter("extrapdnn_nn_train_divergence_total",
+		"Training runs aborted by the divergence detector.")
+	obsEpochSeconds = obs.NewHistogram("extrapdnn_nn_train_epoch_seconds",
+		"Wall time per training epoch.", obs.ExpBuckets(0.001, 4, 10))
+	obsLastEpochLoss = obs.NewGauge("extrapdnn_nn_train_last_epoch_loss",
+		"Mean training cross-entropy of the most recent epoch.")
+	// obsLossRing keeps the recent per-epoch loss curve (the raw material of
+	// early-stopping performance prediction à la Baker et al.) available to
+	// the JSON snapshot without retaining whole training histories.
+	obsLossRing = obs.NewRing("extrapdnn_nn_train_epoch_loss",
+		"Recent per-epoch mean training losses, oldest first.", 256)
+)

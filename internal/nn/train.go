@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"extrapdnn/internal/faultinject"
 	"extrapdnn/internal/mat"
+	"extrapdnn/internal/obs"
 )
 
 // DefaultLearningRate is the step size used when TrainOptions.LearningRate
@@ -188,6 +190,13 @@ func (n *Network) TrainCtx(ctx context.Context, x *mat.Matrix, labels []int, opt
 		}
 	}
 
+	// Telemetry: one run counter tick plus a span covering the whole run.
+	// With observability off this is one atomic load and a nil span — the
+	// training loop itself stays allocation-free either way (obs alloc gate).
+	obsTrainRuns.Inc()
+	spanCtx, span := obs.StartSpan(ctx, "nn.train")
+	ctx = spanCtx
+
 	states := make([]*optState, len(n.Layers))
 	for i, l := range n.Layers {
 		states[i] = &optState{
@@ -223,6 +232,14 @@ func (n *Network) TrainCtx(ctx context.Context, x *mat.Matrix, labels []int, opt
 	ws := newTrainWorkspace(n, x, effBatch, trainCount%effBatch, trainCount, numSamples-trainCount, dropout)
 
 	stats := TrainStats{}
+	if span != nil {
+		defer func() {
+			span.SetInt("epochs", int64(len(stats.EpochLoss)))
+			span.SetFloat("final_loss", stats.FinalLoss())
+			span.SetBool("diverged", stats.Diverged)
+			span.End()
+		}()
+	}
 	bestVal := math.Inf(1)
 	badEpochs := 0
 	rng := opts.Rng
@@ -235,6 +252,10 @@ func (n *Network) TrainCtx(ctx context.Context, x *mat.Matrix, labels []int, opt
 	for epoch := 0; epoch < opts.Epochs; epoch++ {
 		if err := ctx.Err(); err != nil {
 			return stats, err
+		}
+		var epochStart time.Time
+		if obs.MetricsEnabled() {
+			epochStart = time.Now()
 		}
 		rng.Shuffle(trainCount, func(a, b int) { order[a], order[b] = order[b], order[a] })
 		epochLoss, batches := 0.0, 0
@@ -254,6 +275,17 @@ func (n *Network) TrainCtx(ctx context.Context, x *mat.Matrix, labels []int, opt
 		}
 		stats.EpochLoss = append(stats.EpochLoss, meanLoss)
 		stats.Batches += batches
+		if obs.MetricsEnabled() {
+			// Per-epoch telemetry: epochs/sec falls out of epochs_total over
+			// epoch_seconds_sum, and the loss ring feeds trajectory-based
+			// analyses (PEng4NN-style early prediction) without retaining
+			// whole histories. All updates are allocation-free.
+			obsTrainEpochs.Inc()
+			obsTrainBatches.Add(uint64(batches))
+			obsEpochSeconds.Observe(time.Since(epochStart).Seconds())
+			obsLastEpochLoss.Set(meanLoss)
+			obsLossRing.Push(meanLoss)
+		}
 
 		// Divergence detector: a non-finite epoch loss or a runaway weight
 		// means the optimizer left the stable region; everything the
@@ -263,6 +295,7 @@ func (n *Network) TrainCtx(ctx context.Context, x *mat.Matrix, labels []int, opt
 		if !isFinite(meanLoss) || !n.weightsHealthy() {
 			stats.Diverged = true
 			stats.DivergedEpoch = epoch + 1
+			obsTrainDivergence.Inc()
 			return stats, ctx.Err()
 		}
 

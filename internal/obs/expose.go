@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): # HELP / # TYPE headers once per metric family,
+// then one sample line per handle, with histograms expanded into cumulative
+// _bucket{le="..."} series plus _sum and _count. Rings are JSON-only. Output
+// is sorted for deterministic scrapes.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	counters := append([]*Counter(nil), r.counters...)
+	gauges := append([]*Gauge(nil), r.gauges...)
+	hists := append([]*Histogram(nil), r.hists...)
+	r.mu.Unlock()
+
+	type sample struct {
+		family, kind, help, line string
+	}
+	var samples []sample
+	for _, c := range counters {
+		samples = append(samples, sample{
+			family: c.base, kind: "counter", help: c.help,
+			line: fmt.Sprintf("%s %d\n", c.Name(), c.Value()),
+		})
+	}
+	for _, g := range gauges {
+		samples = append(samples, sample{
+			family: g.base, kind: "gauge", help: g.help,
+			line: fmt.Sprintf("%s %s\n", g.Name(), formatFloat(g.Value())),
+		})
+	}
+	for _, h := range hists {
+		var lines string
+		cum := uint64(0)
+		for i := range h.buckets {
+			cum += h.buckets[i].Load()
+			le := "+Inf"
+			if i < len(h.uppers) {
+				le = formatFloat(h.uppers[i])
+			}
+			lines += fmt.Sprintf("%s_bucket%s %d\n", h.base, mergeLabels(h.lbls, "le", le), cum)
+		}
+		lines += fmt.Sprintf("%s_sum%s %s\n", h.base, h.lbls, formatFloat(h.Sum()))
+		lines += fmt.Sprintf("%s_count%s %d\n", h.base, h.lbls, h.Count())
+		samples = append(samples, sample{family: h.base, kind: "histogram", help: h.help, line: lines})
+	}
+
+	sort.SliceStable(samples, func(i, j int) bool {
+		if samples[i].family != samples[j].family {
+			return samples[i].family < samples[j].family
+		}
+		return samples[i].line < samples[j].line
+	})
+	lastFamily := ""
+	for _, s := range samples {
+		if s.family != lastFamily {
+			if s.help != "" {
+				fmt.Fprintf(w, "# HELP %s %s\n", s.family, s.help)
+			}
+			fmt.Fprintf(w, "# TYPE %s %s\n", s.family, s.kind)
+			lastFamily = s.family
+		}
+		io.WriteString(w, s.line)
+	}
+}
+
+// mergeLabels splices an extra label into an already rendered label block.
+func mergeLabels(rendered, key, value string) string {
+	extra := fmt.Sprintf("%s=%q", key, value)
+	if rendered == "" {
+		return "{" + extra + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + extra + "}"
+}
+
+// formatFloat renders a float the way Prometheus expects (+Inf, -Inf, NaN
+// spelled out; shortest round-trip form otherwise).
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteJSON renders a point-in-time JSON snapshot of every metric, rings
+// included. Keys are sorted by encoding/json's map rendering, so successive
+// snapshots diff cleanly.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// MetricsHandler serves the default registry as Prometheus text — mount it
+// at /metrics.
+func MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		defaultRegistry.WritePrometheus(w)
+	})
+}
+
+// JSONHandler serves the default registry as a JSON snapshot — mount it at
+// /metrics.json.
+func JSONHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		defaultRegistry.WriteJSON(w)
+	})
+}

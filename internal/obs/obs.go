@@ -1,0 +1,427 @@
+// Package obs is the observability layer of the modeling stack: a
+// concurrency-safe metrics registry (atomic counters, gauges, fixed-bucket
+// histograms and bounded sample rings), span-based tracing threaded through
+// the pipeline's context.Context plumbing, and exposition as Prometheus text
+// and JSON snapshots (see expose.go) plus a JSONL trace sink (see trace.go).
+//
+// The package is stdlib-only and designed around one invariant: when
+// observability is off — the default — instrumented code pays near-zero
+// overhead and performs zero heap allocations. Two mechanisms enforce it:
+//
+//   - Metrics: every handle method first loads one package-level atomic bool
+//     (metricsOn) and returns immediately when it is false. The handles are
+//     created once at package init of the instrumented packages, so the hot
+//     path never looks anything up, formats anything, or allocates. All
+//     handle methods are additionally nil-receiver safe.
+//
+//   - Tracing: StartSpan loads one atomic pointer; with no tracer installed
+//     it returns its inputs unchanged and a nil *Span, and every Span method
+//     is a no-op on a nil receiver. A disabled pipeline therefore carries
+//     spans as nil pointers end to end.
+//
+// TestObsDisabledAllocations pins the zero-allocation claim, and
+// scripts/check.sh runs it as a gate next to the PR 1 zero-alloc training
+// gate. Enabling metrics keeps counters, gauges and histograms allocation-
+// free too (atomic adds and CAS loops on preallocated state); only tracing
+// with an installed tracer allocates, proportional to the spans started.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metricsOn is the package-level off switch. All metric mutations load it
+// first; the default (false) makes every instrumented site a read-of-one-
+// atomic-bool no-op.
+var metricsOn atomic.Bool
+
+// EnableMetrics turns metric collection on process-wide. CLIs call it when
+// any of -metrics-addr, -trace or -v is given; libraries never call it.
+func EnableMetrics() { metricsOn.Store(true) }
+
+// DisableMetrics turns metric collection off again (primarily for tests).
+func DisableMetrics() { metricsOn.Store(false) }
+
+// MetricsEnabled reports whether metric collection is on. Instrumented code
+// uses it to skip work whose only purpose is feeding metrics (e.g. reading
+// the clock around a timed section).
+func MetricsEnabled() bool { return metricsOn.Load() }
+
+// Counter is a monotonically increasing metric. Create with NewCounter; the
+// zero value and a nil pointer are safe no-ops.
+type Counter struct {
+	v    atomic.Uint64
+	base string // metric family name, e.g. "extrapdnn_adaptcache_hits_total"
+	lbls string // rendered label set, e.g. `{path="pretrained"}`, or ""
+	help string
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n. A no-op when metrics are disabled or c is nil; never allocates.
+func (c *Counter) Add(n uint64) {
+	if c == nil || !metricsOn.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Name returns the rendered metric name including labels.
+func (c *Counter) Name() string { return c.base + c.lbls }
+
+// Gauge is a metric that can go up and down. Create with NewGauge.
+type Gauge struct {
+	bits atomic.Uint64 // float64 bits
+	base string
+	lbls string
+	help string
+}
+
+// Set stores v. A no-op when metrics are disabled or g is nil.
+func (g *Gauge) Set(v float64) {
+	if g == nil || !metricsOn.Load() {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds delta with a CAS loop; allocation-free.
+func (g *Gauge) Add(delta float64) {
+	if g == nil || !metricsOn.Load() {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value (0 for a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Name returns the rendered metric name including labels.
+func (g *Gauge) Name() string { return g.base + g.lbls }
+
+// Histogram is a fixed-bucket cumulative histogram (Prometheus semantics:
+// bucket i counts observations <= Uppers[i]; an implicit +Inf bucket catches
+// the rest). Buckets are fixed at construction so Observe is a linear scan
+// plus two atomic adds — allocation-free under concurrency.
+type Histogram struct {
+	uppers  []float64
+	buckets []atomic.Uint64 // len(uppers)+1; last is +Inf
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+	base    string
+	lbls    string
+	help    string
+}
+
+// Observe records v. A no-op when metrics are disabled or h is nil.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || !metricsOn.Load() {
+		return
+	}
+	i := 0
+	for i < len(h.uppers) && v > h.uppers[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Name returns the rendered metric name including labels.
+func (h *Histogram) Name() string { return h.base + h.lbls }
+
+// ExpBuckets returns n exponentially growing upper bounds starting at start
+// and multiplying by factor — the standard latency-histogram layout.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n upper bounds start, start+width, ...
+func LinearBuckets(start, width float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// Ring is a bounded ring of float64 samples — the shape of a per-epoch loss
+// curve. Push is cheap (one mutex, no allocation); Snapshot copies out the
+// resident samples oldest-first. Rings appear in the JSON snapshot only;
+// Prometheus has no native type for them.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []float64
+	next  int
+	total uint64
+	name  string
+	help  string
+}
+
+// Push appends v, overwriting the oldest sample once the ring is full. A
+// no-op when metrics are disabled or r is nil.
+func (r *Ring) Push(v float64) {
+	if r == nil || !metricsOn.Load() {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = v
+	r.next = (r.next + 1) % len(r.buf)
+	r.total++
+	r.mu.Unlock()
+}
+
+// Snapshot returns the resident samples oldest-first and the total number of
+// samples ever pushed (which exceeds len(samples) once the ring wrapped).
+func (r *Ring) Snapshot() (samples []float64, total uint64) {
+	if r == nil {
+		return nil, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := int(r.total)
+	if n > len(r.buf) {
+		n = len(r.buf)
+	}
+	samples = make([]float64, 0, n)
+	start := r.next - n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < n; i++ {
+		samples = append(samples, r.buf[(start+i)%len(r.buf)])
+	}
+	return samples, r.total
+}
+
+// Name returns the ring's name.
+func (r *Ring) Name() string { return r.name }
+
+// Registry holds registered metrics and renders snapshots. Registration
+// happens at package-init time of the instrumented packages; the registry is
+// never consulted on the hot path.
+type Registry struct {
+	mu       sync.Mutex
+	counters []*Counter
+	gauges   []*Gauge
+	hists    []*Histogram
+	rings    []*Ring
+}
+
+var defaultRegistry = &Registry{}
+
+// Default returns the process-wide registry every New* constructor registers
+// into.
+func Default() *Registry { return defaultRegistry }
+
+// renderLabels turns alternating key, value strings into a canonical
+// Prometheus label block, e.g. {path="pretrained"}.
+func renderLabels(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: labels must be alternating key, value pairs; got %d entries", len(labels)))
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", labels[i], labels[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// NewCounter registers and returns a counter. name should follow Prometheus
+// conventions (snake_case, unit-suffixed, counters end in _total); labels are
+// alternating key, value pairs baked into the handle, so labeled families are
+// one handle per label combination — fixed at init, free at increment time.
+func NewCounter(name, help string, labels ...string) *Counter {
+	c := &Counter{base: name, lbls: renderLabels(labels), help: help}
+	defaultRegistry.mu.Lock()
+	defaultRegistry.counters = append(defaultRegistry.counters, c)
+	defaultRegistry.mu.Unlock()
+	return c
+}
+
+// NewGauge registers and returns a gauge.
+func NewGauge(name, help string, labels ...string) *Gauge {
+	g := &Gauge{base: name, lbls: renderLabels(labels), help: help}
+	defaultRegistry.mu.Lock()
+	defaultRegistry.gauges = append(defaultRegistry.gauges, g)
+	defaultRegistry.mu.Unlock()
+	return g
+}
+
+// NewHistogram registers and returns a fixed-bucket histogram. uppers must be
+// sorted ascending; the +Inf bucket is implicit.
+func NewHistogram(name, help string, uppers []float64) *Histogram {
+	for i := 1; i < len(uppers); i++ {
+		if uppers[i] <= uppers[i-1] {
+			panic(fmt.Sprintf("obs: histogram %s buckets must be sorted ascending", name))
+		}
+	}
+	h := &Histogram{
+		base:    name,
+		help:    help,
+		uppers:  append([]float64(nil), uppers...),
+		buckets: make([]atomic.Uint64, len(uppers)+1),
+	}
+	defaultRegistry.mu.Lock()
+	defaultRegistry.hists = append(defaultRegistry.hists, h)
+	defaultRegistry.mu.Unlock()
+	return h
+}
+
+// NewRing registers and returns a bounded sample ring of the given size.
+func NewRing(name, help string, size int) *Ring {
+	if size < 1 {
+		size = 1
+	}
+	r := &Ring{buf: make([]float64, size), name: name, help: help}
+	defaultRegistry.mu.Lock()
+	defaultRegistry.rings = append(defaultRegistry.rings, r)
+	defaultRegistry.mu.Unlock()
+	return r
+}
+
+// HistogramValue is the snapshot of one histogram.
+type HistogramValue struct {
+	Count   uint64          `json:"count"`
+	Sum     float64         `json:"sum"`
+	Buckets []HistogramBand `json:"buckets"`
+}
+
+// HistogramBand is one cumulative bucket of a histogram snapshot.
+type HistogramBand struct {
+	UpperBound float64 // +Inf for the last band
+	Count      uint64
+}
+
+// MarshalJSON renders the upper bound as a string ("+Inf" for the last band)
+// because encoding/json rejects infinite float64 values — a bare float tag
+// would fail the whole snapshot encode.
+func (b HistogramBand) MarshalJSON() ([]byte, error) {
+	le := "+Inf"
+	if !math.IsInf(b.UpperBound, 1) {
+		le = strconv.FormatFloat(b.UpperBound, 'g', -1, 64)
+	}
+	return []byte(fmt.Sprintf(`{"le":%q,"count":%d}`, le, b.Count)), nil
+}
+
+// RingValue is the snapshot of one sample ring.
+type RingValue struct {
+	Total   uint64    `json:"total"`
+	Samples []float64 `json:"samples"`
+}
+
+// Snapshot is a point-in-time copy of every registered metric, keyed by
+// rendered name (including labels). It is what the CLI run-summary digest and
+// the JSON endpoint consume.
+type Snapshot struct {
+	Counters   map[string]uint64         `json:"counters"`
+	Gauges     map[string]float64        `json:"gauges"`
+	Histograms map[string]HistogramValue `json:"histograms"`
+	Rings      map[string]RingValue      `json:"rings"`
+}
+
+// Counter returns the snapshot value of a rendered counter name (0 when
+// absent), saving callers the map-miss boilerplate.
+func (s Snapshot) Counter(name string) uint64 { return s.Counters[name] }
+
+// Snapshot copies every registered metric's current value.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := append([]*Counter(nil), r.counters...)
+	gauges := append([]*Gauge(nil), r.gauges...)
+	hists := append([]*Histogram(nil), r.hists...)
+	rings := append([]*Ring(nil), r.rings...)
+	r.mu.Unlock()
+
+	snap := Snapshot{
+		Counters:   make(map[string]uint64, len(counters)),
+		Gauges:     make(map[string]float64, len(gauges)),
+		Histograms: make(map[string]HistogramValue, len(hists)),
+		Rings:      make(map[string]RingValue, len(rings)),
+	}
+	for _, c := range counters {
+		snap.Counters[c.Name()] = c.Value()
+	}
+	for _, g := range gauges {
+		snap.Gauges[g.Name()] = g.Value()
+	}
+	for _, h := range hists {
+		hv := HistogramValue{Count: h.Count(), Sum: h.Sum()}
+		cum := uint64(0)
+		for i := range h.buckets {
+			cum += h.buckets[i].Load()
+			ub := math.Inf(1)
+			if i < len(h.uppers) {
+				ub = h.uppers[i]
+			}
+			hv.Buckets = append(hv.Buckets, HistogramBand{UpperBound: ub, Count: cum})
+		}
+		snap.Histograms[h.Name()] = hv
+	}
+	for _, rg := range rings {
+		samples, total := rg.Snapshot()
+		snap.Rings[rg.Name()] = RingValue{Total: total, Samples: samples}
+	}
+	return snap
+}

@@ -1,0 +1,374 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// withMetrics enables metric collection for one test and restores the off
+// default afterwards.
+func withMetrics(t *testing.T) {
+	t.Helper()
+	EnableMetrics()
+	t.Cleanup(DisableMetrics)
+}
+
+func TestCounterDisabledIsNoOp(t *testing.T) {
+	DisableMetrics()
+	c := NewCounter("test_disabled_total", "ignored while off")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 0 {
+		t.Fatalf("disabled counter advanced to %d", got)
+	}
+	EnableMetrics()
+	defer DisableMetrics()
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("Value = %d, want 42", got)
+	}
+}
+
+func TestNilHandlesAreSafe(t *testing.T) {
+	withMetrics(t)
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var r *Ring
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	r.Push(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil handles must read as zero")
+	}
+	if s, total := r.Snapshot(); s != nil || total != 0 {
+		t.Fatal("nil ring snapshot must be empty")
+	}
+}
+
+func TestGaugeSetAndAdd(t *testing.T) {
+	withMetrics(t)
+	g := NewGauge("test_gauge", "")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("Value = %g, want 1.5", got)
+	}
+}
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	withMetrics(t)
+	h := NewHistogram("test_hist", "", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	if got := h.Sum(); got != 556.5 {
+		t.Fatalf("Sum = %g, want 556.5", got)
+	}
+	hv := Default().Snapshot().Histograms["test_hist"]
+	wantCum := []uint64{2, 3, 4, 5} // <=1, <=10, <=100, +Inf
+	if len(hv.Buckets) != len(wantCum) {
+		t.Fatalf("bucket count = %d, want %d", len(hv.Buckets), len(wantCum))
+	}
+	for i, b := range hv.Buckets {
+		if b.Count != wantCum[i] {
+			t.Fatalf("bucket %d cumulative count = %d, want %d", i, b.Count, wantCum[i])
+		}
+	}
+	if !math.IsInf(hv.Buckets[len(hv.Buckets)-1].UpperBound, 1) {
+		t.Fatal("last band must be +Inf")
+	}
+}
+
+func TestBucketLayouts(t *testing.T) {
+	exp := ExpBuckets(1, 2, 4)
+	if want := []float64{1, 2, 4, 8}; !equalFloats(exp, want) {
+		t.Fatalf("ExpBuckets = %v, want %v", exp, want)
+	}
+	lin := LinearBuckets(0.5, 0.5, 3)
+	if want := []float64{0.5, 1, 1.5}; !equalFloats(lin, want) {
+		t.Fatalf("LinearBuckets = %v, want %v", lin, want)
+	}
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRingWraps(t *testing.T) {
+	withMetrics(t)
+	r := NewRing("test_ring", "", 3)
+	for i := 1; i <= 5; i++ {
+		r.Push(float64(i))
+	}
+	samples, total := r.Snapshot()
+	if total != 5 {
+		t.Fatalf("total = %d, want 5", total)
+	}
+	if want := []float64{3, 4, 5}; !equalFloats(samples, want) {
+		t.Fatalf("samples = %v, want %v (oldest first)", samples, want)
+	}
+}
+
+func TestLabeledHandleNames(t *testing.T) {
+	c := NewCounter("test_labeled_total", "", "path", "fast")
+	if got, want := c.Name(), `test_labeled_total{path="fast"}`; got != want {
+		t.Fatalf("Name = %q, want %q", got, want)
+	}
+}
+
+func TestRenderLabelsPanicsOnOddCount(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd label count must panic at registration time")
+		}
+	}()
+	NewCounter("test_bad_labels_total", "", "key-without-value")
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	withMetrics(t)
+	r := &Registry{}
+	c := &Counter{base: "fam_total", help: "a counter"}
+	cl := &Counter{base: "fam_total", lbls: `{path="x"}`}
+	r.counters = append(r.counters, c, cl)
+	c.v.Add(7)
+	cl.v.Add(2)
+	hist := NewHistogram("test_expo_seconds", "exposition", []float64{0.1, 1})
+	hist.Observe(0.05)
+	hist.Observe(5)
+	r.hists = append(r.hists, hist)
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	wants := []string{
+		"# HELP fam_total a counter\n",
+		"# TYPE fam_total counter\n",
+		"fam_total 7\n",
+		`fam_total{path="x"} 2` + "\n",
+		"# TYPE test_expo_seconds histogram\n",
+		`test_expo_seconds_bucket{le="0.1"} 1` + "\n",
+		`test_expo_seconds_bucket{le="1"} 1` + "\n",
+		`test_expo_seconds_bucket{le="+Inf"} 2` + "\n",
+		"test_expo_seconds_sum 5.05\n",
+		"test_expo_seconds_count 2\n",
+	}
+	for _, want := range wants {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "# TYPE fam_total") != 1 {
+		t.Fatalf("HELP/TYPE must appear once per family:\n%s", out)
+	}
+}
+
+func TestWriteJSONRendersInfBand(t *testing.T) {
+	withMetrics(t)
+	h := NewHistogram("test_json_seconds", "", []float64{1})
+	h.Observe(2)
+	var buf bytes.Buffer
+	if err := Default().WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var snap struct {
+		Histograms map[string]struct {
+			Count   uint64 `json:"count"`
+			Buckets []struct {
+				LE    string `json:"le"`
+				Count uint64 `json:"count"`
+			} `json:"buckets"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	hv, ok := snap.Histograms["test_json_seconds"]
+	if !ok {
+		t.Fatal("histogram missing from JSON snapshot")
+	}
+	last := hv.Buckets[len(hv.Buckets)-1]
+	if last.LE != "+Inf" || last.Count != 1 {
+		t.Fatalf("+Inf band = %+v", last)
+	}
+}
+
+func TestStartSpanWithoutTracer(t *testing.T) {
+	if prev := SetTracer(nil); prev != nil {
+		defer SetTracer(prev)
+	}
+	ctx := context.Background()
+	got, span := StartSpan(ctx, "noop")
+	if got != ctx || span != nil {
+		t.Fatal("StartSpan without a tracer must return its inputs unchanged")
+	}
+	span.SetString("k", "v") // nil-safe
+	span.End()
+}
+
+func TestTracerJSONLAndHierarchy(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	prev := SetTracer(tr)
+	defer SetTracer(prev)
+
+	ctx, root := StartSpan(context.Background(), "root")
+	_, child := StartSpan(ctx, "child")
+	child.SetString(KernelAttr, "k1")
+	child.SetFloat("smape", 1.25)
+	child.SetInt("attempts", 2)
+	child.SetBool("ok", true)
+	child.End()
+	child.End() // idempotent: must not emit a second record
+	root.End()
+	SetTracer(prev)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	type rec struct {
+		Trace  uint64         `json:"trace"`
+		Span   uint64         `json:"span"`
+		Parent uint64         `json:"parent"`
+		Name   string         `json:"name"`
+		Start  string         `json:"start"`
+		DurNS  int64          `json:"dur_ns"`
+		Attrs  map[string]any `json:"attrs"`
+	}
+	var recs []rec
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var r rec
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		recs = append(recs, r)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2 (idempotent End)", len(recs))
+	}
+	childRec, rootRec := recs[0], recs[1] // child ends first
+	if childRec.Name != "child" || rootRec.Name != "root" {
+		t.Fatalf("names = %q, %q", childRec.Name, rootRec.Name)
+	}
+	if childRec.Parent != rootRec.Span || childRec.Trace != rootRec.Trace {
+		t.Fatalf("child %+v does not nest under root %+v", childRec, rootRec)
+	}
+	if rootRec.Parent != 0 {
+		t.Fatalf("root has parent %d", rootRec.Parent)
+	}
+	if _, err := time.Parse(time.RFC3339Nano, childRec.Start); err != nil {
+		t.Fatalf("start timestamp: %v", err)
+	}
+	if childRec.Attrs[KernelAttr] != "k1" || childRec.Attrs["smape"] != 1.25 ||
+		childRec.Attrs["attempts"] != float64(2) || childRec.Attrs["ok"] != true {
+		t.Fatalf("attrs = %v", childRec.Attrs)
+	}
+	if rootRec.DurNS < childRec.DurNS {
+		t.Fatalf("root (%d ns) ended after child (%d ns) yet is shorter", rootRec.DurNS, childRec.DurNS)
+	}
+}
+
+func TestTracerStatsTopKernels(t *testing.T) {
+	tr := NewTracer(nil) // collect-only
+	prev := SetTracer(tr)
+	defer SetTracer(prev)
+	// More kernels than the tracker retains, with distinct durations via
+	// artificial start offsets.
+	for i := 0; i < topSpanCap+4; i++ {
+		_, s := StartSpan(context.Background(), "profile.entry")
+		s.SetString(KernelAttr, string(rune('a'+i)))
+		s.start = s.start.Add(-time.Duration(i) * time.Second)
+		s.End()
+	}
+	st := tr.Stats()
+	if st.Spans != uint64(topSpanCap+4) {
+		t.Fatalf("Spans = %d, want %d", st.Spans, topSpanCap+4)
+	}
+	if len(st.Slowest) != topSpanCap {
+		t.Fatalf("tracker holds %d, want %d", len(st.Slowest), topSpanCap)
+	}
+	for i := 1; i < len(st.Slowest); i++ {
+		if st.Slowest[i].Dur > st.Slowest[i-1].Dur {
+			t.Fatalf("tracker not sorted: %v", st.Slowest)
+		}
+	}
+	if st.Slowest[0].Kernel != string(rune('a'+topSpanCap+3)) {
+		t.Fatalf("slowest kernel = %q", st.Slowest[0].Kernel)
+	}
+}
+
+func TestCurrentTraceStatsWithoutTracer(t *testing.T) {
+	if prev := SetTracer(nil); prev != nil {
+		defer SetTracer(prev)
+	}
+	if st := CurrentTraceStats(); st.Spans != 0 || st.Slowest != nil {
+		t.Fatalf("stats without tracer = %+v", st)
+	}
+}
+
+// TestObsDisabledAllocations is the allocation gate of the disabled path:
+// with metrics off and no tracer installed, every instrumentation primitive
+// must be allocation-free. scripts/check.sh runs it next to the PR 1
+// zero-alloc training gate.
+func TestObsDisabledAllocations(t *testing.T) {
+	DisableMetrics()
+	if prev := SetTracer(nil); prev != nil {
+		defer SetTracer(prev)
+	}
+	c := NewCounter("test_alloc_total", "")
+	g := NewGauge("test_alloc_gauge", "")
+	h := NewHistogram("test_alloc_hist", "", ExpBuckets(0.001, 4, 10))
+	r := NewRing("test_alloc_ring", "", 8)
+	ctx := context.Background()
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1)
+		g.Add(1)
+		h.Observe(0.5)
+		r.Push(0.5)
+		_, s := StartSpan(ctx, "off")
+		s.SetFloat("k", 1)
+		s.End()
+	}); n != 0 {
+		t.Fatalf("disabled observability allocates %.1f times per op, want 0", n)
+	}
+}
+
+// TestObsEnabledMetricsAllocationFree pins that even with metrics ON the
+// counter/gauge/histogram hot path does not allocate (spans do — they are
+// gated on the tracer instead).
+func TestObsEnabledMetricsAllocationFree(t *testing.T) {
+	withMetrics(t)
+	c := NewCounter("test_alloc_on_total", "")
+	g := NewGauge("test_alloc_on_gauge", "")
+	h := NewHistogram("test_alloc_on_hist", "", ExpBuckets(0.001, 4, 10))
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Add(1)
+		h.Observe(0.5)
+	}); n != 0 {
+		t.Fatalf("enabled metrics allocate %.1f times per op, want 0", n)
+	}
+}

@@ -1,0 +1,325 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// KernelAttr is the span attribute key the top-span tracker watches: spans
+// labeled with it (one per modeled kernel) feed the "slowest kernels" section
+// of the CLI run-summary digest.
+const KernelAttr = "kernel"
+
+// topSpanCap bounds the slowest-span tracker; the digest shows the top 5, a
+// little headroom keeps the insert cheap without retaining a whole campaign.
+const topSpanCap = 8
+
+// currentTracer is the package-level tracer; nil (the default) makes
+// StartSpan a single atomic load returning its inputs unchanged.
+var currentTracer atomic.Pointer[Tracer]
+
+// SetTracer installs t as the process-wide tracer (nil uninstalls). The
+// previous tracer, if any, is returned so callers can Close it.
+func SetTracer(t *Tracer) *Tracer { return currentTracer.Swap(t) }
+
+// CurrentTracer returns the installed tracer, or nil.
+func CurrentTracer() *Tracer { return currentTracer.Load() }
+
+// Tracer records completed spans: as JSONL lines when constructed over a
+// writer, and always into in-memory run statistics (span count, slowest
+// kernel-labeled spans) that feed the CLI digest. A Tracer with a nil writer
+// is a collect-only tracer — perfmodeler -v uses one so the digest works
+// without a trace file.
+type Tracer struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	closer io.Closer
+
+	nextID     atomic.Uint64
+	spansTotal atomic.Uint64
+
+	topMu sync.Mutex
+	top   []SpanInfo // sorted by Dur descending; kernel-labeled spans only
+}
+
+// NewTracer returns a tracer writing JSONL span records to w; a nil w makes
+// a collect-only tracer (statistics, no sink). If w is also an io.Closer,
+// Close closes it after flushing.
+func NewTracer(w io.Writer) *Tracer {
+	t := &Tracer{}
+	if w != nil {
+		t.w = bufio.NewWriter(w)
+		if c, ok := w.(io.Closer); ok {
+			t.closer = c
+		}
+	}
+	return t
+}
+
+// Close flushes and closes the sink. Safe on a collect-only tracer.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.w != nil {
+		if err := t.w.Flush(); err != nil {
+			return err
+		}
+	}
+	if t.closer != nil {
+		return t.closer.Close()
+	}
+	return nil
+}
+
+// Flush flushes buffered span records to the sink without closing it.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.w != nil {
+		return t.w.Flush()
+	}
+	return nil
+}
+
+// SpanInfo is one entry of the slowest-span tracker.
+type SpanInfo struct {
+	Name   string        // span name, e.g. "profile.entry"
+	Kernel string        // value of the "kernel" attribute
+	Dur    time.Duration // wall time
+}
+
+// TraceStats summarizes a tracer's run: how many spans completed and the
+// slowest kernel-labeled spans, longest first.
+type TraceStats struct {
+	Spans   uint64
+	Slowest []SpanInfo
+}
+
+// Stats snapshots the tracer's run statistics.
+func (t *Tracer) Stats() TraceStats {
+	if t == nil {
+		return TraceStats{}
+	}
+	t.topMu.Lock()
+	top := append([]SpanInfo(nil), t.top...)
+	t.topMu.Unlock()
+	return TraceStats{Spans: t.spansTotal.Load(), Slowest: top}
+}
+
+// CurrentTraceStats returns the installed tracer's statistics (zeros when no
+// tracer is installed).
+func CurrentTraceStats() TraceStats { return currentTracer.Load().Stats() }
+
+// attrKind discriminates the typed attribute storage.
+type attrKind uint8
+
+const (
+	attrString attrKind = iota
+	attrFloat
+	attrInt
+	attrBool
+)
+
+type attr struct {
+	key  string
+	kind attrKind
+	str  string
+	num  float64
+	i    int64
+	b    bool
+}
+
+// Span is one traced operation. StartSpan returns nil when tracing is off;
+// every method is safe (and a no-op) on a nil receiver, so instrumented code
+// carries spans unconditionally.
+type Span struct {
+	t       *Tracer
+	name    string
+	trace   uint64
+	id      uint64
+	parent  uint64
+	start   time.Time
+	mu      sync.Mutex
+	attrs   []attr
+	doneOne sync.Once
+}
+
+// spanCtxKey threads the active span through context.Context.
+type spanCtxKey struct{}
+
+// StartSpan starts a span named name as a child of the span carried by ctx
+// (a root span when ctx carries none) and returns a derived context carrying
+// the new span. With no tracer installed it returns (ctx, nil) after one
+// atomic load — zero allocations, zero clock reads.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	t := currentTracer.Load()
+	if t == nil {
+		return ctx, nil
+	}
+	var parentID, traceID uint64
+	if p, ok := ctx.Value(spanCtxKey{}).(*Span); ok && p != nil {
+		parentID, traceID = p.id, p.trace
+	}
+	id := t.nextID.Add(1)
+	if traceID == 0 {
+		traceID = id
+	}
+	s := &Span{t: t, name: name, trace: traceID, id: id, parent: parentID, start: time.Now()}
+	return context.WithValue(ctx, spanCtxKey{}, s), s
+}
+
+// SpanFromContext returns the span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// SetString attaches a string attribute.
+func (s *Span) SetString(key, v string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, attr{key: key, kind: attrString, str: v})
+	s.mu.Unlock()
+}
+
+// SetFloat attaches a float attribute.
+func (s *Span) SetFloat(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, attr{key: key, kind: attrFloat, num: v})
+	s.mu.Unlock()
+}
+
+// SetInt attaches an integer attribute.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, attr{key: key, kind: attrInt, i: v})
+	s.mu.Unlock()
+}
+
+// SetBool attaches a boolean attribute.
+func (s *Span) SetBool(key string, v bool) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, attr{key: key, kind: attrBool, b: v})
+	s.mu.Unlock()
+}
+
+// End completes the span: its duration is fixed, run statistics update, and
+// — when the tracer has a sink — one JSONL record is written. End is
+// idempotent and nil-safe.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.doneOne.Do(func() {
+		s.t.finish(s, time.Since(s.start))
+	})
+}
+
+// spanRecord is the JSONL schema of one completed span (docs/OBSERVABILITY.md
+// documents it as the trace-file contract).
+type spanRecord struct {
+	Trace  uint64         `json:"trace"`
+	Span   uint64         `json:"span"`
+	Parent uint64         `json:"parent,omitempty"`
+	Name   string         `json:"name"`
+	Start  string         `json:"start"` // RFC3339Nano
+	DurNS  int64          `json:"dur_ns"`
+	Attrs  map[string]any `json:"attrs,omitempty"`
+}
+
+// finish records a completed span.
+func (t *Tracer) finish(s *Span, dur time.Duration) {
+	t.spansTotal.Add(1)
+
+	s.mu.Lock()
+	attrs := s.attrs
+	s.mu.Unlock()
+
+	// Track the slowest kernel-labeled spans for the run digest.
+	kernel := ""
+	for _, a := range attrs {
+		if a.key == KernelAttr && a.kind == attrString {
+			kernel = a.str
+			break
+		}
+	}
+	if kernel != "" {
+		t.topMu.Lock()
+		t.insertTopLocked(SpanInfo{Name: s.name, Kernel: kernel, Dur: dur})
+		t.topMu.Unlock()
+	}
+
+	if t.w == nil {
+		return
+	}
+	rec := spanRecord{
+		Trace:  s.trace,
+		Span:   s.id,
+		Parent: s.parent,
+		Name:   s.name,
+		Start:  s.start.Format(time.RFC3339Nano),
+		DurNS:  dur.Nanoseconds(),
+	}
+	if len(attrs) > 0 {
+		rec.Attrs = make(map[string]any, len(attrs))
+		for _, a := range attrs {
+			switch a.kind {
+			case attrString:
+				rec.Attrs[a.key] = a.str
+			case attrFloat:
+				rec.Attrs[a.key] = a.num
+			case attrInt:
+				rec.Attrs[a.key] = a.i
+			case attrBool:
+				rec.Attrs[a.key] = a.b
+			}
+		}
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return // a span record is diagnostics; never fail the pipeline over it
+	}
+	t.mu.Lock()
+	t.w.Write(line)
+	t.w.WriteByte('\n')
+	t.mu.Unlock()
+}
+
+// insertTopLocked inserts info into the bounded, duration-sorted tracker.
+func (t *Tracer) insertTopLocked(info SpanInfo) {
+	pos := len(t.top)
+	for pos > 0 && t.top[pos-1].Dur < info.Dur {
+		pos--
+	}
+	if pos >= topSpanCap {
+		return
+	}
+	t.top = append(t.top, SpanInfo{})
+	copy(t.top[pos+1:], t.top[pos:])
+	t.top[pos] = info
+	if len(t.top) > topSpanCap {
+		t.top = t.top[:topSpanCap]
+	}
+}

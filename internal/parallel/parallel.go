@@ -45,7 +45,7 @@ func ForEach(n, workers int, fn func(i int)) {
 	workers = clampWorkers(workers, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			runItem(i, fn)
 		}
 		return
 	}
@@ -56,12 +56,12 @@ func ForEach(n, workers int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				fn(i)
+				runItem(i, fn)
 			}
 		}()
 	}
 	for i := 0; i < n; i++ {
-		next <- i
+		dispatch(next, i)
 	}
 	close(next)
 	wg.Wait()
@@ -81,7 +81,7 @@ func ForEachCtx(ctx context.Context, n, workers int, fn func(i int)) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			fn(i)
+			runItem(i, fn)
 		}
 		return ctx.Err()
 	}
@@ -92,20 +92,17 @@ func ForEachCtx(ctx context.Context, n, workers int, fn func(i int)) error {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				fn(i)
+				runItem(i, fn)
 			}
 		}()
 	}
 	done := ctx.Done()
-dispatch:
 	for i := 0; i < n; i++ {
 		if ctx.Err() != nil {
 			break
 		}
-		select {
-		case next <- i:
-		case <-done:
-			break dispatch
+		if !dispatchCtx(next, done, i) {
+			break
 		}
 	}
 	close(next)

@@ -1,0 +1,201 @@
+package extrapdnn
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"extrapdnn/internal/obs"
+)
+
+// spanRec mirrors the JSONL trace schema (docs/OBSERVABILITY.md).
+type spanRec struct {
+	Trace  uint64         `json:"trace"`
+	Span   uint64         `json:"span"`
+	Parent uint64         `json:"parent"`
+	Name   string         `json:"name"`
+	Start  string         `json:"start"`
+	DurNS  int64          `json:"dur_ns"`
+	Attrs  map[string]any `json:"attrs"`
+}
+
+// freshObsModeler clones the shared pretrained network into a modeler with an
+// empty adaptation cache, so adaptation training actually runs (the shared
+// fixture's cache may already hold every signature of the test profiles).
+func freshObsModeler(t *testing.T) *AdaptiveModeler {
+	t.Helper()
+	var net bytes.Buffer
+	if err := apiTestModeler(t).SaveNetwork(&net); err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewAdaptiveModelerFromNetwork(&net, smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestModelProfileTraceReconstructsPipeline runs a multi-kernel profile with
+// tracing and metrics on and checks the acceptance contract: the JSONL trace
+// is well-formed and reconstructs the per-kernel pipeline (profile.run →
+// profile.entry → core.model → dnnmodel/nn spans), and the registry counts
+// the training/cache/resilience/parallel metric families.
+func TestModelProfileTraceReconstructsPipeline(t *testing.T) {
+	var buf bytes.Buffer
+	tr := obs.NewTracer(&buf)
+	prev := obs.SetTracer(tr)
+	obs.EnableMetrics()
+	t.Cleanup(func() { obs.SetTracer(prev); obs.DisableMetrics() })
+
+	before := obs.Default().Snapshot()
+	m := freshObsModeler(t)
+	prof := multiKernelProfile(t)
+	reports, err := m.ModelProfileWorkers(prof, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs.SetTracer(prev)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every line parses (JSONL well-formedness under concurrent writers).
+	byID := map[uint64]spanRec{}
+	byName := map[string][]spanRec{}
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var r spanRec
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		byID[r.Span] = r
+		byName[r.Name] = append(byName[r.Name], r)
+	}
+
+	runs := byName["profile.run"]
+	if len(runs) != 1 {
+		t.Fatalf("profile.run spans = %d, want 1", len(runs))
+	}
+	run := runs[0]
+	entries := byName["profile.entry"]
+	if len(entries) != len(prof.Entries) {
+		t.Fatalf("profile.entry spans = %d, want %d", len(entries), len(prof.Entries))
+	}
+	kernels := map[string]bool{}
+	for _, e := range entries {
+		if e.Parent != run.Span || e.Trace != run.Trace {
+			t.Fatalf("entry span %d does not nest under profile.run: %+v", e.Span, e)
+		}
+		k, _ := e.Attrs[obs.KernelAttr].(string)
+		if k == "" {
+			t.Fatalf("entry span %d lacks the kernel attribute: %v", e.Span, e.Attrs)
+		}
+		kernels[k] = true
+	}
+	for _, pe := range prof.Entries {
+		if !kernels[pe.Kernel] {
+			t.Fatalf("no entry span for kernel %s", pe.Kernel)
+		}
+	}
+	models := byName["core.model"]
+	if len(models) != len(prof.Entries) {
+		t.Fatalf("core.model spans = %d, want %d", len(models), len(prof.Entries))
+	}
+	for _, msp := range models {
+		if byID[msp.Parent].Name != "profile.entry" {
+			t.Fatalf("core.model span %d parents %q, want profile.entry", msp.Span, byID[msp.Parent].Name)
+		}
+		if _, ok := msp.Attrs["outcome"]; !ok {
+			t.Fatalf("core.model span %d lacks the outcome attribute: %v", msp.Span, msp.Attrs)
+		}
+	}
+	// The DNN path hangs off core.model, and training off the adaptation.
+	for _, a := range byName["dnnmodel.adapt"] {
+		if byID[a.Parent].Name != "core.model" {
+			t.Fatalf("dnnmodel.adapt parents %q", byID[a.Parent].Name)
+		}
+	}
+	if len(byName["nn.train"]) == 0 {
+		t.Fatal("no nn.train spans recorded")
+	}
+	for _, tr := range byName["nn.train"] {
+		if n := byID[tr.Parent].Name; n != "dnnmodel.adapt" && n != "dnnmodel.pretrain" {
+			t.Fatalf("nn.train parents %q", n)
+		}
+	}
+
+	// Metric families moved during the run.
+	after := obs.Default().Snapshot()
+	delta := func(name string) uint64 { return after.Counter(name) - before.Counter(name) }
+	ok := 0
+	for _, r := range reports {
+		if r.Err == nil {
+			ok++
+		}
+	}
+	if got := delta("extrapdnn_core_models_total"); got != uint64(ok) {
+		t.Fatalf("core_models_total advanced by %d, want %d", got, ok)
+	}
+	if delta("extrapdnn_nn_train_runs_total") == 0 {
+		t.Fatal("training family did not move")
+	}
+	if delta("extrapdnn_adaptcache_hits_total")+delta("extrapdnn_adaptcache_misses_total") == 0 {
+		t.Fatal("cache family did not move")
+	}
+	if delta("extrapdnn_parallel_items_total") == 0 {
+		t.Fatal("parallel family did not move")
+	}
+	var resilience uint64
+	for _, outcome := range []string{"first_try", "retried", "cached", "no_adapt", "fallback_pretrained", "fallback_regression"} {
+		resilience += delta(`extrapdnn_core_resilience_total{outcome="` + outcome + `"}`)
+	}
+	if resilience != uint64(ok) {
+		t.Fatalf("resilience outcomes sum to %d, want %d (every success classified exactly once)", resilience, ok)
+	}
+
+	// A live scrape of the same registry exposes all four families.
+	var prom bytes.Buffer
+	obs.Default().WritePrometheus(&prom)
+	for _, family := range []string{
+		"extrapdnn_nn_train_runs_total",
+		"extrapdnn_adaptcache_hits_total",
+		"extrapdnn_core_resilience_total",
+		"extrapdnn_parallel_items_total",
+	} {
+		if !strings.Contains(prom.String(), family) {
+			t.Fatalf("Prometheus exposition lacks %s", family)
+		}
+	}
+}
+
+// TestModelProfileObsDisabledBitIdentical pins that instrumentation does not
+// perturb results: a run with observability fully enabled produces the same
+// models as the plain run (observability must observe, never steer).
+func TestModelProfileObsDisabledBitIdentical(t *testing.T) {
+	m := freshObsModeler(t)
+	prof := multiKernelProfile(t)
+	plain, err := m.ModelProfileWorkers(prof, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tr := obs.NewTracer(&buf)
+	prev := obs.SetTracer(tr)
+	obs.EnableMetrics()
+	t.Cleanup(func() { obs.SetTracer(prev); obs.DisableMetrics() })
+	traced, err := m.ModelProfileWorkers(prof, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if plain[i].Report == nil || traced[i].Report == nil {
+			continue
+		}
+		if got, want := traced[i].Report.Model.Model.String(), plain[i].Report.Model.Model.String(); got != want {
+			t.Fatalf("%s: model differs under observability: %q vs %q", plain[i].Kernel, got, want)
+		}
+		if traced[i].Report.Model.SMAPE != plain[i].Report.Model.SMAPE {
+			t.Fatalf("%s: SMAPE differs under observability", plain[i].Kernel)
+		}
+	}
+}

@@ -31,8 +31,8 @@ go build ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race -short (root, mat, nn, parallel, dnnmodel, core, synth, adaptcache, measurement)"
-go test -race -short . ./internal/mat/... ./internal/nn/... ./internal/parallel/... ./internal/dnnmodel/... ./internal/core/... ./internal/synth/... ./internal/adaptcache/... ./internal/measurement/...
+echo "==> go test -race -short (root, mat, nn, parallel, dnnmodel, core, synth, adaptcache, measurement, obs)"
+go test -race -short . ./internal/mat/... ./internal/nn/... ./internal/parallel/... ./internal/dnnmodel/... ./internal/core/... ./internal/synth/... ./internal/adaptcache/... ./internal/measurement/... ./internal/obs/...
 
 echo "==> go test -race -tags faultinject (injected divergence, DNN failure, kernel panic)"
 go test -race -tags faultinject . ./internal/nn/... ./internal/core/... ./internal/faultinject/...
@@ -45,5 +45,8 @@ done
 echo "==> adaptation-cache allocation gate (steady-state hit path allocates O(report), not O(adaptation))"
 go test -run 'TestAdaptCacheHitAllocations' -count=1 .
 go test -bench 'BenchmarkModelProfileCached/hit' -benchtime 2x -benchmem -run '^$' .
+
+echo "==> observability disabled-path allocation gate (metrics/spans off => zero allocations)"
+go test -run 'TestObsDisabledAllocations|TestObsEnabledMetricsAllocationFree' -count=1 ./internal/obs/
 
 echo "All checks passed."
