@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -33,10 +34,16 @@ func main() {
 		campaigns    = flag.Int("campaigns", 1, "repeat each simulated campaign this many times and pool errors")
 		plot         = flag.Bool("plot", false, "draw the figures as terminal charts in addition to the tables")
 		seed         = flag.Int64("seed", 1, "random seed")
+		f32          = flag.Bool("f32", false, "run DNN training and inference through the float32 SIMD fast path")
+		modelDir     = flag.String("model-dir", "", "pretrained-network registry directory: reuse equal-configuration pretraining results across runs")
 	)
 	flag.Parse()
 
-	pretrained, err := cliutil.LoadOrPretrain(*netPath, *topology, *samples, *epochs, *seed)
+	netOpts := cliutil.NetOptions{
+		NetPath: *netPath, Topology: *topology, SamplesPerClass: *samples, Epochs: *epochs,
+		Seed: *seed, Float32: *f32, ModelDir: *modelDir,
+	}
+	pretrained, err := cliutil.LoadOrPretrainOpts(context.Background(), netOpts)
 	if err != nil {
 		fatal(err)
 	}
@@ -55,7 +62,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "evaluating %s (%d kernels)...\n", app.Name, len(app.Kernels))
 		res, err := eval.RunCaseStudy(app, eval.CaseConfig{
 			Pretrained: pretrained,
-			Adapt:      dnnmodel.AdaptConfig{SamplesPerClass: *adaptSamples},
+			Adapt:      dnnmodel.AdaptConfig{SamplesPerClass: *adaptSamples, Precision: netOpts.Precision()},
 			Seed:       *seed,
 			Campaigns:  *campaigns,
 		})

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
@@ -38,6 +39,8 @@ func main() {
 		adaptPerTask = flag.Bool("adapt-per-task", false, "retrain per generated function instead of once per noise level (slow, full fidelity)")
 		threshold    = flag.Float64("threshold", 0.20, "adaptive noise threshold")
 		seed         = flag.Int64("seed", 1, "random seed")
+		f32          = flag.Bool("f32", false, "run DNN training and inference through the float32 SIMD fast path")
+		modelDir     = flag.String("model-dir", "", "pretrained-network registry directory: reuse equal-configuration pretraining results across runs")
 		csvPath      = flag.String("csv", "", "also write the sweep rows as CSV to this file")
 		plot         = flag.Bool("plot", false, "draw the figures as terminal charts in addition to the tables")
 	)
@@ -56,7 +59,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	pretrained, err := cliutil.LoadOrPretrain(*netPath, *topology, *samples, *epochs, *seed)
+	netOpts := cliutil.NetOptions{
+		NetPath: *netPath, Topology: *topology, SamplesPerClass: *samples, Epochs: *epochs,
+		Seed: *seed, Float32: *f32, ModelDir: *modelDir,
+	}
+	pretrained, err := cliutil.LoadOrPretrainOpts(context.Background(), netOpts)
 	if err != nil {
 		fatal(err)
 	}
@@ -69,7 +76,7 @@ func main() {
 		Functions:      *functions,
 		Seed:           *seed,
 		Pretrained:     pretrained,
-		Adapt:          dnnmodel.AdaptConfig{SamplesPerClass: *adaptSamples},
+		Adapt:          dnnmodel.AdaptConfig{SamplesPerClass: *adaptSamples, Precision: netOpts.Precision()},
 		AdaptPerTask:   *adaptPerTask,
 		NoiseThreshold: *threshold,
 	})

@@ -40,6 +40,8 @@ func main() {
 		modelStr    = flag.String("model", "", "PMNF model expression")
 		profilePath = flag.String("profile", "", "application profile (from appsim): model every kernel and evaluate at -at")
 		netPath     = flag.String("net", "", "with -profile: pretrained network file; pretrains ad hoc when empty")
+		f32         = flag.Bool("f32", false, "with -profile: run DNN training and inference through the float32 SIMD fast path")
+		modelDir    = flag.String("model-dir", "", "with -profile: pretrained-network registry directory (reuse pretraining across runs)")
 		adaptCache  = flag.Int("adapt-cache", 32, "with -profile: LRU entries of the domain-adaptation cache (0 disables)")
 		verbose     = flag.Bool("v", false, "with -profile: print adaptation-cache statistics and the run-telemetry digest")
 		seed        = flag.Int64("seed", 1, "with -profile: random seed")
@@ -64,7 +66,11 @@ func main() {
 	defer obsShutdown()
 
 	if *profilePath != "" {
-		failed, err := evalProfile(ctx, *profilePath, *netPath, *at, *adaptCache, *workers, *seed, *verbose)
+		opts := cliutil.NetOptions{
+			NetPath: *netPath, Topology: "default", SamplesPerClass: 300, Epochs: 3,
+			Seed: *seed, Float32: *f32, ModelDir: *modelDir, Verbose: *verbose,
+		}
+		failed, err := evalProfile(ctx, *profilePath, opts, *at, *adaptCache, *workers, *seed, *verbose)
 		if err != nil {
 			fatal(err)
 		}
@@ -140,7 +146,7 @@ func main() {
 // equal-signature kernels pay a single adaptation — and evaluates each
 // selected model at the -at point. A failed kernel never takes the others
 // down: it prints an error line and counts toward the returned failure total.
-func evalProfile(ctx context.Context, path, netPath, at string, adaptCache, workers int, seed int64, verbose bool) (failed int, err error) {
+func evalProfile(ctx context.Context, path string, netOpts cliutil.NetOptions, at string, adaptCache, workers int, seed int64, verbose bool) (failed int, err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return 0, err
@@ -165,12 +171,12 @@ func evalProfile(ctx context.Context, path, netPath, at string, adaptCache, work
 			point[i] = v
 		}
 	}
-	pretrained, err := cliutil.LoadOrPretrainCtx(ctx, netPath, "default", 300, 3, seed)
+	pretrained, err := cliutil.LoadOrPretrainOpts(ctx, netOpts)
 	if err != nil {
 		return 0, err
 	}
 	modeler, err := core.New(pretrained, core.Config{
-		Adapt:          dnnmodel.AdaptConfig{},
+		Adapt:          dnnmodel.AdaptConfig{Precision: netOpts.Precision()},
 		Seed:           seed,
 		AdaptCacheSize: adaptCache,
 	})

@@ -26,6 +26,7 @@ import (
 	"extrapdnn/internal/core"
 	"extrapdnn/internal/dnnmodel"
 	"extrapdnn/internal/measurement"
+	"extrapdnn/internal/nn"
 	"extrapdnn/internal/obs"
 	"extrapdnn/internal/parallel"
 	"extrapdnn/internal/pmnf"
@@ -45,6 +46,8 @@ func main() {
 		topology       = flag.String("topology", "default", "topology for ad-hoc pretraining")
 		samples        = flag.Int("pretrain-samples", 300, "ad-hoc pretraining samples per class")
 		epochs         = flag.Int("pretrain-epochs", 3, "ad-hoc pretraining epochs")
+		f32            = flag.Bool("f32", false, "run DNN training and inference through the float32 SIMD fast path")
+		modelDir       = flag.String("model-dir", "", "pretrained-network registry directory: reuse equal-configuration pretraining results across runs")
 		adaptSamples   = flag.Int("adapt-samples", 200, "domain-adaptation samples per class")
 		adaptEpochs    = flag.Int("adapt-epochs", 1, "domain-adaptation epochs")
 		adaptRetries   = flag.Int("adapt-retries", 0, "divergence retries per adaptation (0 = default 2, negative disables)")
@@ -77,14 +80,27 @@ func main() {
 
 	var pretrained *dnnmodel.Modeler
 	if !*regressionOnly {
-		pretrained, err = cliutil.LoadOrPretrainCtx(ctx, *netPath, *topology, *samples, *epochs, *seed)
+		pretrained, err = cliutil.LoadOrPretrainOpts(ctx, cliutil.NetOptions{
+			NetPath:         *netPath,
+			Topology:        *topology,
+			SamplesPerClass: *samples,
+			Epochs:          *epochs,
+			Seed:            *seed,
+			Float32:         *f32,
+			ModelDir:        *modelDir,
+			Verbose:         *verbose,
+		})
 		if err != nil {
 			fatal(err)
 		}
 	}
+	precision := nn.Float64
+	if *f32 {
+		precision = nn.Float32
+	}
 	modeler, err := core.New(pretrained, core.Config{
 		NoiseThreshold:   *threshold,
-		Adapt:            dnnmodel.AdaptConfig{SamplesPerClass: *adaptSamples, Epochs: *adaptEpochs},
+		Adapt:            dnnmodel.AdaptConfig{SamplesPerClass: *adaptSamples, Epochs: *adaptEpochs, Precision: precision},
 		DisableDNN:       *regressionOnly,
 		Seed:             *seed,
 		AdaptCacheSize:   *adaptCache,

@@ -16,6 +16,8 @@ import (
 
 	"extrapdnn/internal/cliutil"
 	"extrapdnn/internal/dnnmodel"
+	"extrapdnn/internal/modelregistry"
+	"extrapdnn/internal/nn"
 )
 
 func main() {
@@ -26,6 +28,9 @@ func main() {
 		epochs   = flag.Int("epochs", 4, "training epochs")
 		reps     = flag.Int("reps", 5, "simulated measurement repetitions per point")
 		seed     = flag.Int64("seed", 1, "random seed")
+		f32      = flag.Bool("f32", false, "train through the float32 SIMD fast path")
+		modelDir = flag.String("model-dir", "", "pretrained-network registry directory: reuse equal-configuration pretraining results across runs")
+		verbose  = flag.Bool("v", false, "print the registry digest and the run-telemetry digest")
 		timeout  = flag.Duration("timeout", 0, "pretraining deadline, e.g. 10m (0 = none); expiry exits with code 4")
 	)
 	obsFlags := cliutil.RegisterObsFlags()
@@ -34,7 +39,7 @@ func main() {
 	ctx, cancel := cliutil.TimeoutContext(*timeout)
 	defer cancel()
 
-	obsShutdown, err := obsFlags.Setup("traingen", false)
+	obsShutdown, err := obsFlags.Setup("traingen", *verbose)
 	if err != nil {
 		fatal(err)
 	}
@@ -44,16 +49,35 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "pretraining: topology %v, %d samples/class, %d epochs\n", hidden, *samples, *epochs)
-	m, stats, err := dnnmodel.PretrainCtx(ctx, dnnmodel.PretrainConfig{
+	precision := nn.Float64
+	if *f32 {
+		precision = nn.Float32
+	}
+	cfg := dnnmodel.PretrainConfig{
 		Hidden:          hidden,
 		SamplesPerClass: *samples,
 		Epochs:          *epochs,
 		Reps:            *reps,
 		Seed:            *seed,
-	})
+		Precision:       precision,
+	}
+	if *modelDir != "" {
+		reg, err := modelregistry.Open(*modelDir)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Registry = reg
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "model registry %s, digest %s\n", *modelDir, cfg.RegistryKey().Digest())
+		}
+	}
+	fmt.Fprintf(os.Stderr, "pretraining: topology %v, %d samples/class, %d epochs, %s\n", hidden, *samples, *epochs, precision)
+	m, stats, err := dnnmodel.PretrainCtx(ctx, cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if cfg.Registry != nil && len(stats.EpochLoss) == 0 {
+		fmt.Fprintf(os.Stderr, "model registry hit: loaded pretrained network (0 training epochs)\n")
 	}
 	for e, loss := range stats.EpochLoss {
 		fmt.Fprintf(os.Stderr, "  epoch %d: loss %.4f\n", e+1, loss)
@@ -68,6 +92,9 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("saved network with %d parameters to %s\n", m.Net.NumParams(), *out)
+	if *verbose {
+		cliutil.PrintRunSummary(os.Stdout)
+	}
 }
 
 func fatal(err error) {

@@ -33,6 +33,7 @@ import (
 	"extrapdnn/internal/core"
 	"extrapdnn/internal/dnnmodel"
 	"extrapdnn/internal/measurement"
+	"extrapdnn/internal/modelregistry"
 	"extrapdnn/internal/nn"
 	"extrapdnn/internal/noise"
 	"extrapdnn/internal/pmnf"
@@ -108,6 +109,17 @@ type Options struct {
 	// instead of degrading to the pretrained network or the regression
 	// modeler.
 	DisableFallback bool
+	// Float32 runs DNN training and inference through the float32 SIMD fast
+	// path. Models stay within DESIGN.md §11's tolerance of the float64
+	// results but are not bit-identical to them; the default (false) keeps
+	// every output bit-identical to earlier versions.
+	Float32 bool
+	// ModelDir, when non-empty, is a directory used as a pretrained-network
+	// registry: NewAdaptiveModeler loads a network pretrained under the same
+	// effective configuration instead of retraining (zero pretraining
+	// epochs), and stores fresh pretraining results for later runs. See
+	// internal/modelregistry.
+	ModelDir string
 }
 
 // Degradation paths recorded in Report.Resilience (see core.FallbackPath).
@@ -155,18 +167,35 @@ type AdaptiveModeler struct {
 // seconds to minutes depending on Options.Topology; reuse the modeler (or
 // save the network) rather than recreating it.
 func NewAdaptiveModeler(opts Options) (*AdaptiveModeler, error) {
-	pre, stats := dnnmodel.Pretrain(dnnmodel.PretrainConfig{
+	cfg := dnnmodel.PretrainConfig{
 		Hidden:          opts.Topology,
 		SamplesPerClass: opts.PretrainSamplesPerClass,
 		Epochs:          opts.PretrainEpochs,
 		Seed:            opts.Seed,
-	})
+		Precision:       opts.precision(),
+	}
+	if opts.ModelDir != "" {
+		reg, err := modelregistry.Open(opts.ModelDir)
+		if err != nil {
+			return nil, fmt.Errorf("extrapdnn: model dir: %w", err)
+		}
+		cfg.Registry = reg
+	}
+	pre, stats := dnnmodel.Pretrain(cfg)
 	m, err := newAdaptive(pre, opts)
 	if err != nil {
 		return nil, err
 	}
 	m.preStats = &stats
 	return m, nil
+}
+
+// precision maps the Float32 option to the nn precision selector.
+func (o Options) precision() nn.Precision {
+	if o.Float32 {
+		return nn.Float32
+	}
+	return nn.Float64
 }
 
 // NewAdaptiveModelerFromNetwork builds an adaptive modeler around a network
@@ -176,7 +205,7 @@ func NewAdaptiveModelerFromNetwork(r io.Reader, opts Options) (*AdaptiveModeler,
 	if err != nil {
 		return nil, fmt.Errorf("extrapdnn: %w", err)
 	}
-	return newAdaptive(&dnnmodel.Modeler{Net: net}, opts)
+	return newAdaptive(&dnnmodel.Modeler{Net: net, Precision: opts.precision()}, opts)
 }
 
 func newAdaptive(pre *dnnmodel.Modeler, opts Options) (*AdaptiveModeler, error) {
@@ -192,6 +221,7 @@ func newAdaptive(pre *dnnmodel.Modeler, opts Options) (*AdaptiveModeler, error) 
 		Adapt: dnnmodel.AdaptConfig{
 			SamplesPerClass: opts.AdaptSamplesPerClass,
 			Epochs:          opts.AdaptEpochs,
+			Precision:       opts.precision(),
 		},
 		Seed:             opts.Seed,
 		AdaptCacheSize:   cacheSize,

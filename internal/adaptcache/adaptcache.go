@@ -30,6 +30,7 @@ import (
 	"sync"
 
 	"extrapdnn/internal/dnnmodel"
+	"extrapdnn/internal/nn"
 	"extrapdnn/internal/obs"
 )
 
@@ -75,6 +76,10 @@ type Signature struct {
 	Fingerprint uint64
 	// Seed is the modeler's configured random seed.
 	Seed int64
+	// Precision is the adaptation training arithmetic. Float32 and Float64
+	// adaptations of the same task produce different weights, so they must
+	// not share a cache entry (or an adaptation seed).
+	Precision nn.Precision
 }
 
 // Key returns the canonical byte-exact encoding of the signature. Every
@@ -114,6 +119,14 @@ func (s Signature) Key() string {
 	f64(s.LearningRate)
 	u64(s.Fingerprint)
 	u64(uint64(s.Seed))
+	// Precision is appended only when non-default. Every earlier field is
+	// length- or tag-prefixed, so the encoding is self-delimiting and a
+	// suffix cannot make two previously-distinct keys collide — while every
+	// default-precision key (and the SeedFor stream derived from it) stays
+	// byte-identical to pre-precision-path builds.
+	if s.Precision != nn.Float64 {
+		u64(uint64(s.Precision))
+	}
 	return b.String()
 }
 

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"extrapdnn/internal/dnnmodel"
+	"extrapdnn/internal/nn"
 )
 
 func modeler() *dnnmodel.Modeler { return &dnnmodel.Modeler{} }
@@ -54,6 +55,9 @@ func TestSignatureKeyDistinguishesFields(t *testing.T) {
 	variants = append(variants, v)
 	v = base
 	v.Seed = 2
+	variants = append(variants, v)
+	v = base
+	v.Precision = nn.Float32
 	variants = append(variants, v)
 
 	baseKey := base.Key()

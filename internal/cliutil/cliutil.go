@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"extrapdnn/internal/dnnmodel"
+	"extrapdnn/internal/modelregistry"
 	"extrapdnn/internal/nn"
 )
 
@@ -77,6 +78,36 @@ func ParseTopology(s string) ([]int, error) {
 	return sizes, nil
 }
 
+// NetOptions configures LoadOrPretrainOpts — the CLI tools fill it straight
+// from their flags.
+type NetOptions struct {
+	// NetPath loads a saved network instead of pretraining.
+	NetPath string
+	// Topology, SamplesPerClass, Epochs and Seed configure the pretraining
+	// run (ignored with NetPath).
+	Topology        string
+	SamplesPerClass int
+	Epochs          int
+	Seed            int64
+	// Float32 selects the float32 SIMD fast path for training and inference
+	// (the -f32 flag); default is the bit-pinned float64 arithmetic.
+	Float32 bool
+	// ModelDir enables the pretrained-network registry (the -model-dir flag):
+	// a network pretrained under the same effective configuration is loaded
+	// instead of retrained, and fresh results are stored for later runs.
+	ModelDir string
+	// Verbose prints the registry digest and hit/miss outcome to stderr.
+	Verbose bool
+}
+
+// Precision returns the nn precision the options select.
+func (o NetOptions) Precision() nn.Precision {
+	if o.Float32 {
+		return nn.Float32
+	}
+	return nn.Float64
+}
+
 // LoadOrPretrain returns a DNN modeler: loaded from netPath when given,
 // otherwise pretrained with the supplied settings (progress goes to stderr,
 // keeping stdout clean for results).
@@ -88,35 +119,65 @@ func LoadOrPretrain(netPath, topology string, samplesPerClass, epochs int, seed 
 // also bounds the (potentially minutes-long) pretraining run, which stops at
 // the next epoch boundary.
 func LoadOrPretrainCtx(ctx context.Context, netPath, topology string, samplesPerClass, epochs int, seed int64) (*dnnmodel.Modeler, error) {
-	if netPath != "" {
-		f, err := os.Open(netPath)
+	return LoadOrPretrainOpts(ctx, NetOptions{
+		NetPath:         netPath,
+		Topology:        topology,
+		SamplesPerClass: samplesPerClass,
+		Epochs:          epochs,
+		Seed:            seed,
+	})
+}
+
+// LoadOrPretrainOpts is the options form of LoadOrPretrainCtx, adding the
+// float32 fast path and the pretrained-network registry. With a model dir, a
+// run whose effective pretraining configuration was seen before loads the
+// stored network and performs zero training epochs.
+func LoadOrPretrainOpts(ctx context.Context, o NetOptions) (*dnnmodel.Modeler, error) {
+	if o.NetPath != "" {
+		f, err := os.Open(o.NetPath)
 		if err != nil {
 			return nil, fmt.Errorf("open network: %w", err)
 		}
 		defer f.Close()
 		net, err := nn.Load(f)
 		if err != nil {
-			return nil, fmt.Errorf("load network %s: %w", netPath, err)
+			return nil, fmt.Errorf("load network %s: %w", o.NetPath, err)
 		}
-		fmt.Fprintf(os.Stderr, "loaded pretrained network from %s (%d parameters)\n", netPath, net.NumParams())
-		return &dnnmodel.Modeler{Net: net}, nil
+		fmt.Fprintf(os.Stderr, "loaded pretrained network from %s (%d parameters)\n", o.NetPath, net.NumParams())
+		return &dnnmodel.Modeler{Net: net, Precision: o.Precision()}, nil
 	}
-	hidden, err := ParseTopology(topology)
+	hidden, err := ParseTopology(o.Topology)
 	if err != nil {
 		return nil, err
 	}
-	fmt.Fprintf(os.Stderr, "pretraining network (topology %v, %d samples/class, %d epochs)...\n",
-		hidden, samplesPerClass, epochs)
-	m, stats, err := dnnmodel.PretrainCtx(ctx, dnnmodel.PretrainConfig{
+	cfg := dnnmodel.PretrainConfig{
 		Hidden:          hidden,
-		SamplesPerClass: samplesPerClass,
-		Epochs:          epochs,
-		Seed:            seed,
-	})
+		SamplesPerClass: o.SamplesPerClass,
+		Epochs:          o.Epochs,
+		Seed:            o.Seed,
+		Precision:       o.Precision(),
+	}
+	if o.ModelDir != "" {
+		reg, err := modelregistry.Open(o.ModelDir)
+		if err != nil {
+			return nil, fmt.Errorf("model dir: %w", err)
+		}
+		cfg.Registry = reg
+		if o.Verbose {
+			fmt.Fprintf(os.Stderr, "model registry %s, digest %s\n", o.ModelDir, cfg.RegistryKey().Digest())
+		}
+	}
+	fmt.Fprintf(os.Stderr, "pretraining network (topology %v, %d samples/class, %d epochs, %s)...\n",
+		hidden, o.SamplesPerClass, o.Epochs, o.Precision())
+	m, stats, err := dnnmodel.PretrainCtx(ctx, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("pretrain: %w", err)
 	}
-	fmt.Fprintf(os.Stderr, "pretraining done, final loss %.4f\n", stats.FinalLoss())
+	if cfg.Registry != nil && len(stats.EpochLoss) == 0 {
+		fmt.Fprintf(os.Stderr, "model registry hit: loaded pretrained network from %s (0 training epochs)\n", o.ModelDir)
+	} else {
+		fmt.Fprintf(os.Stderr, "pretraining done, final loss %.4f\n", stats.FinalLoss())
+	}
 	return m, nil
 }
 

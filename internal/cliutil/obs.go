@@ -142,6 +142,14 @@ func PrintRunSummary(w io.Writer) {
 	fmt.Fprintf(w, "training:          %d runs, %d epochs, %d batches, %d divergence aborts\n",
 		c("extrapdnn_nn_train_runs_total"), c("extrapdnn_nn_train_epochs_total"),
 		c("extrapdnn_nn_train_batches_total"), c("extrapdnn_nn_train_divergence_total"))
+	fmt.Fprintf(w, "precision:         %d float64 runs, %d float32 runs\n",
+		c(`extrapdnn_nn_train_precision_total{precision="float64"}`),
+		c(`extrapdnn_nn_train_precision_total{precision="float32"}`))
+	if regHits, regMisses := c("extrapdnn_modelregistry_hits_total"), c("extrapdnn_modelregistry_misses_total"); regHits+regMisses > 0 {
+		fmt.Fprintf(w, "model registry:    %d hits (pretraining skipped), %d misses, %d stores, %d bad blobs\n",
+			regHits, regMisses,
+			c("extrapdnn_modelregistry_stores_total"), c("extrapdnn_modelregistry_bad_blobs_total"))
+	}
 	fmt.Fprintf(w, "parallel:          %d items, worker busy %v, dispatch wait %v\n",
 		c("extrapdnn_parallel_items_total"),
 		time.Duration(c("extrapdnn_parallel_worker_busy_ns_total")).Round(time.Millisecond),

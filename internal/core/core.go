@@ -151,7 +151,7 @@ func New(pretrained *dnnmodel.Modeler, cfg Config) (*Modeler, error) {
 		return nil, fmt.Errorf("core: a pretrained DNN modeler is required unless DisableDNN is set")
 	}
 	if cfg.TopK > 0 && pretrained != nil {
-		pretrained = &dnnmodel.Modeler{Net: pretrained.Net, TopK: cfg.TopK}
+		pretrained = &dnnmodel.Modeler{Net: pretrained.Net, TopK: cfg.TopK, Precision: pretrained.Precision}
 	}
 	m := &Modeler{pretrained: pretrained, cfg: cfg}
 	if pretrained != nil && !cfg.DisableDNN && !cfg.DisableAdaptation {
@@ -515,6 +515,7 @@ func (m *Modeler) signature(set *measurement.Set, task dnnmodel.TaskInfo) adaptc
 		LearningRate:    adapt.LearningRate,
 		Fingerprint:     m.fp,
 		Seed:            m.cfg.Seed,
+		Precision:       adapt.Precision,
 	}
 }
 

@@ -1,0 +1,170 @@
+package dnnmodel
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"extrapdnn/internal/measurement"
+	"extrapdnn/internal/modelregistry"
+	"extrapdnn/internal/nn"
+	"extrapdnn/internal/synth"
+)
+
+// batchSets generates a mixed bag of synthetic measurement sets, the way a
+// profile's kernels would look.
+func batchSets(n int) []*measurement.Set {
+	sets := make([]*measurement.Set, n)
+	for i := range sets {
+		rng := rand.New(rand.NewSource(100 + int64(i)))
+		spec := synth.TaskSpec{NumParams: 1 + i%2, PointsPerParam: 5, Reps: 5, NoiseLevel: 0.05, EvalPoints: 1}
+		sets[i] = synth.GenInstance(rng, spec).Set
+	}
+	return sets
+}
+
+// TestModelBatchMatchesModel pins the cross-kernel batching contract: the
+// per-set results of one ModelBatch call equal what Model returns for each
+// set alone — bit-identically at the default precision, where the batched
+// forward is exactly the per-line one.
+func TestModelBatchMatchesModel(t *testing.T) {
+	m := getTestModeler(t)
+	sets := batchSets(6)
+	batch := m.ModelBatch(sets)
+	if len(batch) != len(sets) {
+		t.Fatalf("got %d results for %d sets", len(batch), len(sets))
+	}
+	for i, set := range sets {
+		want, err := m.Model(set)
+		if err != nil {
+			t.Fatalf("set %d: %v", i, err)
+		}
+		if batch[i].Err != nil {
+			t.Fatalf("set %d: batch error %v", i, batch[i].Err)
+		}
+		if got := batch[i].Result; got.Model.String() != want.Model.String() || got.SMAPE != want.SMAPE {
+			t.Fatalf("set %d: batch %v (SMAPE %v) != solo %v (SMAPE %v)",
+				i, got.Model, got.SMAPE, want.Model, want.SMAPE)
+		}
+	}
+}
+
+// TestModelBatchIsolatesFailures: a nil or invalid set must poison only its
+// own slot.
+func TestModelBatchIsolatesFailures(t *testing.T) {
+	m := getTestModeler(t)
+	sets := batchSets(3)
+	sets = append(sets, nil, &measurement.Set{})
+	batch := m.ModelBatch(sets)
+	for i := 0; i < 3; i++ {
+		if batch[i].Err != nil {
+			t.Fatalf("healthy set %d got error %v", i, batch[i].Err)
+		}
+	}
+	if batch[3].Err == nil || batch[4].Err == nil {
+		t.Fatalf("bad sets must error: %v, %v", batch[3].Err, batch[4].Err)
+	}
+}
+
+// TestModelBatchEmptyAndCancelled covers the edge paths.
+func TestModelBatchEmptyAndCancelled(t *testing.T) {
+	m := getTestModeler(t)
+	if got := m.ModelBatch(nil); len(got) != 0 {
+		t.Fatalf("empty batch returned %d results", len(got))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i, r := range m.ModelBatchCtx(ctx, batchSets(2)) {
+		if r.Err == nil {
+			t.Fatalf("slot %d did not observe cancellation", i)
+		}
+	}
+}
+
+// TestModelBatchConcurrent exercises the session pool under the race
+// detector: concurrent ModelBatch and Model calls share one Modeler.
+func TestModelBatchConcurrent(t *testing.T) {
+	m := getTestModeler(t)
+	sets := batchSets(4)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if g%2 == 0 {
+				for _, r := range m.ModelBatch(sets) {
+					if r.Err != nil {
+						t.Errorf("batch: %v", r.Err)
+					}
+				}
+			} else {
+				if _, err := m.Model(sets[g%len(sets)]); err != nil {
+					t.Errorf("model: %v", err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestPretrainRegistryHit pins the registry acceptance criterion: a second
+// pretraining run with the same effective configuration and a warm model dir
+// performs zero training epochs and returns the stored network.
+func TestPretrainRegistryHit(t *testing.T) {
+	reg, err := modelregistry.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := PretrainConfig{
+		Hidden:          TinyTopology,
+		SamplesPerClass: 8,
+		Epochs:          1,
+		Seed:            9,
+		Registry:        reg,
+	}
+	first, stats, err := PretrainCtx(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.EpochLoss) == 0 {
+		t.Fatal("cold run must actually train")
+	}
+	second, stats2, err := PretrainCtx(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats2.EpochLoss) != 0 {
+		t.Fatalf("warm run trained %d epochs, want 0 (registry hit)", len(stats2.EpochLoss))
+	}
+	if second.Net.Fingerprint() != first.Net.Fingerprint() {
+		t.Fatal("registry returned a different network")
+	}
+
+	// A different precision is a different key: it must miss and retrain.
+	cfg32 := cfg
+	cfg32.Precision = nn.Float32
+	_, stats32, err := PretrainCtx(context.Background(), cfg32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats32.EpochLoss) == 0 {
+		t.Fatal("float32 run must not hit the float64 registry entry")
+	}
+}
+
+// TestDomainAdaptPrecisionPropagates: the adapted modeler inherits the
+// adaptation precision, so downstream classification uses the same
+// arithmetic the caller selected.
+func TestDomainAdaptPrecisionPropagates(t *testing.T) {
+	m := getTestModeler(t)
+	task := TaskInfo{ParamValues: [][]float64{{2, 4, 8, 16, 32}}, Reps: 3, NoiseMax: 0.1}
+	adapted, _, err := m.DomainAdaptCtx(context.Background(), rand.New(rand.NewSource(12)), task,
+		AdaptConfig{SamplesPerClass: 4, Epochs: 1, Precision: nn.Float32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adapted.Precision != nn.Float32 {
+		t.Fatalf("adapted precision = %v, want Float32", adapted.Precision)
+	}
+}

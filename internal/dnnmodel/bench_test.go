@@ -3,6 +3,10 @@ package dnnmodel
 import (
 	"math/rand"
 	"testing"
+
+	"extrapdnn/internal/measurement"
+	"extrapdnn/internal/nn"
+	"extrapdnn/internal/synth"
 )
 
 // BenchmarkBuildDataset measures synthetic dataset generation at the default
@@ -64,5 +68,66 @@ func BenchmarkDomainAdapt(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.DomainAdapt(rand.New(rand.NewSource(int64(i))), task, cfg)
+	}
+}
+
+// benchModeler builds a realistically-sized modeler for the end-to-end
+// prediction benchmarks (the tiny test topology would understate the
+// network-forward share of Model's cost).
+func benchModeler(b *testing.B, prec nn.Precision) *Modeler {
+	b.Helper()
+	m, _ := Pretrain(PretrainConfig{
+		Hidden:          []int{96, 64},
+		SamplesPerClass: 60,
+		Epochs:          1,
+		Seed:            1,
+	})
+	m.Precision = prec
+	return m
+}
+
+func benchBatchSets(n int) []*measurement.Set {
+	sets := make([]*measurement.Set, n)
+	for i := range sets {
+		rng := rand.New(rand.NewSource(200 + int64(i)))
+		spec := synth.TaskSpec{NumParams: 2, PointsPerParam: 5, Reps: 5, NoiseLevel: 0.05, EvalPoints: 1}
+		sets[i] = synth.GenInstance(rng, spec).Set
+	}
+	return sets
+}
+
+// BenchmarkModelPerSet is the per-kernel baseline: Model on each set in turn,
+// one classification forward per set.
+func BenchmarkModelPerSet(b *testing.B) {
+	m := benchModeler(b, nn.Float64)
+	sets := benchBatchSets(16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, set := range sets {
+			if _, err := m.Model(set); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkPredictBatch models the same sets through the cross-kernel batched
+// inference path (one network forward for all sets) at both precisions.
+func BenchmarkPredictBatch(b *testing.B) {
+	for _, prec := range []nn.Precision{nn.Float64, nn.Float32} {
+		b.Run(prec.String(), func(b *testing.B) {
+			m := benchModeler(b, prec)
+			sets := benchBatchSets(16)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, r := range m.ModelBatch(sets) {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+		})
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"extrapdnn/internal/faultinject"
 	"extrapdnn/internal/mat"
 	"extrapdnn/internal/measurement"
+	"extrapdnn/internal/modelregistry"
 	"extrapdnn/internal/nn"
 	"extrapdnn/internal/obs"
 	"extrapdnn/internal/parallel"
@@ -48,7 +49,29 @@ type Modeler struct {
 	// TopK is the number of predicted classes per parameter turned into
 	// hypotheses (default 3, per the paper).
 	TopK int
+	// Precision selects the classification arithmetic. The default
+	// (nn.Float64) ranks softmax probabilities with the bit-pinned kernels,
+	// so batched and historical per-line classification agree exactly;
+	// nn.Float32 runs the SIMD fast path within DESIGN.md §11's tolerance.
+	Precision nn.Precision
+
+	// sessions pools batched-inference sessions (one per concurrent Model
+	// call; nn.InferSession is not goroutine-safe). Sessions hold the
+	// float32 weight mirror when Precision is nn.Float32, so pooling them
+	// amortizes the mirror across Model calls.
+	sessions sync.Pool
 }
+
+// session returns a pooled inference session for the modeler's network,
+// creating one when the pool is empty.
+func (m *Modeler) session(rows int) *nn.InferSession {
+	if s, ok := m.sessions.Get().(*nn.InferSession); ok {
+		return s
+	}
+	return m.Net.NewInferSession(rows, m.Precision)
+}
+
+func (m *Modeler) putSession(s *nn.InferSession) { m.sessions.Put(s) }
 
 func (m *Modeler) topK() int {
 	if m.TopK <= 0 {
@@ -197,6 +220,33 @@ type PretrainConfig struct {
 	BatchSize       int   // default 64
 	LearningRate    float64
 	Seed            int64
+	// Precision selects the training arithmetic (nn.Float64 default; the
+	// float64 trajectory is bit-identical to pre-precision-path builds).
+	Precision nn.Precision
+	// Registry, when non-nil, is consulted before training: a network stored
+	// under this exact effective configuration is loaded instead of trained
+	// (zero training epochs), and a fresh training result is stored back for
+	// the next run. See internal/modelregistry.
+	Registry *modelregistry.Registry
+}
+
+// RegistryKey returns the registry address of this configuration's
+// pretraining result: every field that determines the trained weights, after
+// defaulting, so explicitly-default and zero configs share one entry.
+func (c PretrainConfig) RegistryKey() modelregistry.Key {
+	c = c.withDefaults()
+	arch := append([]int{preprocess.InputSize}, c.Hidden...)
+	arch = append(arch, pmnf.NumClasses)
+	return modelregistry.Key{
+		Arch:            arch,
+		SamplesPerClass: c.SamplesPerClass,
+		Reps:            c.Reps,
+		Epochs:          c.Epochs,
+		BatchSize:       c.BatchSize,
+		LearningRate:    c.LearningRate,
+		Seed:            c.Seed,
+		Precision:       c.Precision,
+	}
 }
 
 func (c PretrainConfig) withDefaults() PretrainConfig {
@@ -230,13 +280,31 @@ func Pretrain(cfg PretrainConfig) (*Modeler, nn.TrainStats) {
 // context is checked at every training epoch boundary, and a diverged run is
 // surfaced as nn.ErrDiverged instead of silently returning a garbage network.
 // The modeler is nil whenever the error is non-nil.
+//
+// With cfg.Registry set, a network stored under this exact effective
+// configuration is returned without any training (the stats are zero —
+// no epochs ran); a fresh result is stored back after training. A stored
+// blob that fails validation is retrained over, never trusted.
 func PretrainCtx(ctx context.Context, cfg PretrainConfig) (*Modeler, nn.TrainStats, error) {
 	cfg = cfg.withDefaults()
 	obsPretrains.Inc()
 	ctx, span := obs.StartSpan(ctx, "dnnmodel.pretrain")
 	span.SetInt("samples_per_class", int64(cfg.SamplesPerClass))
 	span.SetInt("epochs", int64(cfg.Epochs))
+	span.SetString("precision", cfg.Precision.String())
 	defer span.End()
+	if cfg.Registry != nil {
+		key := cfg.RegistryKey()
+		span.SetString("registry_digest", key.Digest())
+		net, ok, lerr := cfg.Registry.Load(key)
+		if lerr != nil {
+			span.SetString("registry_error", lerr.Error())
+		}
+		if ok {
+			span.SetBool("registry_hit", true)
+			return &Modeler{Net: net, Precision: cfg.Precision}, nn.TrainStats{}, nil
+		}
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	sizes := append([]int{preprocess.InputSize}, cfg.Hidden...)
 	sizes = append(sizes, pmnf.NumClasses)
@@ -252,6 +320,7 @@ func PretrainCtx(ctx context.Context, cfg PretrainConfig) (*Modeler, nn.TrainSta
 		BatchSize:    cfg.BatchSize,
 		LearningRate: cfg.LearningRate,
 		Rng:          rng,
+		Precision:    cfg.Precision,
 	})
 	if err == nil {
 		err = stats.Err()
@@ -259,7 +328,13 @@ func PretrainCtx(ctx context.Context, cfg PretrainConfig) (*Modeler, nn.TrainSta
 	if err != nil {
 		return nil, stats, err
 	}
-	return &Modeler{Net: net}, stats, nil
+	if cfg.Registry != nil {
+		// Best-effort: a read-only model dir must not fail the run.
+		if storeErr := cfg.Registry.Store(cfg.RegistryKey(), net); storeErr != nil {
+			span.SetString("registry_store_error", storeErr.Error())
+		}
+	}
+	return &Modeler{Net: net, Precision: cfg.Precision}, stats, nil
 }
 
 // AdaptConfig configures per-task domain adaptation.
@@ -268,6 +343,10 @@ type AdaptConfig struct {
 	Epochs          int     // default 1 (paper: 1)
 	BatchSize       int     // default 64
 	LearningRate    float64 // default nn default
+	// Precision selects the adaptation training arithmetic (nn.Float64
+	// default). It participates in the adaptation-cache signature, so the
+	// two precisions never alias a cached network.
+	Precision nn.Precision
 }
 
 // WithDefaults returns the effective configuration with zero fields replaced
@@ -311,7 +390,7 @@ func (m *Modeler) DomainAdapt(rng *rand.Rand, task TaskInfo, cfg AdaptConfig) *M
 	if err != nil {
 		// Divergence with no ctx in play: preserve the historical contract of
 		// always returning a network; callers that care use DomainAdaptCtx.
-		return &Modeler{Net: m.Net.Clone(), TopK: m.TopK}
+		return &Modeler{Net: m.Net.Clone(), TopK: m.TopK, Precision: m.Precision}
 	}
 	return adapted
 }
@@ -327,6 +406,7 @@ func (m *Modeler) DomainAdaptCtx(ctx context.Context, rng *rand.Rand, task TaskI
 	ctx, span := obs.StartSpan(ctx, "dnnmodel.adapt")
 	span.SetInt("samples_per_class", int64(cfg.SamplesPerClass))
 	span.SetFloat("noise_max", task.NoiseMax)
+	span.SetString("precision", cfg.Precision.String())
 	defer span.End()
 	buf := adaptPool.Get().(*datasetBuf)
 	x, labels := buildDataset(rng, TrainSpec{
@@ -343,6 +423,7 @@ func (m *Modeler) DomainAdaptCtx(ctx context.Context, rng *rand.Rand, task TaskI
 		BatchSize:    cfg.BatchSize,
 		LearningRate: cfg.LearningRate,
 		Rng:          rng,
+		Precision:    cfg.Precision,
 	})
 	adaptPool.Put(buf)
 	if err == nil {
@@ -351,7 +432,7 @@ func (m *Modeler) DomainAdaptCtx(ctx context.Context, rng *rand.Rand, task TaskI
 	if err != nil {
 		return nil, stats, err
 	}
-	return &Modeler{Net: adapted, TopK: m.TopK}, stats, nil
+	return &Modeler{Net: adapted, TopK: m.TopK, Precision: cfg.Precision}, stats, nil
 }
 
 // ClassifyLine returns the network's top-k exponent classes for one
@@ -402,20 +483,177 @@ func (m *Modeler) ModelCtx(ctx context.Context, set *measurement.Set) (regressio
 	if err != nil {
 		return regression.Result{}, err
 	}
+	classes, err := m.classifyLines(lines)
+	if err != nil {
+		return regression.Result{}, fmt.Errorf("dnnmodel: %w", err)
+	}
 	perParam := make([][]regression.Candidate, len(lines))
 	for l, line := range lines {
 		if err := ctx.Err(); err != nil {
 			return regression.Result{}, err
 		}
-		classes, err := m.ClassifyLine(line.Xs, line.Vs)
-		if err != nil {
-			return regression.Result{}, fmt.Errorf("dnnmodel: parameter %d: %w", l, err)
-		}
-		cands, err := regression.FitLine(line.Xs, line.Vs, classes, m.topK())
+		cands, err := regression.FitLine(line.Xs, line.Vs, classes[l], m.topK())
 		if err != nil {
 			return regression.Result{}, fmt.Errorf("dnnmodel: parameter %d: %w", l, err)
 		}
 		perParam[l] = cands
 	}
 	return regression.Combine(set, perParam)
+}
+
+// classifyLines classifies every selected line of a set in one batched
+// forward pass through a pooled inference session. At the default nn.Float64
+// precision the per-row results are bit-identical to ClassifyLine on each
+// line (pinned by nn's TopKBatch tests), so batching is invisible to golden
+// outputs; nn.Float32 takes the SIMD logits-ranking fast path.
+func (m *Modeler) classifyLines(lines []regression.Line) ([][]pmnf.Exponents, error) {
+	x := mat.New(len(lines), preprocess.InputSize)
+	for l, line := range lines {
+		if err := preprocess.EncodeTo(x.Row(l), line.Xs, line.Vs); err != nil {
+			return nil, fmt.Errorf("parameter %d: %w", l, err)
+		}
+	}
+	s := m.session(len(lines))
+	top := s.TopKBatch(x, m.topK())
+	out := make([][]pmnf.Exponents, len(lines))
+	for l, classes := range top {
+		exps := make([]pmnf.Exponents, len(classes))
+		for i, cls := range classes {
+			exps[i] = pmnf.Class(cls)
+		}
+		out[l] = exps
+	}
+	// The session owns top's backing arena; release it only after the copy
+	// above, or a concurrent Model call could overwrite the rankings.
+	m.putSession(s)
+	return out, nil
+}
+
+// BatchResult carries one measurement set's outcome from ModelBatch: exactly
+// what Model would have returned for that set alone.
+type BatchResult struct {
+	Result regression.Result
+	Err    error
+}
+
+// ModelBatch models many measurement sets with one cross-set batched
+// inference pass; see ModelBatchCtx.
+func (m *Modeler) ModelBatch(sets []*measurement.Set) []BatchResult {
+	return m.ModelBatchCtx(context.Background(), sets)
+}
+
+// ModelBatchCtx packs the selected lines of every set into a single matrix
+// and classifies them in one network forward — the cross-kernel batched
+// inference path. Each set's regression fit and combination search still run
+// separately, and a set that fails validation, line selection, or encoding
+// only poisons its own slot: the remaining sets are modeled normally. The
+// per-set results equal ModelCtx on each set (bit-identical at the default
+// precision).
+//
+// Cancellation is checked between per-set fit stages and before inference;
+// once cancelled, every remaining slot reports the context error.
+func (m *Modeler) ModelBatchCtx(ctx context.Context, sets []*measurement.Set) []BatchResult {
+	out := make([]BatchResult, len(sets))
+	if len(sets) == 0 {
+		return out
+	}
+	obsPredicts.Add(uint64(len(sets)))
+	obsBatchPredicts.Inc()
+	ctx, span := obs.StartSpan(ctx, "dnnmodel.predict_batch")
+	span.SetInt("sets", int64(len(sets)))
+	defer span.End()
+	if err := ctx.Err(); err != nil {
+		for i := range out {
+			out[i].Err = err
+		}
+		return out
+	}
+	if faultinject.Enabled {
+		var injected error
+		faultinject.Fire(faultinject.SiteDNNModel, &injected)
+		if injected != nil {
+			for i := range out {
+				out[i].Err = injected
+			}
+			return out
+		}
+	}
+
+	// Stage 1: per-set validation and line selection. Row offsets into the
+	// packed batch are assigned here; sets that already failed get offset -1.
+	linesPerSet := make([][]regression.Line, len(sets))
+	offsets := make([]int, len(sets))
+	total := 0
+	for i, set := range sets {
+		offsets[i] = -1
+		if set == nil {
+			out[i].Err = fmt.Errorf("dnnmodel: nil measurement set")
+			continue
+		}
+		if err := set.Validate(); err != nil {
+			out[i].Err = err
+			continue
+		}
+		lines, err := regression.SelectLines(set)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		linesPerSet[i] = lines
+		offsets[i] = total
+		total += len(lines)
+	}
+	span.SetInt("rows", int64(total))
+	if total == 0 {
+		return out
+	}
+
+	// Stage 2: encode everything into one matrix and classify in one forward.
+	// A set with an unencodable line keeps its (zeroed) rows in the batch —
+	// they cost one wasted network row each, and the slot reports the error.
+	x := mat.New(total, preprocess.InputSize)
+	for i, lines := range linesPerSet {
+		if offsets[i] < 0 {
+			continue
+		}
+		for l, line := range lines {
+			if err := preprocess.EncodeTo(x.Row(offsets[i]+l), line.Xs, line.Vs); err != nil {
+				out[i].Err = fmt.Errorf("dnnmodel: parameter %d: %w", l, err)
+				break
+			}
+		}
+	}
+	s := m.session(total)
+	top := s.TopKBatch(x, m.topK())
+
+	// Stage 3: per-set hypothesis fitting and combination search.
+	for i, lines := range linesPerSet {
+		if offsets[i] < 0 || out[i].Err != nil {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			out[i].Err = err
+			continue
+		}
+		perParam := make([][]regression.Candidate, len(lines))
+		for l, line := range lines {
+			classes := top[offsets[i]+l]
+			exps := make([]pmnf.Exponents, len(classes))
+			for j, cls := range classes {
+				exps[j] = pmnf.Class(cls)
+			}
+			cands, err := regression.FitLine(line.Xs, line.Vs, exps, m.topK())
+			if err != nil {
+				out[i].Err = fmt.Errorf("dnnmodel: parameter %d: %w", l, err)
+				break
+			}
+			perParam[l] = cands
+		}
+		if out[i].Err != nil {
+			continue
+		}
+		out[i].Result, out[i].Err = regression.Combine(sets[i], perParam)
+	}
+	m.putSession(s)
+	return out
 }

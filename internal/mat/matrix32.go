@@ -1,0 +1,179 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix32 is the float32 twin of Matrix: a dense, row-major matrix backed by
+// contiguous float32 storage. It exists for the precision fast path of the
+// neural-network training and inference loops (see DESIGN.md §11): the
+// modeling targets are noisy runtimes whose multiplicative noise dwarfs
+// float32 epsilon, so halving the bytes moved per multiply-add is free
+// accuracy-wise and roughly halves the memory-bandwidth bill of the fused
+// kernels. The float64 types and kernels are deliberately left byte-for-byte
+// untouched — every existing bit-identical pin runs on the float64 path.
+//
+// The type mirrors the Matrix API surface the nn package actually uses; it is
+// not a general numerical toolkit.
+type Matrix32 struct {
+	rows, cols int
+	data       []float32
+}
+
+// New32 returns a rows×cols float32 matrix of zeros.
+// It panics if either dimension is negative.
+func New32(rows, cols int) *Matrix32 {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative dimension %dx%d", rows, cols))
+	}
+	return &Matrix32{rows: rows, cols: cols, data: make([]float32, rows*cols)}
+}
+
+// NewFromData32 wraps data as a rows×cols matrix without copying.
+// It panics if len(data) != rows*cols.
+func NewFromData32(rows, cols int, data []float32) *Matrix32 {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("mat: data length %d does not match %dx%d", len(data), rows, cols))
+	}
+	return &Matrix32{rows: rows, cols: cols, data: data}
+}
+
+// Rows returns the number of rows.
+func (m *Matrix32) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix32) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Matrix32) At(i, j int) float32 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set stores v at row i, column j.
+func (m *Matrix32) Set(i, j int, v float32) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+func (m *Matrix32) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: index (%d,%d) out of range %dx%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Row returns row i as a slice aliasing the matrix storage.
+// Mutating the returned slice mutates the matrix.
+func (m *Matrix32) Row(i int) []float32 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("mat: row %d out of range %d", i, m.rows))
+	}
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
+// Data returns the underlying row-major storage, aliased.
+func (m *Matrix32) Data() []float32 { return m.data }
+
+// Clone returns a deep copy of m.
+func (m *Matrix32) Clone() *Matrix32 {
+	c := New32(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// Zero sets every element of m to zero.
+func (m *Matrix32) Zero() {
+	for i := range m.data {
+		m.data[i] = 0
+	}
+}
+
+// Scale multiplies every element of m by s, in place.
+func (m *Matrix32) Scale(s float32) {
+	for i := range m.data {
+		m.data[i] *= s
+	}
+}
+
+// AddScaled adds s*b to m element-wise, in place. The shapes must match.
+func (m *Matrix32) AddScaled(s float32, b *Matrix32) {
+	m.sameShape(b)
+	for i, v := range b.data {
+		m.data[i] += s * v
+	}
+}
+
+func (m *Matrix32) sameShape(b *Matrix32) {
+	if m.rows != b.rows || m.cols != b.cols {
+		panic(fmt.Sprintf("mat: shape mismatch %dx%d vs %dx%d", m.rows, m.cols, b.rows, b.cols))
+	}
+}
+
+// MaxAbs returns the largest absolute element value, or 0 for an empty matrix.
+func (m *Matrix32) MaxAbs() float32 {
+	max := float32(0)
+	for _, v := range m.data {
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// To32 returns a newly allocated float32 copy of m (elementwise downcast).
+func (m *Matrix) To32() *Matrix32 {
+	c := New32(m.rows, m.cols)
+	for i, v := range m.data {
+		c.data[i] = float32(v)
+	}
+	return c
+}
+
+// To64 returns a newly allocated float64 copy of m (elementwise upcast).
+func (m *Matrix32) To64() *Matrix {
+	c := New(m.rows, m.cols)
+	for i, v := range m.data {
+		c.data[i] = float64(v)
+	}
+	return c
+}
+
+// Convert32 downcasts src into dst element-wise. The shapes must match.
+func Convert32(dst *Matrix32, src *Matrix) {
+	if dst.rows != src.rows || dst.cols != src.cols {
+		panic(fmt.Sprintf("mat: Convert32 shape mismatch %dx%d vs %dx%d", dst.rows, dst.cols, src.rows, src.cols))
+	}
+	for i, v := range src.data {
+		dst.data[i] = float32(v)
+	}
+}
+
+// Convert64 upcasts src into dst element-wise. The shapes must match.
+func Convert64(dst *Matrix, src *Matrix32) {
+	if dst.rows != src.rows || dst.cols != src.cols {
+		panic(fmt.Sprintf("mat: Convert64 shape mismatch %dx%d vs %dx%d", dst.rows, dst.cols, src.rows, src.cols))
+	}
+	for i, v := range src.data {
+		dst.data[i] = float64(v)
+	}
+}
+
+// Equal64 reports whether m and the float64 matrix b have the same shape and
+// all elements agree within tol (comparison in float64). It is the parity
+// check of the precision tests.
+func (m *Matrix32) Equal64(b *Matrix, tol float64) bool {
+	if m.rows != b.rows || m.cols != b.cols {
+		return false
+	}
+	for i, v := range m.data {
+		if math.Abs(float64(v)-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,44 @@
+//go:build amd64
+
+package mat
+
+// The float32 kernels dispatch to AVX2+FMA assembly when the CPU has it.
+// Detection follows the standard Intel sequence: the instruction sets must be
+// present (CPUID leaf 1 ECX for FMA/AVX/OSXSAVE, leaf 7 EBX for AVX2) and
+// the OS must have enabled XMM+YMM state saving (XGETBV XCR0 bits 1 and 2),
+// otherwise the ymm registers trap. useFMA is a var, not a const, so tests
+// can force the scalar fallback on SIMD-capable hosts.
+
+//go:noescape
+func fmaRow(oi *float32, n int, a *float32, astride int, kk int, b *float32, bstride int)
+
+//go:noescape
+func tanhBlocks(v *float32, n int, c *float32)
+
+func cpuidLeaf(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+func xgetbv0() (eax, edx uint32)
+
+var useFMA = detectFMA()
+
+func detectFMA() bool {
+	maxLeaf, _, _, _ := cpuidLeaf(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	const (
+		bitFMA     = 1 << 12 // leaf 1 ECX
+		bitOSXSAVE = 1 << 27 // leaf 1 ECX
+		bitAVX     = 1 << 28 // leaf 1 ECX
+		bitAVX2    = 1 << 5  // leaf 7 EBX
+	)
+	_, _, c1, _ := cpuidLeaf(1, 0)
+	if c1&bitFMA == 0 || c1&bitOSXSAVE == 0 || c1&bitAVX == 0 {
+		return false
+	}
+	if xl, _ := xgetbv0(); xl&6 != 6 { // OS saves XMM and YMM state
+		return false
+	}
+	_, b7, _, _ := cpuidLeaf(7, 0)
+	return b7&bitAVX2 != 0
+}

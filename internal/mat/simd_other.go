@@ -1,0 +1,16 @@
+//go:build !amd64
+
+package mat
+
+// Non-amd64 builds always take the scalar float32 kernels. The stubs exist
+// so the dispatch sites compile; useFMA being false keeps them unreachable.
+
+var useFMA = false
+
+func fmaRow(oi *float32, n int, a *float32, astride int, kk int, b *float32, bstride int) {
+	panic("mat: fmaRow called without SIMD support")
+}
+
+func tanhBlocks(v *float32, n int, c *float32) {
+	panic("mat: tanhBlocks called without SIMD support")
+}

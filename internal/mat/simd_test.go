@@ -1,0 +1,142 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// withScalarKernels runs f with the SIMD dispatch disabled so tests can
+// compare the assembly kernels against the pure-Go fallback on the same host.
+func withScalarKernels(f func()) {
+	saved := useFMA
+	useFMA = false
+	defer func() { useFMA = saved }()
+	f()
+}
+
+// TestSIMDKernelParity compares the SIMD float32 matmul family against the
+// scalar fallback across shapes that exercise every stripe/tail split: column
+// counts below, at, and off the eight-lane width, odd k for the FMA unroll
+// remainder, and single rows/columns. The two paths reassociate differently,
+// so parity is relative-tolerance, not bitwise.
+func TestSIMDKernelParity(t *testing.T) {
+	if !useFMA {
+		t.Skip("no SIMD on this host; nothing to compare")
+	}
+	rng := rand.New(rand.NewSource(7))
+	shapes := []struct{ m, k, n int }{
+		{1, 1, 1}, {1, 1, 8}, {1, 1, 9}, {3, 5, 7}, {4, 8, 8},
+		{5, 7, 12}, {8, 9, 16}, {16, 43, 48}, {64, 48, 43}, {2, 64, 33},
+	}
+	const tol = 1e-4
+	for _, s := range shapes {
+		a := New32(s.m, s.k)
+		b := New32(s.k, s.n)
+		bt := New32(s.n, s.k)
+		for i := range a.data {
+			a.data[i] = float32(rng.NormFloat64())
+		}
+		for i := range b.data {
+			b.data[i] = float32(rng.NormFloat64())
+		}
+		for i := range bt.data {
+			bt.data[i] = float32(rng.NormFloat64())
+		}
+
+		check := func(name string, got, want *Matrix32) {
+			t.Helper()
+			for i, g := range got.data {
+				w := want.data[i]
+				if d := math.Abs(float64(g - w)); d > tol*(1+math.Abs(float64(w))) {
+					t.Fatalf("%s %dx%dx%d element %d: simd %v scalar %v", name, s.m, s.k, s.n, i, g, w)
+				}
+			}
+		}
+
+		simd, scalar := New32(s.m, s.n), New32(s.m, s.n)
+		MulTo32(simd, a, b)
+		withScalarKernels(func() { MulTo32(scalar, a, b) })
+		check("MulTo32", simd, scalar)
+
+		// MulATTo32 contracts a.rows with b.rows, so build a matching b.
+		bm := New32(s.m, s.n)
+		for i := range bm.data {
+			bm.data[i] = float32(rng.NormFloat64())
+		}
+		atSIMD := New32(s.k, s.n)
+		atRef := New32(s.k, s.n)
+		MulATTo32(atSIMD, a, bm)
+		withScalarKernels(func() { MulATTo32(atRef, a, bm) })
+		check("MulATTo32", atSIMD, atRef)
+
+		btSIMD := New32(s.m, s.n)
+		btRef := New32(s.m, s.n)
+		MulBTTo32(btSIMD, a, bt)
+		withScalarKernels(func() { MulBTTo32(btRef, a, bt) })
+		check("MulBTTo32", btSIMD, btRef)
+	}
+}
+
+// TestSIMDKernelDeterminism pins that the SIMD path is deterministic and
+// independent of row-range splits: serial and forced-parallel products must
+// be bit-identical, same as the scalar pin in matrix32_test.go.
+func TestSIMDKernelDeterminism(t *testing.T) {
+	if !useFMA {
+		t.Skip("no SIMD on this host")
+	}
+	rng := rand.New(rand.NewSource(9))
+	a := New32(37, 29)
+	b := New32(29, 23)
+	for i := range a.data {
+		a.data[i] = float32(rng.NormFloat64())
+	}
+	for i := range b.data {
+		b.data[i] = float32(rng.NormFloat64())
+	}
+	serial := New32(37, 23)
+	mulRange32(serial, a, b, 0, 37)
+	split := New32(37, 23)
+	mulRange32(split, a, b, 0, 11)
+	mulRange32(split, a, b, 11, 12)
+	mulRange32(split, a, b, 12, 37)
+	for i := range serial.data {
+		if serial.data[i] != split.data[i] {
+			t.Fatalf("element %d: serial %v split %v (SIMD rows must not depend on range splits)", i, serial.data[i], split.data[i])
+		}
+	}
+}
+
+// TestTanh32sMatchesScalar checks the vectorized tanh against the scalar
+// reference on a range sweep including saturation; the vector clamp path is
+// allowed one ULP of slack at ±1.
+func TestTanh32sMatchesScalar(t *testing.T) {
+	var v []float32
+	for x := -12.0; x <= 12.0; x += 1e-2 {
+		v = append(v, float32(x))
+	}
+	v = append(v, 0, 100, -100, 7.9053, -7.9053)
+	got := make([]float32, len(v))
+	copy(got, v)
+	Tanh32s(got)
+	for i, x := range v {
+		want := math.Tanh(float64(x))
+		if d := math.Abs(float64(got[i]) - want); d > 5e-7 {
+			t.Fatalf("Tanh32s(%v) = %v, want %v (diff %v)", x, got[i], want, d)
+		}
+	}
+	// Odd lengths exercise the scalar tail after the eight-lane blocks.
+	for _, n := range []int{0, 1, 7, 8, 9, 15, 17} {
+		w := make([]float32, n)
+		for i := range w {
+			w[i] = float32(i)*0.3 - 2
+		}
+		Tanh32s(w)
+		for i := range w {
+			want := math.Tanh(float64(float32(i)*0.3 - 2))
+			if d := math.Abs(float64(w[i]) - want); d > 5e-7 {
+				t.Fatalf("len %d element %d: %v want %v", n, i, w[i], want)
+			}
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package mat
+
+// Native float32 hyperbolic tangent. The stdlib only provides math.Tanh on
+// float64, and the float32 network path spends more time converting to and
+// from float64 around it than in the matmuls it is supposed to speed up — so
+// the float32 engine uses the classic rational approximation
+// R(x) = x·P(x²)/Q(x²) on the clamped range instead (the same minimax fit
+// used by Eigen and XNNPACK for vectorized float32 tanh). The result is
+// within a few float32 ULPs of the correctly rounded value — orders of
+// magnitude below the 1e-3 kernel parity tolerance.
+
+// Beyond ±7.90531 the float32 rounding of tanh is exactly ±1.
+const tanhBound = 7.90531110763549805
+
+const (
+	tanhAlpha1  = 4.89352455891786e-03
+	tanhAlpha3  = 6.37261928875436e-04
+	tanhAlpha5  = 1.48572235717979e-05
+	tanhAlpha7  = 5.12229709037114e-08
+	tanhAlpha9  = -8.60467152213735e-11
+	tanhAlpha11 = 2.00018790482477e-13
+	tanhAlpha13 = -2.76076847742355e-16
+	tanhBeta0   = 4.89352518554385e-03
+	tanhBeta2   = 2.26843463243900e-03
+	tanhBeta4   = 1.18534705686654e-04
+	tanhBeta6   = 1.19825839466702e-06
+)
+
+// tanhConsts feeds tanhBlocks: clamp bounds first, then the numerator and
+// denominator coefficients in the order the assembly Horner loop broadcasts
+// them. Keep the layout in sync with simd_amd64.s.
+var tanhConsts = [13]float32{
+	tanhBound, -tanhBound,
+	tanhAlpha13, tanhAlpha11, tanhAlpha9, tanhAlpha7, tanhAlpha5, tanhAlpha3, tanhAlpha1,
+	tanhBeta6, tanhBeta4, tanhBeta2, tanhBeta0,
+}
+
+// Tanh32 returns the hyperbolic tangent of x, computed natively in float32.
+func Tanh32(x float32) float32 {
+	if x > tanhBound {
+		return 1
+	}
+	if x < -tanhBound {
+		return -1
+	}
+	x2 := x * x
+	p := x2*tanhAlpha13 + tanhAlpha11
+	p = x2*p + tanhAlpha9
+	p = x2*p + tanhAlpha7
+	p = x2*p + tanhAlpha5
+	p = x2*p + tanhAlpha3
+	p = x2*p + tanhAlpha1
+	p *= x
+	q := x2*tanhBeta6 + tanhBeta4
+	q = x2*q + tanhBeta2
+	q = x2*q + tanhBeta0
+	return p / q
+}
+
+// Tanh32s applies Tanh32 to every element of v in place, eight lanes at a
+// time on SIMD-capable hosts. Saturated inputs may differ from the scalar
+// function by one ULP of ±1 (the vector path clamps and evaluates instead of
+// branching), far inside the float32 path's tolerance contract.
+func Tanh32s(v []float32) {
+	i := 0
+	if useFMA && len(v) >= 8 {
+		tanhBlocks(&v[0], len(v), &tanhConsts[0])
+		i = len(v) &^ 7
+	}
+	for ; i < len(v); i++ {
+		v[i] = Tanh32(v[i])
+	}
+}

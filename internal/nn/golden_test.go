@@ -1,0 +1,39 @@
+package nn
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+)
+
+// goldenWeightsDigest is the sha256 of the nn.Save serialization of a small
+// network trained at default precision with the seeds below, captured when the
+// float32 fast path landed. The float64 training and inference paths are the
+// reference semantics of the package: adding Precision, InferSession, and the
+// SIMD kernels must leave them byte-for-byte unchanged. If this pin breaks,
+// the default-precision numerics changed — that is an API break for every
+// golden output downstream, not a tolerance question.
+const goldenWeightsDigest = "73a837b5756cb6d1c044d8e74a3094e027574890f2c4013478ec2e73aa9d6e1f"
+
+func TestDefaultPrecisionGoldenWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	net := NewNetwork([]int{11, 16, 43}, rng)
+	x, labels := benchData(rand.New(rand.NewSource(12)), 256)
+	net.Train(x, labels, TrainOptions{
+		Epochs:    2,
+		BatchSize: 32,
+		Rng:       rand.New(rand.NewSource(13)),
+	})
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	if got := hex.EncodeToString(sum[:]); got != goldenWeightsDigest {
+		t.Fatalf("default-precision training produced different weights:\n got %s\nwant %s\n"+
+			"The float64 path must stay bit-identical; only update this digest for a deliberate semantic change.",
+			got, goldenWeightsDigest)
+	}
+}

@@ -1,0 +1,310 @@
+package nn
+
+import (
+	"fmt"
+
+	"extrapdnn/internal/mat"
+)
+
+// InferSession is the reusable batched-inference path: one session owns
+// ping-pong activation buffers sized for a maximum row count plus per-row-count
+// cached matrix views, so repeated Forward calls — even with varying batch
+// sizes — perform zero heap allocations once each row count has been seen
+// (pinned by TestInferSessionZeroAlloc and the check.sh alloc gate). Sessions
+// are not safe for concurrent use; create one per goroutine.
+//
+// A Float64 session computes each output row independently with exactly the
+// accumulation order of Predict, so batching rows through Forward is
+// bit-identical to calling Predict per row (pinned by
+// TestInferSessionMatchesPredict). A Float32 session mirrors the weights into
+// float32 once at construction and runs the float32 kernels, trading ~1e-3
+// relative rounding for about half the memory traffic (DESIGN.md §11).
+type InferSession struct {
+	net     *Network
+	prec    Precision
+	maxRows int
+
+	// Float64 state: shared ping-pong backing plus per-row-count layer views.
+	ping, pong []float64
+	views      map[int][]*mat.Matrix
+
+	// Float32 state: weight mirror, input/activation/output backing and the
+	// corresponding per-row-count views. out64 carries the upcast result so
+	// callers see float64 regardless of the session precision.
+	net32    *network32
+	in32     []float32
+	ping32   []float32
+	pong32   []float32
+	inViews  map[int]*mat.Matrix32
+	views32  map[int][]*mat.Matrix32
+	out64    []float64
+	outViews map[int]*mat.Matrix
+
+	// Classification scratch: TopKBatch's ranking index buffer and the arena
+	// its per-row class slices point into, reused across calls.
+	idxScratch []int
+	classBack  []int
+	classRows  [][]int
+}
+
+// NewInferSession builds a session able to forward up to maxRows input rows
+// per call without allocating. Forward grows the buffers transparently if a
+// larger batch arrives, so maxRows is a sizing hint, not a hard limit. A
+// Float32 session snapshots the weights at construction; retrain the network
+// and the session must be rebuilt.
+func (n *Network) NewInferSession(maxRows int, prec Precision) *InferSession {
+	if maxRows < 1 {
+		maxRows = 1
+	}
+	s := &InferSession{net: n, prec: prec}
+	if prec == Float32 {
+		s.net32 = newNetwork32(n)
+	}
+	s.grow(maxRows)
+	return s
+}
+
+// MaxRows returns the current allocation-free batch capacity.
+func (s *InferSession) MaxRows() int { return s.maxRows }
+
+// Precision returns the arithmetic width the session runs at.
+func (s *InferSession) Precision() Precision { return s.prec }
+
+// grow (re)allocates backing for the given capacity and drops cached views.
+func (s *InferSession) grow(maxRows int) {
+	s.maxRows = maxRows
+	var even, odd int
+	for i, l := range s.net.Layers {
+		w := maxRows * l.Out()
+		if i%2 == 0 && w > even {
+			even = w
+		}
+		if i%2 == 1 && w > odd {
+			odd = w
+		}
+	}
+	if s.prec == Float32 {
+		s.in32 = make([]float32, maxRows*s.net.InputSize())
+		s.ping32 = make([]float32, even)
+		s.pong32 = make([]float32, odd)
+		s.out64 = make([]float64, maxRows*s.net.OutputSize())
+		s.inViews = make(map[int]*mat.Matrix32)
+		s.views32 = make(map[int][]*mat.Matrix32)
+		s.outViews = make(map[int]*mat.Matrix)
+		return
+	}
+	s.ping = make([]float64, even)
+	s.pong = make([]float64, odd)
+	s.views = make(map[int][]*mat.Matrix)
+}
+
+// Forward runs every row of x through the network and returns the output
+// activations (class probabilities for a softmax head) as an x.Rows()×output
+// matrix. The result aliases session buffers and is valid until the next
+// Forward call on the same session.
+func (s *InferSession) Forward(x *mat.Matrix) *mat.Matrix {
+	if x.Cols() != s.net.InputSize() {
+		panic(fmt.Sprintf("nn: input width %d, network expects %d", x.Cols(), s.net.InputSize()))
+	}
+	rows := x.Rows()
+	if rows == 0 {
+		panic("nn: InferSession.Forward on empty batch")
+	}
+	if rows > s.maxRows {
+		s.grow(rows)
+	}
+	if s.prec == Float32 {
+		return s.forward32(x, rows)
+	}
+	views, ok := s.views[rows]
+	if !ok {
+		views = make([]*mat.Matrix, len(s.net.Layers))
+		for i, l := range s.net.Layers {
+			backing := s.ping
+			if i%2 == 1 {
+				backing = s.pong
+			}
+			views[i] = view(rows, l.Out(), backing)
+		}
+		s.views[rows] = views
+	}
+	cur := x
+	for i, l := range s.net.Layers {
+		z := views[i]
+		mat.MulTo(z, cur, l.W)
+		addBias(z, l.B)
+		applyActivation(z, l.Act)
+		cur = z
+	}
+	return cur
+}
+
+func (s *InferSession) forward32(x *mat.Matrix, rows int) *mat.Matrix {
+	cur := s.layers32(x, rows, false)
+	out, ok := s.outViews[rows]
+	if !ok {
+		out = view(rows, s.net.OutputSize(), s.out64)
+		s.outViews[rows] = out
+	}
+	od := out.Data()
+	for i, v := range cur.Data() {
+		od[i] = float64(v)
+	}
+	return out
+}
+
+// layers32 runs the float32 layer stack over x and returns the final
+// activation matrix (a session-owned view). With skipFinalSoftmax set, a
+// softmax output head is left as raw logits: softmax is strictly monotonic
+// per row, so rankings over logits and probabilities agree, and
+// classification callers can skip the exp/normalize pass entirely.
+func (s *InferSession) layers32(x *mat.Matrix, rows int, skipFinalSoftmax bool) *mat.Matrix32 {
+	in, ok := s.inViews[rows]
+	if !ok {
+		in = view32(rows, s.net.InputSize(), s.in32)
+		s.inViews[rows] = in
+	}
+	dst := in.Data()
+	for i, v := range x.Data() {
+		dst[i] = float32(v)
+	}
+	views, ok := s.views32[rows]
+	if !ok {
+		views = make([]*mat.Matrix32, len(s.net32.layers))
+		for i, l := range s.net32.layers {
+			backing := s.ping32
+			if i%2 == 1 {
+				backing = s.pong32
+			}
+			views[i] = view32(rows, l.w.Cols(), backing)
+		}
+		s.views32[rows] = views
+	}
+	cur := in
+	last := len(s.net32.layers) - 1
+	for i, l := range s.net32.layers {
+		z := views[i]
+		mat.MulTo32(z, cur, l.w)
+		addBias32(z, l.b)
+		if !(skipFinalSoftmax && i == last && l.act == Softmax) {
+			applyActivation32(z, l.act)
+		}
+		cur = z
+	}
+	return cur
+}
+
+// TopKBatch classifies every row of x, returning the k most probable class
+// indices per row, most probable first. The returned slices alias session
+// scratch and are valid until the next TopKBatch call.
+//
+// A Float64 session ranks the softmax probabilities of Forward, so each row's
+// classes are bit-identical to Network.TopK on that row — batching the
+// modelers' classification never perturbs a golden output. A Float32 session
+// ranks the raw output logits instead (softmax preserves order), which skips
+// the exp/normalize pass and the float64 upcast on top of the SIMD forward.
+func (s *InferSession) TopKBatch(x *mat.Matrix, k int) [][]int {
+	rows := x.Rows()
+	if rows == 0 {
+		panic("nn: InferSession.TopKBatch on empty batch")
+	}
+	if x.Cols() != s.net.InputSize() {
+		panic(fmt.Sprintf("nn: input width %d, network expects %d", x.Cols(), s.net.InputSize()))
+	}
+	if rows > s.maxRows {
+		s.grow(rows)
+	}
+	nOut := s.net.OutputSize()
+	if k > nOut {
+		k = nOut
+	}
+	if cap(s.idxScratch) < nOut {
+		s.idxScratch = make([]int, nOut)
+	}
+	if cap(s.classBack) < rows*k {
+		s.classBack = make([]int, rows*k)
+	}
+	if cap(s.classRows) < rows {
+		s.classRows = make([][]int, rows)
+	}
+	res := s.classRows[:rows]
+	back := s.classBack[:rows*k]
+	if s.prec == Float32 {
+		logits := s.layers32(x, rows, true)
+		for r := 0; r < rows; r++ {
+			sel := topKSelect32(logits.Row(r), k, s.idxScratch)
+			row := back[r*k : r*k+k : r*k+k]
+			copy(row, sel)
+			res[r] = row
+		}
+		return res
+	}
+	probs := s.Forward(x)
+	for r := 0; r < rows; r++ {
+		sel := TopKSelect(probs.Row(r), k, s.idxScratch)
+		row := back[r*k : r*k+k : r*k+k]
+		copy(row, sel)
+		res[r] = row
+	}
+	return res
+}
+
+// topKSelect32 is TopKSelect over float32 scores.
+func topKSelect32(vals []float32, k int, idx []int) []int {
+	if k > len(vals) {
+		k = len(vals)
+	}
+	idx = idx[:len(vals)]
+	for i := range idx {
+		idx[i] = i
+	}
+	for sel := 0; sel < k; sel++ {
+		best := sel
+		for j := sel + 1; j < len(idx); j++ {
+			if vals[idx[j]] > vals[idx[best]] {
+				best = j
+			}
+		}
+		idx[sel], idx[best] = idx[best], idx[sel]
+	}
+	return idx[:k]
+}
+
+// PredictBatch runs every row of x through the network and returns a freshly
+// allocated probability matrix. It is the one-shot convenience over
+// InferSession for callers without a session to reuse; the float64 result is
+// row-for-row bit-identical to calling Predict on each row.
+func (n *Network) PredictBatch(x *mat.Matrix, prec Precision) *mat.Matrix {
+	s := n.NewInferSession(x.Rows(), prec)
+	return s.Forward(x).Clone()
+}
+
+// TopKSelect writes the k most probable class indices of probs into the
+// returned slice, most probable first, reusing idx as scratch when it has
+// capacity for len(probs) entries (pass nil to allocate). k is clamped to
+// len(probs). It is the batched counterpart of Network.TopK: callers forward
+// a whole batch and rank each row without re-running the network per row.
+func TopKSelect(probs []float64, k int, idx []int) []int {
+	if k > len(probs) {
+		k = len(probs)
+	}
+	if cap(idx) < len(probs) {
+		idx = make([]int, len(probs))
+	}
+	idx = idx[:len(probs)]
+	for i := range idx {
+		idx[i] = i
+	}
+	// Partial selection sort, same as Network.TopK: k is tiny compared to the
+	// class count.
+	for sel := 0; sel < k; sel++ {
+		best := sel
+		for j := sel + 1; j < len(idx); j++ {
+			if probs[idx[j]] > probs[idx[best]] {
+				best = j
+			}
+		}
+		idx[sel], idx[best] = idx[best], idx[sel]
+	}
+	return idx[:k]
+}

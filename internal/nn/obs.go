@@ -25,4 +25,12 @@ var (
 	// the JSON snapshot without retaining whole training histories.
 	obsLossRing = obs.NewRing("extrapdnn_nn_train_epoch_loss",
 		"Recent per-epoch mean training losses, oldest first.", 256)
+
+	// Per-precision run counters. obsTrainRuns stays the unlabeled total so
+	// historical dashboards keep working; this labeled family splits it by
+	// arithmetic width (DESIGN.md §11).
+	obsTrainRunsF64 = obs.NewCounter("extrapdnn_nn_train_precision_total",
+		"Training runs started, by arithmetic precision.", "precision", "float64")
+	obsTrainRunsF32 = obs.NewCounter("extrapdnn_nn_train_precision_total",
+		"Training runs started, by arithmetic precision.", "precision", "float32")
 )

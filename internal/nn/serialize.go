@@ -71,6 +71,9 @@ func Load(r io.Reader) (*Network, error) {
 		if in < 1 || out < 1 || in > 1<<20 || out > 1<<20 {
 			return nil, fmt.Errorf("nn: load: layer %d has implausible shape %dx%d", i, in, out)
 		}
+		if act < Tanh || act > ReLU {
+			return nil, fmt.Errorf("nn: load: layer %d has unknown activation %d", i, int(act))
+		}
 		if prevOut != -1 && in != prevOut {
 			return nil, fmt.Errorf("nn: load: layer %d input %d does not match previous output %d", i, in, prevOut)
 		}
@@ -83,6 +86,15 @@ func Load(r io.Reader) (*Network, error) {
 		if err := readFloats(br, b); err != nil {
 			return nil, fmt.Errorf("nn: load: layer %d biases: %w", i, err)
 		}
+		// A NaN or ±Inf parameter poisons every downstream prediction the first
+		// time it is multiplied in; reject the blob at the boundary instead
+		// (registry blobs cross process and machine lifetimes).
+		if j := firstNonFinite(wdata); j >= 0 {
+			return nil, fmt.Errorf("nn: load: layer %d weight %d is not finite", i, j)
+		}
+		if j := firstNonFinite(b); j >= 0 {
+			return nil, fmt.Errorf("nn: load: layer %d bias %d is not finite", i, j)
+		}
 		net.Layers = append(net.Layers, &Layer{
 			W:   mat.NewFromData(in, out, wdata),
 			B:   b,
@@ -90,6 +102,16 @@ func Load(r io.Reader) (*Network, error) {
 		})
 	}
 	return net, nil
+}
+
+// firstNonFinite returns the index of the first NaN or ±Inf element, or -1.
+func firstNonFinite(fs []float64) int {
+	for i, f := range fs {
+		if !isFinite(f) {
+			return i
+		}
+	}
+	return -1
 }
 
 func writeFloats(w io.Writer, fs []float64) error {

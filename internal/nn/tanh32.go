@@ -1,0 +1,12 @@
+package nn
+
+import "extrapdnn/internal/mat"
+
+// tanh32 is the native float32 hyperbolic tangent the float32 engine uses in
+// place of math.Tanh. The implementation (a clamped rational minimax
+// approximation, within a few float32 ULPs of correctly rounded) lives in
+// internal/mat next to its SIMD slice form mat.Tanh32s, so both packages
+// evaluate exactly the same polynomial.
+func tanh32(x float32) float32 {
+	return mat.Tanh32(x)
+}

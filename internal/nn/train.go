@@ -85,6 +85,11 @@ type TrainOptions struct {
 	// without validation-loss improvement (requires ValidationFrac > 0).
 	// Zero disables early stopping.
 	Patience int
+	// Precision selects the arithmetic width of the run. The default,
+	// Float64, is bit-identical to the historical behavior; Float32 runs the
+	// whole epoch loop on float32 working copies of the weights and writes
+	// the result back (see precision.go and DESIGN.md §11).
+	Precision Precision
 }
 
 func (o TrainOptions) withDefaults() TrainOptions {
@@ -190,10 +195,17 @@ func (n *Network) TrainCtx(ctx context.Context, x *mat.Matrix, labels []int, opt
 		}
 	}
 
+	// Input validation above is shared; the float32 engine takes over from
+	// here when requested, leaving this float64 path untouched.
+	if opts.Precision == Float32 {
+		return n.trainCtx32(ctx, x, labels, opts)
+	}
+
 	// Telemetry: one run counter tick plus a span covering the whole run.
 	// With observability off this is one atomic load and a nil span — the
 	// training loop itself stays allocation-free either way (obs alloc gate).
 	obsTrainRuns.Inc()
+	obsTrainRunsF64.Inc()
 	spanCtx, span := obs.StartSpan(ctx, "nn.train")
 	ctx = spanCtx
 

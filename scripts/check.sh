@@ -37,10 +37,21 @@ go test -race -short . ./internal/mat/... ./internal/nn/... ./internal/parallel/
 echo "==> go test -race -tags faultinject (injected divergence, DNN failure, kernel panic)"
 go test -race -tags faultinject . ./internal/nn/... ./internal/core/... ./internal/faultinject/...
 
+echo "==> go test -race (model registry: concurrent load/store on one directory)"
+go test -race -count=1 ./internal/modelregistry/
+
 echo "==> fuzz smoke (5s per reader target)"
 for target in FuzzReadText FuzzReadJSON FuzzReadExtraP; do
     go test -run '^$' -fuzz "^${target}\$" -fuzztime 5s ./internal/measurement/
 done
+go test -run '^$' -fuzz '^FuzzLoadNetwork$' -fuzztime 5s ./internal/nn/
+
+echo "==> float32 parity gate (SIMD kernels, f32 training/inference vs float64, default-precision golden pin)"
+go test -count=1 -run 'TestSIMDKernelParity|TestSIMDKernelDeterminism|TestTanh32sMatchesScalar' ./internal/mat/
+go test -count=1 -run 'TestTrainFloat32ParityWithFloat64|TestInferSessionFloat32Parity|TestTopKBatchMatchesTopK|TestDefaultPrecisionGoldenWeights' ./internal/nn/
+
+echo "==> batched-inference allocation gate (InferSession steady state => zero allocations)"
+go test -count=1 -run 'TestInferSessionZeroAlloc|TestTopKBatchZeroAlloc' ./internal/nn/
 
 echo "==> adaptation-cache allocation gate (steady-state hit path allocates O(report), not O(adaptation))"
 go test -run 'TestAdaptCacheHitAllocations' -count=1 .
