@@ -1,6 +1,8 @@
 package extrapdnn
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -164,4 +166,87 @@ func BenchmarkModelProfile(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkModelProfileStream measures the streaming campaign pipeline
+// against the slice-based path on the same 8-kernel profile: "slice" is
+// ModelProfileWorkers (materialized input and output), "stream" pulls
+// entries from an in-memory source and discards reports as they are emitted,
+// and "stream-jsonl" additionally decodes the campaign from its on-disk
+// JSONL bytes each iteration — the full perfmodeler -out-jsonl hot path
+// minus the file system. Reports are bit-identical across all variants (see
+// TestModelProfileStreamMatchesSlice).
+func BenchmarkModelProfileStream(b *testing.B) {
+	pre := benchPretrained()
+	m, err := newAdaptive(pre, Options{
+		AdaptSamplesPerClass: benchAdapt.SamplesPerClass,
+		AdaptEpochs:          benchAdapt.Epochs,
+		Seed:                 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof := benchProfile(8)
+	workers := runtime.GOMAXPROCS(0)
+	opts := StreamOptions{Workers: workers, Ordered: true}
+	b.Run("slice", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			reports, err := m.ModelProfileWorkers(prof, workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(reports) != len(prof.Entries) {
+				b.Fatal("short campaign")
+			}
+		}
+	})
+	b.Run("stream", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n := 0
+			err := m.ModelProfileStream(context.Background(), ProfileEntries(prof.Entries), opts,
+				func(r StreamReport) error {
+					if r.Err != nil {
+						return r.Err
+					}
+					n++
+					return nil
+				})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n != len(prof.Entries) {
+				b.Fatal("short campaign")
+			}
+		}
+	})
+	b.Run("stream-jsonl", func(b *testing.B) {
+		var raw bytes.Buffer
+		if err := prof.WriteJSONL(&raw); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sc, err := NewProfileScanner(bytes.NewReader(raw.Bytes()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := 0
+			err = m.ModelProfileStream(context.Background(), sc, opts,
+				func(r StreamReport) error {
+					if r.Err != nil {
+						return r.Err
+					}
+					n++
+					return nil
+				})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n != len(prof.Entries) {
+				b.Fatal("short campaign")
+			}
+		}
+	})
 }

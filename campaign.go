@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
 
 	"extrapdnn/internal/design"
 	"extrapdnn/internal/obs"
@@ -18,21 +19,135 @@ type (
 	Profile = profile.Profile
 	// ProfileEntry is the measurements of one kernel and metric.
 	ProfileEntry = profile.Entry
+	// ProfileSource yields profile entries one at a time (io.EOF at the end);
+	// it is the input of the streaming campaign pipeline.
+	ProfileSource = profile.Source
+	// ProfileScanner streams profile entries from disk with O(1) memory per
+	// campaign, accepting both the JSONL stream format and the legacy
+	// single-object array format.
+	ProfileScanner = profile.Scanner
 )
 
 // ReadProfile parses and validates an application profile from JSON (as
-// written by Profile.Write or cmd/appsim).
+// written by Profile.Write or cmd/appsim). The whole profile is materialized;
+// for large campaigns prefer NewProfileScanner with ModelProfileStream.
 func ReadProfile(r io.Reader) (*Profile, error) {
 	return profile.Read(r)
+}
+
+// NewProfileScanner opens a streaming profile reader over r. The scanner
+// decodes (and sanitizes, like ReadProfile) one entry at a time, so a
+// campaign of any size is modeled in O(MaxInFlight) memory when fed to
+// ModelProfileStream.
+func NewProfileScanner(r io.Reader) (*ProfileScanner, error) {
+	return profile.NewScanner(r)
+}
+
+// ProfileEntries adapts an in-memory entry slice into a ProfileSource for
+// ModelProfileStream. No validation is applied.
+func ProfileEntries(entries []ProfileEntry) ProfileSource {
+	return profile.Entries(entries)
+}
+
+// StreamOptions tunes ModelProfileStream.
+type StreamOptions struct {
+	// Workers bounds the concurrently modeled entries (<= 0 means the
+	// modeler's Options.Workers, then GOMAXPROCS).
+	Workers int
+	// MaxInFlight bounds the entries pulled from the source but not yet
+	// emitted — queued, training, or held for in-order delivery (<= 0 means
+	// 2*Workers). Together with a streaming source this is the campaign's
+	// memory bound: at most MaxInFlight measurement sets are live at once.
+	MaxInFlight int
+	// Ordered delivers reports in input order through a bounded reorder
+	// buffer; the default is completion order (lowest latency). Checkpoint
+	// writers want Ordered so the output file is always a clean prefix of
+	// the input.
+	Ordered bool
+}
+
+// StreamReport is one streamed campaign result: the profile report plus the
+// entry's position in the input stream.
+type StreamReport struct {
+	// Index is the entry's 0-based position in the source stream.
+	Index int
+	ProfileReport
+}
+
+// ModelProfileStream models a campaign incrementally: entries are pulled from
+// src one at a time (a ProfileScanner, a checkpoint Filter, or an in-memory
+// adaptor), modeled with bounded concurrency, and handed to emit as they
+// complete — in completion order, or input order with opts.Ordered. At most
+// opts.MaxInFlight entries are in flight, so campaign memory is
+// O(MaxInFlight) regardless of campaign size. Because Model is a pure
+// function of each entry's measurement set, the reports are bit-identical to
+// ModelProfile at any worker count and in-flight bound.
+//
+// Per-entry failures (including panics, isolated into *parallel.PanicError)
+// are delivered through emit with a nil Report and the error; they do not
+// stop the stream. The pipeline stops early when ctx is canceled (in-flight
+// entries drain, then ctx.Err() is returned), when src fails (its error is
+// returned after the in-flight entries drain), or when emit returns a
+// non-nil error (returned immediately; with opts.Ordered nothing is emitted
+// after the failure, keeping emit-side checkpoint files a clean prefix).
+// ModelProfileStream returns nil only when every entry of src was modeled
+// and emitted.
+//
+// All entries share the modeler's adaptation cache exactly like
+// ModelProfile: matching task signatures pay a single domain adaptation,
+// and concurrent misses coalesce.
+func (m *AdaptiveModeler) ModelProfileStream(ctx context.Context, src ProfileSource, opts StreamOptions, emit func(StreamReport) error) error {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = m.workers
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	runCtx, runSpan := obs.StartSpan(ctx, "profile.run")
+	emitted := 0
+	if runSpan != nil {
+		runSpan.SetInt("workers", int64(workers))
+		defer func() {
+			runSpan.SetInt("entries", int64(emitted))
+			runSpan.End()
+		}()
+	}
+	return parallel.Stream(ctx,
+		parallel.StreamConfig{Workers: workers, MaxInFlight: opts.MaxInFlight, Ordered: opts.Ordered},
+		src.NextEntry,
+		func(_ context.Context, index int, e ProfileEntry) (*Report, error) {
+			entryCtx, span := obs.StartSpan(runCtx, "profile.entry")
+			if span != nil {
+				span.SetString(obs.KernelAttr, e.Kernel)
+				span.SetString("metric", e.Metric)
+				defer span.End()
+			}
+			rep, err := m.ModelCtx(entryCtx, e.Set)
+			if err != nil {
+				span.SetString("error", err.Error())
+				return nil, err
+			}
+			return &rep, nil
+		},
+		func(index int, e ProfileEntry, rep *Report, err error) error {
+			emitted++
+			return emit(StreamReport{
+				Index:         index,
+				ProfileReport: ProfileReport{Kernel: e.Kernel, Metric: e.Metric, Report: rep, Err: err},
+			})
+		})
 }
 
 // ModelProfile models every entry of an application profile with the
 // adaptive modeler and returns the reports in entry order. Entries that fail
 // to model carry a nil report and the error; one unmodelable kernel never
-// hides the results of the others. Entries are modeled concurrently with the
-// worker count configured in Options.Workers (default GOMAXPROCS); because
-// Model is a pure function of each entry's measurement set, the reports are
-// bit-identical regardless of the worker count.
+// hides the results of the others, but the flattened ProfileError of the
+// failures is returned alongside the full report slice so callers cannot
+// mistake a partial campaign for a clean one. Entries are modeled
+// concurrently with the worker count configured in Options.Workers (default
+// GOMAXPROCS); because Model is a pure function of each entry's measurement
+// set, the reports are bit-identical regardless of the worker count.
 //
 // All entries share the modeler's adaptation cache: kernels whose task
 // signatures match (same experiment layout, repetition count and quantized
@@ -56,47 +171,49 @@ func (m *AdaptiveModeler) ModelProfileCtx(ctx context.Context, p *Profile) ([]Pr
 	return m.ModelProfileWorkersCtx(ctx, p, m.workers)
 }
 
-// ModelProfileWorkersCtx is ModelProfileWorkers with cancellation: once ctx
-// is done, no further entries are dispatched, in-flight entries stop at their
-// next training-epoch boundary, and the partial reports are returned together
-// with ctx's error — entries that never ran carry ctx's error as their
-// per-entry Err. A panicking entry (e.g. a corrupted measurement set tripping
-// a kernel-level bug) degrades into a per-entry *parallel.PanicError instead
-// of crashing the campaign.
+// ModelProfileWorkersCtx is ModelProfileWorkers with cancellation. It is a
+// thin wrapper over ModelProfileStream: the validated entries stream through
+// the bounded pipeline in input order and land back in an entry-indexed
+// slice, so the reports are bit-identical to the streaming path.
+//
+// Once ctx is done, no further entries are dispatched, in-flight entries
+// stop at their next training-epoch boundary, and the partial reports are
+// returned together with ctx's error — entries that never ran carry ctx's
+// error as their per-entry Err. When ctx is NOT canceled but some entries
+// failed, the flattened ProfileError of the failures is returned alongside
+// the full report slice (errors.Is/As see every cause); a panicking entry
+// degrades into a per-entry *parallel.PanicError instead of crashing the
+// campaign. The error is nil only when every entry modeled cleanly.
 func (m *AdaptiveModeler) ModelProfileWorkersCtx(ctx context.Context, p *Profile, workers int) ([]ProfileReport, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	runCtx, runSpan := obs.StartSpan(ctx, "profile.run")
-	if runSpan != nil {
-		runSpan.SetInt("entries", int64(len(p.Entries)))
-		runSpan.SetInt("workers", int64(workers))
-		defer runSpan.End()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	reports, errs := parallel.MapErrCtx(ctx, len(p.Entries), workers, func(i int) (*Report, error) {
-		e := p.Entries[i]
-		entryCtx, span := obs.StartSpan(runCtx, "profile.entry")
-		if span != nil {
-			span.SetString(obs.KernelAttr, e.Kernel)
-			span.SetString("metric", e.Metric)
-			defer span.End()
-		}
-		rep, err := m.ModelCtx(entryCtx, e.Set)
-		if err != nil {
-			span.SetString("error", err.Error())
-			return nil, err
-		}
-		return &rep, nil
-	})
 	out := make([]ProfileReport, len(p.Entries))
+	filled := make([]bool, len(p.Entries))
+	streamErr := m.ModelProfileStream(ctx, profile.Entries(p.Entries),
+		StreamOptions{Workers: workers, Ordered: true},
+		func(r StreamReport) error {
+			out[r.Index] = r.ProfileReport
+			filled[r.Index] = true
+			return nil
+		})
+	// Entries the canceled pipeline never pulled (or pulled but dropped
+	// before dispatch) carry ctx's error, matching the batch contract.
 	for i, e := range p.Entries {
-		pr := ProfileReport{Kernel: e.Kernel, Metric: e.Metric, Report: reports[i]}
-		if errs != nil {
-			pr.Err = errs[i]
+		if !filled[i] {
+			out[i] = ProfileReport{Kernel: e.Kernel, Metric: e.Metric, Err: ctx.Err()}
 		}
-		out[i] = pr
 	}
-	return out, ctx.Err()
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	if streamErr != nil {
+		return out, streamErr
+	}
+	return out, ProfileError(out)
 }
 
 // ProfileReport is the outcome of modeling one profile entry.

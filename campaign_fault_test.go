@@ -28,8 +28,10 @@ func TestModelProfileKernelPanicIsolated(t *testing.T) {
 	})
 	for _, workers := range []int{1, 4} {
 		reports, err := m.ModelProfileWorkers(prof, workers)
-		if err != nil {
-			t.Fatalf("workers=%d: profile-level error: %v", workers, err)
+		// The partial failure also surfaces as the run-level ProfileError.
+		var runPE *parallel.PanicError
+		if !errors.As(err, &runPE) || runPE.Index != 2 {
+			t.Fatalf("workers=%d: run-level error = %v, want a PanicError for entry 2", workers, err)
 		}
 		for i, r := range reports {
 			if i == 2 {

@@ -1,0 +1,220 @@
+package extrapdnn
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"extrapdnn/internal/cliutil"
+	"extrapdnn/internal/profile"
+)
+
+// sameProfileReport compares everything deterministic about two reports
+// (durations are wall-clock and excluded).
+func sameProfileReport(t *testing.T, ctx string, got, want ProfileReport) {
+	t.Helper()
+	if got.Kernel != want.Kernel || got.Metric != want.Metric {
+		t.Fatalf("%s: identity differs: %s/%s vs %s/%s", ctx, got.Kernel, got.Metric, want.Kernel, want.Metric)
+	}
+	if (got.Err == nil) != (want.Err == nil) {
+		t.Fatalf("%s: error mismatch: %v vs %v", ctx, got.Err, want.Err)
+	}
+	if want.Report == nil {
+		return
+	}
+	if got.Report.Model.Model.String() != want.Report.Model.Model.String() {
+		t.Errorf("%s: model differs: %q vs %q", ctx, got.Report.Model.Model.String(), want.Report.Model.Model.String())
+	}
+	if got.Report.Model.SMAPE != want.Report.Model.SMAPE {
+		t.Errorf("%s: SMAPE differs: %v vs %v", ctx, got.Report.Model.SMAPE, want.Report.Model.SMAPE)
+	}
+	if !reflect.DeepEqual(got.Report.Noise, want.Report.Noise) {
+		t.Errorf("%s: noise analysis differs", ctx)
+	}
+	if got.Report.SelectedDNN != want.Report.SelectedDNN ||
+		got.Report.UsedRegression != want.Report.UsedRegression ||
+		got.Report.UsedDNN != want.Report.UsedDNN {
+		t.Errorf("%s: modeler selection differs", ctx)
+	}
+}
+
+// TestModelProfileStreamMatchesSlice pins the tentpole guarantee of the
+// streaming API: ModelProfileStream over an in-memory source is bit-identical
+// to the slice-based ModelProfile, in input order when Ordered is set.
+func TestModelProfileStreamMatchesSlice(t *testing.T) {
+	m := apiTestModeler(t)
+	prof := multiKernelProfile(t)
+	want, err := m.ModelProfile(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, opts := range []StreamOptions{
+		{Workers: 1, MaxInFlight: 1, Ordered: true},
+		{Workers: 4, Ordered: true},
+		{Workers: 4}, // completion order
+	} {
+		var got []StreamReport
+		err := m.ModelProfileStream(context.Background(), ProfileEntries(prof.Entries), opts,
+			func(r StreamReport) error {
+				got = append(got, r)
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("opts %+v: %v", opts, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("opts %+v: emitted %d reports, want %d", opts, len(got), len(want))
+		}
+		seen := make(map[int]bool, len(got))
+		for pos, r := range got {
+			if opts.Ordered && r.Index != pos {
+				t.Fatalf("opts %+v: position %d delivered index %d — ordered delivery broken", opts, pos, r.Index)
+			}
+			if seen[r.Index] {
+				t.Fatalf("opts %+v: index %d delivered twice", opts, r.Index)
+			}
+			seen[r.Index] = true
+			sameProfileReport(t, prof.Entries[r.Index].Kernel, r.ProfileReport, want[r.Index])
+		}
+	}
+}
+
+// TestModelProfileStreamFromScanner feeds the stream from the on-disk format
+// via a Scanner, end to end, and checks it matches the in-memory run.
+func TestModelProfileStreamFromScanner(t *testing.T) {
+	m := apiTestModeler(t)
+	prof := multiKernelProfile(t)
+	want, err := m.ModelProfile(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := prof.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewProfileScanner(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	err = m.ModelProfileStream(context.Background(), sc, StreamOptions{Workers: 4, Ordered: true},
+		func(r StreamReport) error {
+			sameProfileReport(t, r.Kernel, r.ProfileReport, want[r.Index])
+			n++
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(want) {
+		t.Fatalf("scanner stream delivered %d reports, want %d", n, len(want))
+	}
+}
+
+// streamToJSONL mirrors the perfmodeler -out-jsonl emit path: every report is
+// appended to w before anything else happens, and a cancellation-caused entry
+// error halts the stream via ErrInterrupted without writing a line.
+func streamToJSONL(ctx context.Context, m *AdaptiveModeler, src ProfileSource, w *cliutil.ResultWriter, onLine func()) error {
+	return m.ModelProfileStream(ctx, src, StreamOptions{Workers: 1, MaxInFlight: 1, Ordered: true},
+		func(r StreamReport) error {
+			line := cliutil.ResultLine{Kernel: r.Kernel, Metric: r.Metric}
+			if r.Err == nil {
+				line.Model = r.Report.Model.Model.String()
+				line.SMAPE = r.Report.Model.SMAPE
+			}
+			if err := w.WriteResult(line, r.Err); err != nil {
+				return err
+			}
+			if onLine != nil {
+				onLine()
+			}
+			return nil
+		})
+}
+
+// TestModelProfileStreamCheckpointResume is the crash-recovery acceptance
+// test: a campaign canceled mid-run leaves a results file holding exactly the
+// completed prefix, and a resumed run that skips the checkpointed entries
+// appends the rest so the concatenated file is bit-identical to an
+// uninterrupted run.
+func TestModelProfileStreamCheckpointResume(t *testing.T) {
+	m := apiTestModeler(t)
+	prof := multiKernelProfile(t)
+
+	// Reference: the uninterrupted campaign.
+	var full bytes.Buffer
+	if err := streamToJSONL(context.Background(), m, ProfileEntries(prof.Entries), cliutil.NewResultWriter(&full), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: with Workers=1, MaxInFlight=1 and Ordered, canceling
+	// right after the first line is written means entry 1 is only modeled
+	// after the cancellation, so the file deterministically holds exactly
+	// one line.
+	var out bytes.Buffer
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := cliutil.NewResultWriter(&out)
+	err := streamToJSONL(ctx, m, ProfileEntries(prof.Entries), w, func() {
+		if w.Count() == 1 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run returned %v, want a cancellation", err)
+	}
+	if w.Count() != 1 {
+		t.Fatalf("interrupted run wrote %d lines, want exactly the 1 completed before cancel", w.Count())
+	}
+
+	// Resume: the results file doubles as the checkpoint.
+	done, lines, err := cliutil.ReadCheckpoint(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines != 1 {
+		t.Fatalf("checkpoint holds %d lines, want 1", lines)
+	}
+	src := profile.Filter(profile.Entries(prof.Entries), func(e ProfileEntry) bool {
+		return !done[cliutil.CheckpointKey(e.Kernel, e.Metric)]
+	})
+	if err := streamToJSONL(context.Background(), m, src, w, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := src.Skipped(); got != 1 {
+		t.Fatalf("resume skipped %d checkpointed entries, want 1", got)
+	}
+	if w.Count() != len(prof.Entries) {
+		t.Fatalf("after resume the file holds %d lines, want %d", w.Count(), len(prof.Entries))
+	}
+	if !bytes.Equal(out.Bytes(), full.Bytes()) {
+		t.Fatalf("resumed output is not bit-identical to the uninterrupted run:\n--- resumed ---\n%s--- full ---\n%s", out.String(), full.String())
+	}
+}
+
+// TestModelProfileStreamEmitError pins that an emit failure (a full disk, in
+// practice) stops the campaign and surfaces the emit error verbatim.
+func TestModelProfileStreamEmitError(t *testing.T) {
+	m := apiTestModeler(t)
+	prof := multiKernelProfile(t)
+	sentinel := errors.New("disk full")
+	emitted := 0
+	err := m.ModelProfileStream(context.Background(), ProfileEntries(prof.Entries),
+		StreamOptions{Workers: 2, Ordered: true},
+		func(r StreamReport) error {
+			emitted++
+			if emitted == 2 {
+				return sentinel
+			}
+			return nil
+		})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("stream returned %v, want the emit error", err)
+	}
+	if emitted != 2 {
+		t.Fatalf("%d reports emitted after the failure, want none past the second", emitted)
+	}
+}

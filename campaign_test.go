@@ -110,8 +110,11 @@ func TestModelProfileErrorPropagation(t *testing.T) {
 		ProfileEntry{Kernel: "good2", Metric: "runtime", Set: linearSet(0.2, 32)},
 	)
 	reports, err := m.ModelProfile(prof)
-	if err != nil {
-		t.Fatal(err)
+	// The partial failure surfaces at the run level too: the flattened
+	// ProfileError names the failed kernel so callers cannot mistake a
+	// partial campaign for a clean one.
+	if err == nil || !strings.Contains(err.Error(), "bad/runtime") {
+		t.Fatalf("run-level error = %v, want the flattened failure of kernel bad", err)
 	}
 	if len(reports) != 3 {
 		t.Fatalf("got %d reports", len(reports))

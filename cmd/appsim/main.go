@@ -14,12 +14,14 @@ import (
 	"os"
 
 	"extrapdnn/internal/apps"
+	"extrapdnn/internal/profile"
 )
 
 func main() {
 	var (
 		appName = flag.String("app", "", "case study to simulate (Kripke, FASTEST, RELeARN)")
 		out     = flag.String("o", "-", `output file ("-" for stdout)`)
+		jsonl   = flag.Bool("jsonl", false, "emit the streaming JSONL profile format (header line + one entry per line), generated kernel by kernel in O(1) memory")
 		seed    = flag.Int64("seed", 1, "random seed for the simulated noise")
 		list    = flag.Bool("list", false, "list the available case studies and exit")
 	)
@@ -37,7 +39,7 @@ func main() {
 	if app == nil {
 		fatal(fmt.Errorf("unknown case study %q (use -list)", *appName))
 	}
-	p := app.Profile(rand.New(rand.NewSource(*seed)))
+	rng := rand.New(rand.NewSource(*seed))
 
 	w := os.Stdout
 	if *out != "-" {
@@ -48,11 +50,27 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if err := p.Write(w); err != nil {
-		fatal(err)
+	var kernels int
+	if *jsonl {
+		// Streaming emit: each kernel's entry is generated, written and
+		// released before the next one exists — O(1) memory per campaign.
+		pw, err := profile.NewWriter(w, app.Name, app.ParamNames)
+		if err != nil {
+			fatal(err)
+		}
+		if err := app.EmitProfile(rng, pw.WriteEntry); err != nil {
+			fatal(err)
+		}
+		kernels = pw.Count()
+	} else {
+		p := app.Profile(rng)
+		if err := p.Write(w); err != nil {
+			fatal(err)
+		}
+		kernels = len(p.Entries)
 	}
 	if *out != "-" {
-		fmt.Fprintf(os.Stderr, "wrote %s profile (%d kernels) to %s\n", app.Name, len(p.Entries), *out)
+		fmt.Fprintf(os.Stderr, "wrote %s profile (%d kernels) to %s\n", app.Name, kernels, *out)
 	}
 }
 

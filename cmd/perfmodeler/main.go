@@ -55,7 +55,10 @@ func main() {
 		regressionOnly = flag.Bool("regression-only", false, "use only the classic regression modeler")
 		noFallback     = flag.Bool("no-fallback", false, "fail instead of degrading to the pretrained network or regression on DNN failure")
 		workers        = flag.Int("workers", 0, "with -profile: concurrent modeling workers (0 = GOMAXPROCS); results are identical for any value")
+		outJSONL       = flag.String("out-jsonl", "", "with -profile: append one JSONL result line per kernel as it completes (the file doubles as the -resume checkpoint)")
+		resume         = flag.Bool("resume", false, "with -profile and -out-jsonl: skip kernels already in the results file and append the rest")
 		adaptCache     = flag.Int("adapt-cache", 32, "LRU entries of the domain-adaptation cache (0 disables; results are identical either way)")
+		cacheShards    = flag.Int("cache-shards", 0, "adaptation-cache lock shards (0 = default 8, 1 = single mutex; results are identical for any value)")
 		bucketWidth    = flag.Float64("noise-bucket", 0, "noise-bucket width for the adaptation cache signature (0 = default 2.5% steps, negative disables quantization)")
 		verbose        = flag.Bool("v", false, "print adaptation-cache statistics and the run-telemetry digest after modeling")
 		seed           = flag.Int64("seed", 1, "random seed")
@@ -104,6 +107,7 @@ func main() {
 		DisableDNN:       *regressionOnly,
 		Seed:             *seed,
 		AdaptCacheSize:   *adaptCache,
+		AdaptCacheShards: *cacheShards,
 		NoiseBucketWidth: *bucketWidth,
 		AdaptRetries:     *adaptRetries,
 		DisableFallback:  *noFallback,
@@ -113,18 +117,30 @@ func main() {
 	}
 
 	if *profilePath != "" {
-		failed, err := modelProfile(ctx, modeler, *profilePath, *kernelFilter, *workers, *noSanitize)
-		if err != nil {
-			fatal(err)
+		failed, total, runErr := modelProfile(ctx, modeler, profileOpts{
+			path:       *profilePath,
+			filter:     *kernelFilter,
+			workers:    *workers,
+			noSanitize: *noSanitize,
+			outJSONL:   *outJSONL,
+			resume:     *resume,
+		})
+		if runErr != nil {
+			fmt.Fprintln(os.Stderr, "perfmodeler:", runErr)
 		}
 		if *verbose {
 			cliutil.PrintCacheStats(os.Stdout, modeler.CacheStats())
 			cliutil.PrintRunSummary(os.Stdout)
 		}
-		if failed > 0 {
+		switch code := cliutil.CampaignExitCode(runErr, failed, total); code {
+		case cliutil.ExitOK:
+		case cliutil.ExitPartialFailure:
 			fmt.Fprintf(os.Stderr, "perfmodeler: %d kernel(s) failed, results above are partial\n", failed)
 			obsShutdown()
-			os.Exit(cliutil.ExitPartialFailure)
+			os.Exit(code)
+		default:
+			obsShutdown()
+			os.Exit(code)
 		}
 		return
 	}
@@ -225,80 +241,164 @@ func parsePoint(s string, m int) ([]float64, error) {
 	return out, nil
 }
 
+// profileOpts bundles the -profile flag family.
+type profileOpts struct {
+	path       string
+	filter     string
+	workers    int
+	noSanitize bool
+	outJSONL   string
+	resume     bool
+}
+
 // modelProfile models every kernel of an application profile (or a single
-// kernel when filter is nonempty) and prints one line per kernel. Kernels are
-// modeled concurrently; since core.Modeler.Model is a pure function of each
-// measurement set, the output is identical for any worker count. A failed
-// kernel — panic, divergence with fallback disabled, cancellation — never
-// takes the others down: it prints an error line and counts toward the
-// returned failure total (exit code 3).
-func modelProfile(ctx context.Context, modeler *core.Modeler, path, filter string, workers int, noSanitize bool) (failed int, err error) {
-	f, err := os.Open(path)
+// kernel when filter is nonempty), streaming: entries are decoded, modeled
+// with bounded concurrency, and printed (and, with -out-jsonl, appended to
+// the results file) in input order as they complete — a campaign of any size
+// runs in O(workers) memory and a killed run keeps everything already
+// printed. Since core.Modeler.Model is a pure function of each measurement
+// set, the output is identical for any worker count, and a resumed run
+// (-resume) appends lines byte-identical to an uninterrupted run's. A failed
+// kernel — panic, divergence with fallback disabled — never takes the others
+// down: it prints an error line and counts toward the returned failure
+// total (exit code 3).
+func modelProfile(ctx context.Context, modeler *core.Modeler, o profileOpts) (failed, total int, err error) {
+	f, err := os.Open(o.path)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	defer f.Close()
-	prof, err := profile.Read(f)
+	sc, err := profile.NewScannerWith(f, profile.ReadOptions{
+		Read: measurement.ReadConfig{NoSanitize: o.noSanitize},
+		OnSanitize: func(e *profile.Entry, rep measurement.SanitizeReport) {
+			fmt.Fprintf(os.Stderr, "perfmodeler: %s: sanitized input: %s\n", e.Kernel, rep.String())
+		},
+	})
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	var entries []profile.Entry
-	for _, e := range prof.Entries {
-		if filter != "" && e.Kernel != filter {
-			continue
+	var src profile.Source = sc
+	if o.filter != "" {
+		src = profile.Filter(src, func(e profile.Entry) bool { return e.Kernel == o.filter })
+	}
+
+	// The results file doubles as the checkpoint: -resume loads its done-set,
+	// skips those entries entirely (zero redundant adaptations), and appends.
+	var rw *cliutil.ResultWriter
+	var checkpointed *profile.Filtered
+	if o.outJSONL == "" {
+		if o.resume {
+			return 0, 0, fmt.Errorf("-resume requires -out-jsonl")
 		}
-		entries = append(entries, e)
-	}
-	if len(entries) == 0 {
-		return 0, fmt.Errorf("no kernel matched %q", filter)
-	}
-	if !noSanitize {
-		for _, e := range entries {
-			if rep := e.Set.Sanitize(); !rep.Clean() {
-				fmt.Fprintf(os.Stderr, "perfmodeler: %s: sanitized input: %s\n", e.Kernel, rep.String())
+	} else {
+		flags := os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+		if o.resume {
+			flags = os.O_CREATE | os.O_WRONLY | os.O_APPEND
+			if prev, openErr := os.Open(o.outJSONL); openErr == nil {
+				done, lines, ckErr := cliutil.ReadCheckpoint(prev)
+				prev.Close()
+				if ckErr != nil {
+					return 0, 0, fmt.Errorf("resume from %s: %w", o.outJSONL, ckErr)
+				}
+				if lines > 0 {
+					checkpointed = profile.Filter(src, func(e profile.Entry) bool {
+						return !done[cliutil.CheckpointKey(e.Kernel, e.Metric)]
+					})
+					src = checkpointed
+				}
+			} else if !os.IsNotExist(openErr) {
+				return 0, 0, openErr
 			}
 		}
+		out, openErr := os.OpenFile(o.outJSONL, flags, 0o644)
+		if openErr != nil {
+			return 0, 0, openErr
+		}
+		defer out.Close()
+		rw = cliutil.NewResultWriter(out)
 	}
-	fmt.Printf("application: %s (%d kernels, %d parameters)\n",
-		prof.Application, len(prof.Kernels()), prof.NumParams())
+
+	fmt.Printf("application: %s (%d parameters)\n", sc.Application(), sc.NumParams())
 	fmt.Printf("%-22s | %-8s | %-9s | %s\n", "kernel", "noise", "SMAPE", "model")
 	runCtx, runSpan := obs.StartSpan(ctx, "profile.run")
 	if runSpan != nil {
-		runSpan.SetInt("entries", int64(len(entries)))
-		defer runSpan.End()
+		defer func() {
+			runSpan.SetInt("entries", int64(total))
+			runSpan.End()
+		}()
 	}
-	reps, errs := parallel.MapErrCtx(ctx, len(entries), workers, func(i int) (core.Report, error) {
-		entryCtx, span := obs.StartSpan(runCtx, "profile.entry")
-		if span != nil {
-			span.SetString(obs.KernelAttr, entries[i].Kernel)
-			span.SetString("metric", entries[i].Metric)
-			defer span.End()
-		}
-		return modeler.ModelCtx(entryCtx, entries[i].Set)
-	})
-	for i, e := range entries {
-		if errs != nil && errs[i] != nil {
-			failed++
-			fmt.Printf("%-22s | modeling failed: %v\n", e.Kernel, errs[i])
-			continue
-		}
-		rep := reps[i]
-		line := fmt.Sprintf("%-22s | %6.2f%% | %8.3f%% | %s",
-			e.Kernel, rep.Noise.Global*100, rep.Model.SMAPE, rep.Model.Model)
-		if rep.Resilience.Fallback != core.FallbackNone {
-			line += fmt.Sprintf("  [degraded: %s fallback, %d adaptation attempt(s)]",
-				rep.Resilience.Fallback, rep.Resilience.AdaptAttempts)
-		} else if rep.Resilience.Outcome() == core.OutcomeRetried {
-			line += fmt.Sprintf("  [recovered: %d adaptation attempts]", rep.Resilience.AdaptAttempts)
-		}
-		fmt.Println(line)
+	streamErr := parallel.Stream(ctx,
+		parallel.StreamConfig{Workers: o.workers, Ordered: true},
+		src.NextEntry,
+		func(_ context.Context, i int, e profile.Entry) (core.Report, error) {
+			entryCtx, span := obs.StartSpan(runCtx, "profile.entry")
+			if span != nil {
+				span.SetString(obs.KernelAttr, e.Kernel)
+				span.SetString("metric", e.Metric)
+				defer span.End()
+			}
+			return modeler.ModelCtx(entryCtx, e.Set)
+		},
+		func(i int, e profile.Entry, rep core.Report, entryErr error) error {
+			// The JSONL checkpoint write comes first: a line is only printed
+			// once it is durable, and a cancellation halts here (ErrInterrupted)
+			// before anything half-done reaches the file.
+			if rw != nil {
+				if wErr := rw.WriteResult(resultLine(e, rep, entryErr), entryErr); wErr != nil {
+					return wErr
+				}
+			}
+			total++
+			if entryErr != nil {
+				failed++
+				fmt.Printf("%-22s | modeling failed: %v\n", e.Kernel, entryErr)
+				return nil
+			}
+			line := fmt.Sprintf("%-22s | %6.2f%% | %8.3f%% | %s",
+				e.Kernel, rep.Noise.Global*100, rep.Model.SMAPE, rep.Model.Model)
+			if rep.Resilience.Fallback != core.FallbackNone {
+				line += fmt.Sprintf("  [degraded: %s fallback, %d adaptation attempt(s)]",
+					rep.Resilience.Fallback, rep.Resilience.AdaptAttempts)
+			} else if rep.Resilience.Outcome() == core.OutcomeRetried {
+				line += fmt.Sprintf("  [recovered: %d adaptation attempts]", rep.Resilience.AdaptAttempts)
+			}
+			fmt.Println(line)
+			return nil
+		})
+	if checkpointed != nil {
+		fmt.Printf("resumed: %d kernel(s) already in %s, %d newly modeled\n",
+			checkpointed.Skipped(), o.outJSONL, total)
+	}
+	if streamErr != nil {
+		return failed, total, streamErr
+	}
+	if total == 0 && (checkpointed == nil || checkpointed.Skipped() == 0) && o.filter != "" {
+		return 0, 0, fmt.Errorf("no kernel matched %q", o.filter)
 	}
 	// A deadline expiry outranks partial failure: the missing kernels were
 	// never tried, so the caller should see exit code 4, not 3.
 	if ctxErr := ctx.Err(); ctxErr != nil {
-		return failed, ctxErr
+		return failed, total, ctxErr
 	}
-	return failed, nil
+	return failed, total, nil
+}
+
+// resultLine maps one modeled entry to its JSONL checkpoint record. Every
+// field is a pure function of the entry's measurement set, keeping resumed
+// runs byte-identical to uninterrupted ones.
+func resultLine(e profile.Entry, rep core.Report, err error) cliutil.ResultLine {
+	if err != nil {
+		return cliutil.ResultLine{Kernel: e.Kernel, Metric: e.Metric}
+	}
+	return cliutil.ResultLine{
+		Kernel:   e.Kernel,
+		Metric:   e.Metric,
+		Model:    fmt.Sprint(rep.Model.Model),
+		SMAPE:    rep.Model.SMAPE,
+		Noise:    rep.Noise.Global,
+		Selected: selectedName(rep),
+		Fallback: fallbackLabel(rep),
+	}
 }
 
 func readInput(path, format string, params int, noSanitize bool) (*measurement.Set, error) {

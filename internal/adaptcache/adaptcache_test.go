@@ -134,7 +134,9 @@ func TestGetOrCreateHitSkipsCreate(t *testing.T) {
 }
 
 func TestLRUEvictionOrder(t *testing.T) {
-	c := New(2)
+	// A single shard pins the exact global LRU order; the sharded layout
+	// applies the same policy per shard (see shard_test.go).
+	c := NewSharded(2, 1)
 	ms := map[string]*dnnmodel.Modeler{}
 	add := func(k string) {
 		ms[k] = modeler()

@@ -14,13 +14,32 @@ func (a *App) Profile(rng *rand.Rand) *profile.Profile {
 		Application: a.Name,
 		ParamNames:  a.ParamNames,
 	}
+	if err := a.EmitProfile(rng, func(e profile.Entry) error {
+		p.Entries = append(p.Entries, e)
+		return nil
+	}); err != nil {
+		panic(err) // unreachable: the collector never fails
+	}
+	return p
+}
+
+// EmitProfile generates the campaign one kernel at a time, handing each entry
+// to emit as soon as it exists — the streaming path behind appsim -jsonl,
+// which writes arbitrarily large campaigns without ever holding more than one
+// measurement set in memory. Kernels are emitted in definition order and
+// consume the rng identically to Profile, so both paths generate the same
+// campaign for the same seed. A non-nil error from emit stops generation.
+func (a *App) EmitProfile(rng *rand.Rand, emit func(profile.Entry) error) error {
 	for _, k := range a.Kernels {
-		p.Entries = append(p.Entries, profile.Entry{
+		e := profile.Entry{
 			Kernel:       k.Name,
 			Metric:       "runtime",
 			RuntimeShare: k.RuntimeShare,
 			Set:          a.Generate(rng, k),
-		})
+		}
+		if err := emit(e); err != nil {
+			return err
+		}
 	}
-	return p
+	return nil
 }

@@ -18,6 +18,10 @@ var (
 		"Cumulative time the dispatcher blocked waiting for a free worker (nanoseconds) — backpressure from slow items.")
 	obsActiveWorkers = obs.NewGauge("extrapdnn_parallel_active_workers",
 		"Worker goroutines currently executing an item.")
+	obsStreamItems = obs.NewCounter("extrapdnn_parallel_stream_items_total",
+		"Items dispatched by the bounded streaming pipeline (parallel.Stream).")
+	obsStreamReorderHeld = obs.NewCounter("extrapdnn_parallel_stream_reorder_held_total",
+		"Stream results that completed out of input order and waited in the reorder buffer.")
 )
 
 // runItem executes one work item, wrapped in per-item telemetry when metrics

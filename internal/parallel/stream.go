@@ -1,0 +1,210 @@
+package parallel
+
+import (
+	"context"
+	"io"
+	"runtime"
+	"sync"
+)
+
+// StreamConfig tunes Stream.
+type StreamConfig struct {
+	// Workers bounds the concurrent fn calls (<= 0 means GOMAXPROCS).
+	Workers int
+	// MaxInFlight bounds the items pulled from next but not yet emitted —
+	// queued, executing, or (in ordered mode) held in the reorder buffer.
+	// <= 0 means 2*Workers. This is the knob that keeps streaming campaigns
+	// in O(MaxInFlight) memory regardless of campaign size.
+	MaxInFlight int
+	// Ordered delivers results in pull order via a reorder buffer (bounded
+	// by MaxInFlight); the default is completion order.
+	Ordered bool
+}
+
+// workers resolves the effective worker count.
+func (c StreamConfig) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// maxInFlight resolves the effective in-flight bound (never below the worker
+// count, or the pool would starve).
+func (c StreamConfig) maxInFlight() int {
+	w := c.workers()
+	m := c.MaxInFlight
+	if m <= 0 {
+		m = 2 * w
+	}
+	if m < w {
+		m = w
+	}
+	return m
+}
+
+type streamJob[T any] struct {
+	index int
+	item  T
+}
+
+type streamResult[T, R any] struct {
+	index int
+	item  T
+	val   R
+	err   error
+}
+
+// Stream is the bounded streaming pipeline under the campaign scale-out
+// path: it pulls items from next one at a time (sequentially, from a single
+// goroutine — safe for stateful decoders), runs fn with bounded concurrency,
+// and delivers every completed item to emit from a single goroutine, in
+// completion order or (cfg.Ordered) input order. Unlike MapErrCtx it never
+// materializes the item or result set: at most cfg.MaxInFlight items are
+// live at any moment, so campaign memory is O(MaxInFlight), not O(n).
+//
+// Contracts, mirroring MapErrCtx where they overlap:
+//
+//   - next returns (item, nil) per item and (zero, io.EOF) at the end; any
+//     other error stops intake, in-flight items drain through emit, and
+//     Stream returns that error.
+//   - fn panics are isolated into a per-item *PanicError (one crashing item
+//     never aborts the run) and delivered through emit like ordinary errors.
+//   - Once ctx is done no further items are pulled or dispatched; in-flight
+//     items finish and are emitted, and Stream returns ctx.Err(). Items never
+//     pulled are simply never seen — a streaming campaign cannot enumerate
+//     what it did not read.
+//   - A non-nil error from emit halts the pipeline (no further pulls or
+//     emissions; in-flight work is discarded after completion) and Stream
+//     returns that error. In ordered mode nothing is emitted after the
+//     failure, so an emit-side checkpoint file always holds a clean prefix.
+//
+// Stream returns nil only when every item was pulled, processed and emitted.
+func Stream[T, R any](ctx context.Context, cfg StreamConfig,
+	next func() (T, error),
+	fn func(ctx context.Context, index int, item T) (R, error),
+	emit func(index int, item T, val R, err error) error,
+) error {
+	workers := cfg.workers()
+	inFlight := cfg.maxInFlight()
+
+	work := make(chan streamJob[T])
+	// results is buffered to the in-flight bound so workers never block on a
+	// slow emit consumer beyond that bound.
+	results := make(chan streamResult[T, R], inFlight)
+	// tokens implements the in-flight bound: acquired before dispatch,
+	// released when the item leaves the pipeline through the emit loop.
+	tokens := make(chan struct{}, inFlight)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	halt := func() { stopOnce.Do(func() { close(stop) }) }
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range work {
+				val, err := isolate(j.index, func(int) (R, error) {
+					return fn(ctx, j.index, j.item)
+				})
+				results <- streamResult[T, R]{index: j.index, item: j.item, val: val, err: err}
+			}
+		}()
+	}
+
+	// Producer: the only goroutine touching next. nextErr is written before
+	// close(work) and read after results closes (which happens-after the
+	// workers exit, which happens-after close(work)), so no further
+	// synchronization is needed.
+	var nextErr error
+	go func() {
+		defer close(work)
+		for i := 0; ; i++ {
+			if ctx.Err() != nil {
+				return
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			item, err := next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				nextErr = err
+				return
+			}
+			select {
+			case tokens <- struct{}{}:
+			case <-ctx.Done():
+				return
+			case <-stop:
+				return
+			}
+			select {
+			case work <- streamJob[T]{index: i, item: item}:
+				obsStreamItems.Inc()
+			case <-ctx.Done():
+				<-tokens
+				return
+			case <-stop:
+				<-tokens
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Emit loop (this goroutine): the single consumer of results.
+	var emitErr error
+	var pending map[int]streamResult[T, R]
+	if cfg.Ordered {
+		pending = make(map[int]streamResult[T, R], inFlight)
+	}
+	nextIdx := 0
+	deliver := func(r streamResult[T, R]) {
+		if emitErr == nil {
+			if err := emit(r.index, r.item, r.val, r.err); err != nil {
+				emitErr = err
+				halt()
+			}
+		}
+		<-tokens
+	}
+	for r := range results {
+		if !cfg.Ordered {
+			deliver(r)
+			continue
+		}
+		if r.index != nextIdx {
+			obsStreamReorderHeld.Inc()
+		}
+		pending[r.index] = r
+		// Dispatched indexes are contiguous and every dispatched item
+		// completes, so the buffer always drains through nextIdx.
+		for {
+			p, ok := pending[nextIdx]
+			if !ok {
+				break
+			}
+			delete(pending, nextIdx)
+			nextIdx++
+			deliver(p)
+		}
+	}
+
+	switch {
+	case emitErr != nil:
+		return emitErr
+	case ctx.Err() != nil:
+		return ctx.Err()
+	default:
+		return nextErr
+	}
+}

@@ -1,0 +1,249 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// sliceNext adapts a slice into a Stream next function.
+func sliceNext(items []int) func() (int, error) {
+	i := 0
+	return func() (int, error) {
+		if i >= len(items) {
+			return 0, io.EOF
+		}
+		v := items[i]
+		i++
+		return v, nil
+	}
+}
+
+func seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestStreamProcessesEverything(t *testing.T) {
+	const n = 100
+	got := make(map[int]int, n)
+	err := Stream(context.Background(), StreamConfig{Workers: 8},
+		sliceNext(seq(n)),
+		func(_ context.Context, _ int, item int) (int, error) { return item * item, nil },
+		func(index, item, val int, err error) error {
+			if err != nil {
+				return err
+			}
+			got[index] = val
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("emitted %d items, want %d", len(got), n)
+	}
+	for i := 0; i < n; i++ {
+		if got[i] != i*i {
+			t.Fatalf("index %d: got %d, want %d", i, got[i], i*i)
+		}
+	}
+}
+
+func TestStreamOrderedDelivery(t *testing.T) {
+	const n = 32
+	var order []int
+	err := Stream(context.Background(), StreamConfig{Workers: 8, Ordered: true},
+		sliceNext(seq(n)),
+		func(_ context.Context, index int, item int) (int, error) {
+			// Early items sleep longest, maximizing out-of-order completion.
+			time.Sleep(time.Duration(n-index) * time.Millisecond / 4)
+			return item, nil
+		},
+		func(index, item, val int, err error) error {
+			order = append(order, index)
+			return err
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, idx := range order {
+		if idx != i {
+			t.Fatalf("ordered delivery broken at position %d: got index %d (full order %v)", i, idx, order)
+		}
+	}
+}
+
+// TestStreamBoundedInFlight is the streaming memory gate at the pipeline
+// level: the number of items pulled but not yet emitted never exceeds
+// MaxInFlight (+1 for the single item the producer may hold while waiting
+// for a token).
+func TestStreamBoundedInFlight(t *testing.T) {
+	const n, inFlight = 200, 4
+	var live, maxLive atomic.Int64
+	items := seq(n)
+	i := 0
+	err := Stream(context.Background(), StreamConfig{Workers: 4, MaxInFlight: inFlight},
+		func() (int, error) {
+			if i >= len(items) {
+				return 0, io.EOF
+			}
+			v := items[i]
+			i++
+			cur := live.Add(1)
+			for {
+				prev := maxLive.Load()
+				if cur <= prev || maxLive.CompareAndSwap(prev, cur) {
+					break
+				}
+			}
+			return v, nil
+		},
+		func(_ context.Context, _ int, item int) (int, error) { return item, nil },
+		func(index, item, val int, err error) error {
+			live.Add(-1)
+			return err
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := maxLive.Load(); got > inFlight+1 {
+		t.Fatalf("max in-flight = %d, want <= %d — the pipeline is not bounded", got, inFlight+1)
+	}
+}
+
+func TestStreamEmitErrorHalts(t *testing.T) {
+	sentinel := errors.New("stop")
+	var after atomic.Int64
+	pulled := 0
+	err := Stream(context.Background(), StreamConfig{Workers: 2, MaxInFlight: 2, Ordered: true},
+		func() (int, error) {
+			if pulled >= 100 {
+				return 0, io.EOF
+			}
+			pulled++
+			return pulled - 1, nil
+		},
+		func(_ context.Context, _ int, item int) (int, error) { return item, nil },
+		func(index, item, val int, err error) error {
+			if index == 3 {
+				return sentinel
+			}
+			if index > 3 {
+				after.Add(1)
+			}
+			return err
+		})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Stream = %v, want the emit error", err)
+	}
+	if after.Load() != 0 {
+		t.Fatalf("%d items emitted after the emit failure (ordered mode must stop cleanly)", after.Load())
+	}
+	if pulled >= 100 {
+		t.Fatal("emit failure did not stop the intake")
+	}
+}
+
+func TestStreamCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	emitted := 0
+	err := Stream(ctx, StreamConfig{Workers: 1, MaxInFlight: 1, Ordered: true},
+		sliceNext(seq(50)),
+		func(ctx context.Context, _ int, item int) (int, error) {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			return item, nil
+		},
+		func(index, item, val int, err error) error {
+			emitted++
+			if emitted == 2 {
+				cancel()
+			}
+			return nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Stream = %v, want context.Canceled", err)
+	}
+	if emitted >= 50 {
+		t.Fatal("cancellation did not stop the stream")
+	}
+}
+
+func TestStreamPanicIsolated(t *testing.T) {
+	var panicked *PanicError
+	healthy := 0
+	err := Stream(context.Background(), StreamConfig{Workers: 4},
+		sliceNext(seq(10)),
+		func(_ context.Context, _ int, item int) (int, error) {
+			if item == 2 {
+				panic("kernel exploded")
+			}
+			return item, nil
+		},
+		func(index, item, val int, err error) error {
+			if err != nil {
+				var pe *PanicError
+				if !errors.As(err, &pe) {
+					return fmt.Errorf("index %d: err = %w, want *PanicError", index, err)
+				}
+				panicked = pe
+				return nil
+			}
+			healthy++
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if panicked == nil || panicked.Index != 2 {
+		t.Fatalf("panic not isolated to entry 2: %+v", panicked)
+	}
+	if healthy != 9 {
+		t.Fatalf("%d healthy items delivered, want 9", healthy)
+	}
+}
+
+func TestStreamNextErrorDrainsInFlight(t *testing.T) {
+	sentinel := errors.New("decode failed")
+	i := 0
+	emitted := 0
+	err := Stream(context.Background(), StreamConfig{Workers: 2},
+		func() (int, error) {
+			if i == 3 {
+				return 0, sentinel
+			}
+			i++
+			return i - 1, nil
+		},
+		func(_ context.Context, _ int, item int) (int, error) { return item, nil },
+		func(index, item, val int, err error) error {
+			emitted++
+			return err
+		})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Stream = %v, want the source error", err)
+	}
+	if emitted != 3 {
+		t.Fatalf("emitted %d items, want the 3 pulled before the source failed", emitted)
+	}
+}
+
+func TestStreamEmptySource(t *testing.T) {
+	err := Stream(context.Background(), StreamConfig{},
+		sliceNext(nil),
+		func(_ context.Context, _ int, item int) (int, error) { return item, nil },
+		func(index, item, val int, err error) error { return err })
+	if err != nil {
+		t.Fatalf("empty source: %v", err)
+	}
+}

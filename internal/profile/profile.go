@@ -128,11 +128,35 @@ func (p *Profile) Write(w io.Writer) error {
 	return nil
 }
 
-// Read parses and validates a profile.
+// Read parses, sanitizes and validates a profile. Each entry's measurement
+// set passes through the same default repair pass as the single-set readers
+// (NaN/Inf/non-positive/duplicate points); use ReadWith to disable it or to
+// observe the per-entry reports.
 func Read(r io.Reader) (*Profile, error) {
+	return ReadWith(r, ReadOptions{})
+}
+
+// ReadWith is Read with explicit options, threading the measurement-set
+// sanitization config through every entry: sanitization runs before
+// validation (so a set repaired to emptiness still fails, matching
+// measurement.ReadJSONWith), and OnSanitize observes each entry that needed
+// repair. For O(1)-memory scanning of large campaigns use NewScannerWith
+// instead.
+func ReadWith(r io.Reader, opts ReadOptions) (*Profile, error) {
 	var p Profile
 	if err := json.NewDecoder(r).Decode(&p); err != nil {
 		return nil, fmt.Errorf("profile: decode: %w", err)
+	}
+	if !opts.Read.NoSanitize {
+		for i := range p.Entries {
+			e := &p.Entries[i]
+			if e.Set == nil {
+				continue
+			}
+			if rep := e.Set.Sanitize(); !rep.Clean() && opts.OnSanitize != nil {
+				opts.OnSanitize(e, rep)
+			}
+		}
 	}
 	if err := p.Validate(); err != nil {
 		return nil, err

@@ -47,6 +47,10 @@ run internal/mat 'BenchmarkMulTo$|BenchmarkMulATTo$|BenchmarkMulBTTo$' 100x
 run internal/nn 'BenchmarkTrainEpochs$|BenchmarkTrainEpochsF32$|BenchmarkForwardBatched$|BenchmarkForwardPerRow$|BenchmarkTopKPerRow$|BenchmarkTopKBatch$' 20x
 # Cross-set batched prediction vs the per-set modeling loop.
 run internal/dnnmodel 'BenchmarkModelPerSet$|BenchmarkPredictBatch$' 5x
+# Adaptation-cache lookup storm: single mutex vs sharded layout.
+run internal/adaptcache 'BenchmarkCacheContention$' 0.5s
+# Streaming campaign pipeline vs the slice path (incl. on-disk JSONL decode).
+run . 'BenchmarkModelProfileStream$' 5x
 
 awk -v date="$DATE" -v goversion="$(go version)" -v count="$COUNT" '
     BEGIN {

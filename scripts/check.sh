@@ -45,6 +45,7 @@ for target in FuzzReadText FuzzReadJSON FuzzReadExtraP; do
     go test -run '^$' -fuzz "^${target}\$" -fuzztime 5s ./internal/measurement/
 done
 go test -run '^$' -fuzz '^FuzzLoadNetwork$' -fuzztime 5s ./internal/nn/
+go test -run '^$' -fuzz '^FuzzScanProfile$' -fuzztime 5s ./internal/profile/
 
 echo "==> float32 parity gate (SIMD kernels, f32 training/inference vs float64, default-precision golden pin)"
 go test -count=1 -run 'TestSIMDKernelParity|TestSIMDKernelDeterminism|TestTanh32sMatchesScalar' ./internal/mat/
@@ -59,5 +60,10 @@ go test -bench 'BenchmarkModelProfileCached/hit' -benchtime 2x -benchmem -run '^
 
 echo "==> observability disabled-path allocation gate (metrics/spans off => zero allocations)"
 go test -run 'TestObsDisabledAllocations|TestObsEnabledMetricsAllocationFree' -count=1 ./internal/obs/
+
+echo "==> streaming campaign gate (O(1) scanner memory, bounded in-flight, checkpoint/resume bit-identity)"
+go test -count=1 -run 'TestScannerBoundedMemory' ./internal/profile/
+go test -count=1 -run 'TestStreamBoundedInFlight|TestStreamOrderedDelivery' ./internal/parallel/
+go test -count=1 -run 'TestModelProfileStreamMatchesSlice|TestModelProfileStreamCheckpointResume' .
 
 echo "All checks passed."
