@@ -1,0 +1,154 @@
+// Command modelerd is the long-lived modeling service: it pays the cold-start
+// cost — process spin-up and network pretraining (or a registry load) — once,
+// then serves modeling requests from a warm process whose steady state
+// performs zero training.
+//
+//	modelerd -addr :8080
+//	modelerd -addr :8080 -model-dir /var/lib/extrapdnn/models -workers 8
+//	modelerd -addr :8080 -net network.bin -max-concurrent 16
+//
+// Endpoints (see docs/SERVICE.md for the full API spec):
+//
+//	POST /v1/model     measurement set (JSON) → model report (JSON)
+//	POST /v1/profile   profile stream (JSONL or legacy array) → NDJSON
+//	                   result lines, streamed as kernels complete
+//	GET  /healthz      liveness, drain state, serving counters
+//	GET  /metrics      Prometheus text exposition (also /metrics.json)
+//
+// All requests share one process-wide adaptation cache: kernels with equal
+// task signatures — across requests and tenants — pay a single domain
+// adaptation, and concurrent misses on one signature coalesce into one
+// training run. SIGINT/SIGTERM starts a graceful drain: /healthz flips to
+// 503, new modeling requests are rejected, and in-flight requests complete
+// within -drain-timeout.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"extrapdnn/internal/cliutil"
+	"extrapdnn/internal/obs"
+	"extrapdnn/internal/server"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", "localhost:8080", "listen address of the modeling service")
+		maxConcurrent = flag.Int("max-concurrent", 0, "concurrent modeling requests (0 = 2*GOMAXPROCS); excess queues, then 503s")
+		queueTimeout  = flag.Duration("queue-timeout", server.DefaultQueueTimeout, "how long a request waits for a modeling slot before 503")
+		maxBody       = flag.Int64("max-body", server.DefaultMaxBodyBytes, "request body limit in bytes; larger requests get 413")
+		maxInFlight   = flag.Int("max-in-flight", 0, "per-profile-request streaming window (0 = 2*workers)")
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "how long a shutdown signal waits for in-flight requests")
+		pprofFlag     = flag.Bool("pprof", false, "also serve net/http/pprof under /debug/pprof/")
+		tracePath     = flag.String("trace", "", "write a JSONL span trace of the daemon's requests to this file (empty = off)")
+		regOnly       = flag.Bool("regression-only", false, "serve only the classic regression modeler (no network, no training)")
+	)
+	mf := cliutil.RegisterModelerFlags()
+	flag.Parse()
+
+	// The daemon always collects metrics — /metrics is part of its API.
+	obs.EnableMetrics()
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(fmt.Errorf("create trace file: %w", err))
+		}
+		tracer = obs.NewTracer(f)
+		obs.SetTracer(tracer)
+	}
+
+	// Cold start, paid exactly once: load (or pretrain and, with -model-dir,
+	// store) the classification network, then build the shared modeler whose
+	// adaptation cache is the cross-request warm path.
+	start := time.Now()
+	modeler, err := mf.NewModeler(context.Background(), *regOnly, true)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "modelerd: modeler ready in %v\n", time.Since(start).Round(time.Millisecond))
+
+	srv, err := server.New(server.Config{
+		Modeler:       modeler,
+		Workers:       mf.Workers,
+		MaxInFlight:   *maxInFlight,
+		MaxConcurrent: *maxConcurrent,
+		QueueTimeout:  *queueTimeout,
+		MaxBodyBytes:  *maxBody,
+		NoSanitize:    mf.NoSanitize,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	if *pprofFlag {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{Handler: mux}
+	fmt.Fprintf(os.Stderr, "modelerd: serving on http://%s (model: /v1/model, profile: /v1/profile, health: /healthz, metrics: /metrics)\n", ln.Addr())
+
+	// Serve until a shutdown signal, then drain: health checks flip to 503
+	// immediately, new modeling work is rejected, and in-flight requests get
+	// -drain-timeout to finish before the listener is torn down.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintf(os.Stderr, "modelerd: draining (%d in flight, timeout %v)\n", srv.InFlight(), *drainTimeout)
+	srv.Drain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "modelerd: drain incomplete: %v\n", err)
+		closeTrace(tracer, *tracePath)
+		os.Exit(cliutil.ExitTimeout)
+	}
+	fmt.Fprintf(os.Stderr, "modelerd: drained cleanly after %d requests (%d kernels)\n", srv.Requests(), srv.Kernels())
+	closeTrace(tracer, *tracePath)
+}
+
+// closeTrace uninstalls and flushes the tracer, if one was set up.
+func closeTrace(tracer *obs.Tracer, path string) {
+	if tracer == nil {
+		return
+	}
+	obs.SetTracer(nil)
+	if err := tracer.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "modelerd: closing trace: %v\n", err)
+	} else {
+		fmt.Fprintf(os.Stderr, "modelerd: span trace written to %s\n", path)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "modelerd:", err)
+	os.Exit(cliutil.ExitCode(err))
+}

@@ -3,10 +3,19 @@
 //	perfmodeler -in measurements.txt -params 2
 //	perfmodeler -in measurements.json -format json -net network.bin
 //	perfmodeler -in measurements.txt -params 1 -regression-only
+//	perfmodeler -profile campaign.jsonl -server http://localhost:8080
 //
 // The text format holds one measurement point per line: the parameter
 // values, then one or more repeated measured values. An optional
 // "# params: p size" header names the parameters.
+//
+// With -server URL the modeling runs on a warm modelerd daemon instead of in
+// this process: no local pretraining, and same-signature kernels across all
+// of the daemon's clients share one adaptation. Inputs are read and validated
+// locally, results stream back kernel by kernel, and -out-jsonl/-resume work
+// unchanged — the daemon emits the exact JSONL lines a local run writes, so a
+// campaign can even alternate between local and remote legs on one
+// checkpoint file.
 //
 // Exit codes: 0 full success, 1 fatal error, 3 some kernels failed while
 // others delivered models (-profile), 4 the -timeout deadline expired.
@@ -22,11 +31,10 @@ import (
 	"strconv"
 	"strings"
 
+	"extrapdnn/internal/client"
 	"extrapdnn/internal/cliutil"
 	"extrapdnn/internal/core"
-	"extrapdnn/internal/dnnmodel"
 	"extrapdnn/internal/measurement"
-	"extrapdnn/internal/nn"
 	"extrapdnn/internal/obs"
 	"extrapdnn/internal/parallel"
 	"extrapdnn/internal/pmnf"
@@ -42,33 +50,18 @@ func main() {
 		profilePath    = flag.String("profile", "", "application profile (from appsim): model every kernel")
 		kernelFilter   = flag.String("kernel", "", "with -profile: model only this kernel")
 		params         = flag.Int("params", 0, "number of execution parameters (text format without header)")
-		netPath        = flag.String("net", "", "pretrained network file (from traingen); pretrains ad hoc when empty")
-		topology       = flag.String("topology", "default", "topology for ad-hoc pretraining")
-		samples        = flag.Int("pretrain-samples", 300, "ad-hoc pretraining samples per class")
-		epochs         = flag.Int("pretrain-epochs", 3, "ad-hoc pretraining epochs")
-		f32            = flag.Bool("f32", false, "run DNN training and inference through the float32 SIMD fast path")
-		modelDir       = flag.String("model-dir", "", "pretrained-network registry directory: reuse equal-configuration pretraining results across runs")
-		adaptSamples   = flag.Int("adapt-samples", 200, "domain-adaptation samples per class")
-		adaptEpochs    = flag.Int("adapt-epochs", 1, "domain-adaptation epochs")
-		adaptRetries   = flag.Int("adapt-retries", 0, "divergence retries per adaptation (0 = default 2, negative disables)")
-		threshold      = flag.Float64("threshold", core.DefaultNoiseThreshold, "noise level above which the regression modeler is switched off")
 		regressionOnly = flag.Bool("regression-only", false, "use only the classic regression modeler")
-		noFallback     = flag.Bool("no-fallback", false, "fail instead of degrading to the pretrained network or regression on DNN failure")
-		workers        = flag.Int("workers", 0, "with -profile: concurrent modeling workers (0 = GOMAXPROCS); results are identical for any value")
+		serverURL      = flag.String("server", "", "offload modeling to a running modelerd at this base URL (e.g. http://localhost:8080); skips all local training")
 		outJSONL       = flag.String("out-jsonl", "", "with -profile: append one JSONL result line per kernel as it completes (the file doubles as the -resume checkpoint)")
 		resume         = flag.Bool("resume", false, "with -profile and -out-jsonl: skip kernels already in the results file and append the rest")
-		adaptCache     = flag.Int("adapt-cache", 32, "LRU entries of the domain-adaptation cache (0 disables; results are identical either way)")
-		cacheShards    = flag.Int("cache-shards", 0, "adaptation-cache lock shards (0 = default 8, 1 = single mutex; results are identical for any value)")
-		bucketWidth    = flag.Float64("noise-bucket", 0, "noise-bucket width for the adaptation cache signature (0 = default 2.5% steps, negative disables quantization)")
 		verbose        = flag.Bool("v", false, "print adaptation-cache statistics and the run-telemetry digest after modeling")
-		seed           = flag.Int64("seed", 1, "random seed")
 		timeout        = flag.Duration("timeout", 0, "overall deadline, e.g. 90s or 5m (0 = none); expiry exits with code 4")
-		noSanitize     = flag.Bool("no-sanitize", false, "reject measurement sets with bad points instead of repairing them")
 		predict        = flag.String("predict", "", `comma-separated parameter values to predict after modeling, e.g. "4096,1e6"`)
 		scalingParam   = flag.Int("scaling", 0, "1-based index of the process-count parameter: grade the model's scalability (0 = off)")
 		interval       = flag.Bool("interval", false, "with -predict: bootstrap a 95% prediction interval (regression refits)")
 		jsonOut        = flag.Bool("json", false, "emit the selected model as JSON instead of the text report")
 	)
+	mf := cliutil.RegisterModelerFlags()
 	obsFlags := cliutil.RegisterObsFlags()
 	flag.Parse()
 
@@ -81,37 +74,22 @@ func main() {
 	}
 	defer obsShutdown()
 
-	var pretrained *dnnmodel.Modeler
-	if !*regressionOnly {
-		pretrained, err = cliutil.LoadOrPretrainOpts(ctx, cliutil.NetOptions{
-			NetPath:         *netPath,
-			Topology:        *topology,
-			SamplesPerClass: *samples,
-			Epochs:          *epochs,
-			Seed:            *seed,
-			Float32:         *f32,
-			ModelDir:        *modelDir,
-			Verbose:         *verbose,
-		})
-		if err != nil {
-			fatal(err)
+	if *serverURL != "" {
+		if *regressionOnly {
+			fatal(fmt.Errorf("-regression-only is a daemon-side choice in -server mode: start modelerd -regression-only instead"))
 		}
+		runRemote(ctx, client.New(*serverURL), remoteOpts{
+			in: *in, format: *format, params: *params,
+			profilePath: *profilePath, filter: *kernelFilter,
+			outJSONL: *outJSONL, resume: *resume,
+			predict: *predict, interval: *interval, scalingParam: *scalingParam,
+			jsonOut: *jsonOut, verbose: *verbose,
+			seed: mf.Seed, noSanitize: mf.NoSanitize,
+		}, obsShutdown)
+		return
 	}
-	precision := nn.Float64
-	if *f32 {
-		precision = nn.Float32
-	}
-	modeler, err := core.New(pretrained, core.Config{
-		NoiseThreshold:   *threshold,
-		Adapt:            dnnmodel.AdaptConfig{SamplesPerClass: *adaptSamples, Epochs: *adaptEpochs, Precision: precision},
-		DisableDNN:       *regressionOnly,
-		Seed:             *seed,
-		AdaptCacheSize:   *adaptCache,
-		AdaptCacheShards: *cacheShards,
-		NoiseBucketWidth: *bucketWidth,
-		AdaptRetries:     *adaptRetries,
-		DisableFallback:  *noFallback,
-	})
+
+	modeler, err := mf.NewModeler(ctx, *regressionOnly, *verbose)
 	if err != nil {
 		fatal(err)
 	}
@@ -120,8 +98,8 @@ func main() {
 		failed, total, runErr := modelProfile(ctx, modeler, profileOpts{
 			path:       *profilePath,
 			filter:     *kernelFilter,
-			workers:    *workers,
-			noSanitize: *noSanitize,
+			workers:    mf.Workers,
+			noSanitize: mf.NoSanitize,
 			outJSONL:   *outJSONL,
 			resume:     *resume,
 		})
@@ -145,7 +123,7 @@ func main() {
 		return
 	}
 
-	set, err := readInput(*in, *format, *params, *noSanitize)
+	set, err := readInput(*in, *format, *params, mf.NoSanitize)
 	if err != nil {
 		fatal(err)
 	}
@@ -155,22 +133,9 @@ func main() {
 	}
 
 	if *jsonOut {
-		out := struct {
-			Model          pmnf.Model `json:"model"`
-			SMAPE          float64    `json:"smape_pct"`
-			NoiseGlobal    float64    `json:"noise_global"`
-			SelectedDNN    bool       `json:"selected_dnn"`
-			UsedRegression bool       `json:"used_regression"`
-			Fallback       string     `json:"fallback,omitempty"`
-			AdaptAttempts  int        `json:"adapt_attempts,omitempty"`
-			Resilience     string     `json:"resilience"`
-		}{rep.Model.Model, rep.Model.SMAPE, rep.Noise.Global, rep.SelectedDNN, rep.UsedRegression,
-			fallbackLabel(rep), rep.Resilience.AdaptAttempts, rep.Resilience.Outcome()}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
-			fatal(err)
-		}
+		printJSONReport(jsonReport{rep.Model.Model, rep.Model.SMAPE, rep.Noise.Global,
+			rep.SelectedDNN, rep.UsedRegression, fallbackLabel(rep),
+			rep.Resilience.AdaptAttempts, rep.Resilience.Outcome()})
 		return
 	}
 
@@ -200,28 +165,280 @@ func main() {
 		cliutil.PrintRunSummary(os.Stdout)
 	}
 
-	if *predict != "" {
-		pt, err := parsePoint(*predict, rep.Model.Model.NumParams())
+	if err := printPrediction(rep.Model.Model, *predict, *interval, set, mf.Seed); err != nil {
+		fatal(err)
+	}
+	if err := printScaling(rep.Model.Model, *scalingParam); err != nil {
+		fatal(err)
+	}
+}
+
+// jsonReport is the -json output shape, shared by local and -server runs so
+// scripts parse one format regardless of where the modeling happened.
+type jsonReport struct {
+	Model          pmnf.Model `json:"model"`
+	SMAPE          float64    `json:"smape_pct"`
+	NoiseGlobal    float64    `json:"noise_global"`
+	SelectedDNN    bool       `json:"selected_dnn"`
+	UsedRegression bool       `json:"used_regression"`
+	Fallback       string     `json:"fallback,omitempty"`
+	AdaptAttempts  int        `json:"adapt_attempts,omitempty"`
+	Resilience     string     `json:"resilience"`
+}
+
+func printJSONReport(out jsonReport) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
+	}
+}
+
+// printPrediction evaluates -predict (and -interval) against the selected
+// model. The interval refits regressions locally from the measurement set, so
+// it works identically for local and remote models.
+func printPrediction(model pmnf.Model, predict string, interval bool, set *measurement.Set, seed int64) error {
+	if predict == "" {
+		return nil
+	}
+	pt, err := parsePoint(predict, model.NumParams())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("prediction at %v:  %g\n", pt, model.Eval(pt))
+	if interval {
+		ci, err := regression.PredictionInterval(set, pt, 200, 0.95, seed, nil)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("prediction at %v:  %g\n", pt, rep.Model.Model.Eval(pt))
-		if *interval {
-			ci, err := regression.PredictionInterval(set, pt, 200, 0.95, *seed, nil)
-			if err != nil {
-				fatal(err)
+		fmt.Printf("95%% interval:      [%g, %g]\n", ci.Lo, ci.Hi)
+	}
+	return nil
+}
+
+// printScaling grades -scaling against the selected model.
+func printScaling(model pmnf.Model, scalingParam int) error {
+	if scalingParam <= 0 {
+		return nil
+	}
+	analysis, err := scaling.Analyze(model, scalingParam-1, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scaling:           %s in x%d → %s\n",
+		analysis.GrowthClass, scalingParam, analysis.Verdict)
+	return nil
+}
+
+// remoteOpts bundles everything the -server client mode needs from the flags.
+type remoteOpts struct {
+	in, format   string
+	params       int
+	profilePath  string
+	filter       string
+	outJSONL     string
+	resume       bool
+	predict      string
+	interval     bool
+	scalingParam int
+	jsonOut      bool
+	verbose      bool
+	seed         int64
+	noSanitize   bool
+}
+
+// runRemote is the -server client mode: inputs are read and validated
+// locally, the modeling happens on the daemon, and output (table, -json,
+// -out-jsonl, -predict, -scaling) matches a local run.
+func runRemote(ctx context.Context, cl *client.Client, o remoteOpts, obsShutdown func()) {
+	if o.profilePath != "" {
+		failed, total, runErr := modelProfileRemote(ctx, cl, o)
+		if runErr != nil {
+			fmt.Fprintln(os.Stderr, "perfmodeler:", runErr)
+		}
+		if o.verbose {
+			printDaemonStats(cl)
+		}
+		switch code := cliutil.CampaignExitCode(runErr, failed, total); code {
+		case cliutil.ExitOK:
+		case cliutil.ExitPartialFailure:
+			fmt.Fprintf(os.Stderr, "perfmodeler: %d kernel(s) failed, results above are partial\n", failed)
+			obsShutdown()
+			os.Exit(code)
+		default:
+			obsShutdown()
+			os.Exit(code)
+		}
+		return
+	}
+
+	set, err := readInput(o.in, o.format, o.params, o.noSanitize)
+	if err != nil {
+		fatal(err)
+	}
+	resp, err := cl.Model(ctx, set)
+	if err != nil {
+		fatal(err)
+	}
+
+	if o.jsonOut {
+		printJSONReport(jsonReport{resp.Model, resp.SMAPE, resp.Noise.Global,
+			resp.SelectedDNN, resp.UsedRegression, resp.Fallback,
+			resp.AdaptAttempts, resp.Resilience})
+		return
+	}
+
+	fmt.Printf("measurements:      %d points, %d repetitions max\n", len(set.Data), set.Repetitions())
+	fmt.Printf("estimated noise:   %.2f%% (per-point mean %.2f%%, range [%.2f%%, %.2f%%])\n",
+		resp.Noise.Global*100, resp.Noise.Mean*100, resp.Noise.Min*100, resp.Noise.Max*100)
+	selected := "regression"
+	if resp.SelectedDNN {
+		selected = "dnn"
+	}
+	fmt.Printf("modelers used:     regression=%v dnn=%v (selected: %s)\n",
+		resp.UsedRegression, resp.UsedDNN, selected)
+	if resp.Fallback != "" {
+		fmt.Printf("degraded:          %s fallback after %d adaptation attempt(s)\n",
+			resp.Fallback, resp.AdaptAttempts)
+	} else if resp.Resilience == core.OutcomeRetried {
+		fmt.Printf("recovered:         adaptation succeeded on attempt %d after divergence retries\n",
+			resp.AdaptAttempts)
+	}
+	fmt.Printf("model:             %s\n", resp.Model)
+	fmt.Printf("cross-val SMAPE:   %.3f%%\n", resp.SMAPE)
+	if resp.Regression != nil && resp.DNN != nil {
+		fmt.Printf("  regression:      %s  (SMAPE %.3f%%)\n", resp.Regression.Model, resp.Regression.SMAPE)
+		fmt.Printf("  dnn:             %s  (SMAPE %.3f%%)\n", resp.DNN.Model, resp.DNN.SMAPE)
+	}
+	fmt.Printf("modeling time:     %.1fms on the daemon (adaptation %.1fms)\n",
+		resp.Durations.TotalMS, resp.Durations.AdaptMS)
+	if o.verbose {
+		printDaemonStats(cl)
+	}
+
+	if err := printPrediction(resp.Model, o.predict, o.interval, set, o.seed); err != nil {
+		fatal(err)
+	}
+	if err := printScaling(resp.Model, o.scalingParam); err != nil {
+		fatal(err)
+	}
+}
+
+// printDaemonStats is the -server counterpart of the local -v cache report:
+// the adaptation cache lives in the daemon, so its health endpoint is where
+// hit/miss counters come from.
+func printDaemonStats(cl *client.Client) {
+	h, err := cl.Health(context.Background())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfmodeler: daemon stats unavailable: %v\n", err)
+		return
+	}
+	fmt.Printf("daemon: %s, %d request(s), %d kernel(s), adaptation cache %d hit(s) / %d miss(es)\n",
+		h.Status, h.Requests, h.Kernels, h.CacheHits, h.CacheMisses)
+}
+
+// modelProfileRemote streams a campaign through the daemon. The profile is
+// scanned, validated, and checkpoint-filtered locally — a resumed run never
+// sends completed entries over the wire — and the daemon's result lines are
+// checkpointed and printed in input order as they arrive, exactly like the
+// local pipeline.
+func modelProfileRemote(ctx context.Context, cl *client.Client, o remoteOpts) (failed, total int, err error) {
+	f, err := os.Open(o.profilePath)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	sc, err := profile.NewScannerWith(f, profile.ReadOptions{
+		Read: measurement.ReadConfig{NoSanitize: o.noSanitize},
+		OnSanitize: func(e *profile.Entry, rep measurement.SanitizeReport) {
+			fmt.Fprintf(os.Stderr, "perfmodeler: %s: sanitized input: %s\n", e.Kernel, rep.String())
+		},
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	var src profile.Source = sc
+	if o.filter != "" {
+		src = profile.Filter(src, func(e profile.Entry) bool { return e.Kernel == o.filter })
+	}
+	sink, src, err := openResults(profileOpts{outJSONL: o.outJSONL, resume: o.resume}, src)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer sink.close()
+
+	fmt.Printf("application: %s (%d parameters)\n", sc.Application(), sc.NumParams())
+
+	// Pull the first remaining entry before opening the request: a fully
+	// checkpointed (or fully filtered) campaign has nothing to send, and the
+	// daemon rightly rejects an entry-less profile.
+	first, err := src.NextEntry()
+	if err == io.EOF {
+		if sink.checkpointed != nil && sink.checkpointed.Skipped() > 0 {
+			fmt.Printf("resumed: %d kernel(s) already in %s, 0 newly modeled\n",
+				sink.checkpointed.Skipped(), o.outJSONL)
+			return 0, 0, nil
+		}
+		if o.filter != "" {
+			return 0, 0, fmt.Errorf("no kernel matched %q", o.filter)
+		}
+		return 0, 0, fmt.Errorf("profile: no entries")
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	src = &prepended{first: &first, rest: src}
+
+	fmt.Printf("%-22s | %-8s | %-9s | %s\n", "kernel", "noise", "SMAPE", "model")
+	_, runErr := cl.StreamProfile(ctx, sc.Application(), sc.ParamNames(), src, func(line cliutil.ResultLine) error {
+		// The daemon's lines are already in the canonical checkpoint format;
+		// writing them verbatim keeps remote results byte-identical to local
+		// ones, so local and remote legs can share one -resume file.
+		if sink.rw != nil {
+			if wErr := sink.rw.WriteResult(line, nil); wErr != nil {
+				return wErr
 			}
-			fmt.Printf("95%% interval:      [%g, %g]\n", ci.Lo, ci.Hi)
 		}
-	}
-	if *scalingParam > 0 {
-		analysis, err := scaling.Analyze(rep.Model.Model, *scalingParam-1, nil)
-		if err != nil {
-			fatal(err)
+		total++
+		if line.Error != "" {
+			failed++
+			fmt.Printf("%-22s | modeling failed: %s\n", line.Kernel, line.Error)
+			return nil
 		}
-		fmt.Printf("scaling:           %s in x%d → %s\n",
-			analysis.GrowthClass, *scalingParam, analysis.Verdict)
+		row := fmt.Sprintf("%-22s | %6.2f%% | %8.3f%% | %s",
+			line.Kernel, line.Noise*100, line.SMAPE, line.Model)
+		if line.Fallback != "" {
+			row += fmt.Sprintf("  [degraded: %s fallback]", line.Fallback)
+		}
+		fmt.Println(row)
+		return nil
+	})
+	if sink.checkpointed != nil {
+		fmt.Printf("resumed: %d kernel(s) already in %s, %d newly modeled\n",
+			sink.checkpointed.Skipped(), o.outJSONL, total)
 	}
+	if runErr != nil {
+		return failed, total, runErr
+	}
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return failed, total, ctxErr
+	}
+	return failed, total, nil
+}
+
+// prepended puts one already-pulled entry back in front of a source.
+type prepended struct {
+	first *profile.Entry
+	rest  profile.Source
+}
+
+func (p *prepended) NextEntry() (profile.Entry, error) {
+	if p.first != nil {
+		e := *p.first
+		p.first = nil
+		return e, nil
+	}
+	return p.rest.NextEntry()
 }
 
 // parsePoint parses "4096,1e6" into a parameter-value vector of length m.
@@ -249,6 +466,59 @@ type profileOpts struct {
 	noSanitize bool
 	outJSONL   string
 	resume     bool
+}
+
+// resultsSink is the open -out-jsonl results/checkpoint stream.
+type resultsSink struct {
+	rw           *cliutil.ResultWriter
+	file         *os.File
+	checkpointed *profile.Filtered
+}
+
+func (s *resultsSink) close() {
+	if s.file != nil {
+		s.file.Close()
+	}
+}
+
+// openResults prepares the -out-jsonl results stream: truncate for a fresh
+// run or, with -resume, load the existing file's done-set and wrap src so
+// completed entries are skipped entirely (zero redundant adaptations — local
+// or remote). The returned source replaces src.
+func openResults(o profileOpts, src profile.Source) (*resultsSink, profile.Source, error) {
+	sink := &resultsSink{}
+	if o.outJSONL == "" {
+		if o.resume {
+			return nil, nil, fmt.Errorf("-resume requires -out-jsonl")
+		}
+		return sink, src, nil
+	}
+	flags := os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+	if o.resume {
+		flags = os.O_CREATE | os.O_WRONLY | os.O_APPEND
+		if prev, openErr := os.Open(o.outJSONL); openErr == nil {
+			done, lines, ckErr := cliutil.ReadCheckpoint(prev)
+			prev.Close()
+			if ckErr != nil {
+				return nil, nil, fmt.Errorf("resume from %s: %w", o.outJSONL, ckErr)
+			}
+			if lines > 0 {
+				sink.checkpointed = profile.Filter(src, func(e profile.Entry) bool {
+					return !done[cliutil.CheckpointKey(e.Kernel, e.Metric)]
+				})
+				src = sink.checkpointed
+			}
+		} else if !os.IsNotExist(openErr) {
+			return nil, nil, openErr
+		}
+	}
+	out, openErr := os.OpenFile(o.outJSONL, flags, 0o644)
+	if openErr != nil {
+		return nil, nil, openErr
+	}
+	sink.file = out
+	sink.rw = cliutil.NewResultWriter(out)
+	return sink, src, nil
 }
 
 // modelProfile models every kernel of an application profile (or a single
@@ -284,39 +554,11 @@ func modelProfile(ctx context.Context, modeler *core.Modeler, o profileOpts) (fa
 
 	// The results file doubles as the checkpoint: -resume loads its done-set,
 	// skips those entries entirely (zero redundant adaptations), and appends.
-	var rw *cliutil.ResultWriter
-	var checkpointed *profile.Filtered
-	if o.outJSONL == "" {
-		if o.resume {
-			return 0, 0, fmt.Errorf("-resume requires -out-jsonl")
-		}
-	} else {
-		flags := os.O_CREATE | os.O_WRONLY | os.O_TRUNC
-		if o.resume {
-			flags = os.O_CREATE | os.O_WRONLY | os.O_APPEND
-			if prev, openErr := os.Open(o.outJSONL); openErr == nil {
-				done, lines, ckErr := cliutil.ReadCheckpoint(prev)
-				prev.Close()
-				if ckErr != nil {
-					return 0, 0, fmt.Errorf("resume from %s: %w", o.outJSONL, ckErr)
-				}
-				if lines > 0 {
-					checkpointed = profile.Filter(src, func(e profile.Entry) bool {
-						return !done[cliutil.CheckpointKey(e.Kernel, e.Metric)]
-					})
-					src = checkpointed
-				}
-			} else if !os.IsNotExist(openErr) {
-				return 0, 0, openErr
-			}
-		}
-		out, openErr := os.OpenFile(o.outJSONL, flags, 0o644)
-		if openErr != nil {
-			return 0, 0, openErr
-		}
-		defer out.Close()
-		rw = cliutil.NewResultWriter(out)
+	sink, src, err := openResults(o, src)
+	if err != nil {
+		return 0, 0, err
 	}
+	defer sink.close()
 
 	fmt.Printf("application: %s (%d parameters)\n", sc.Application(), sc.NumParams())
 	fmt.Printf("%-22s | %-8s | %-9s | %s\n", "kernel", "noise", "SMAPE", "model")
@@ -343,8 +585,8 @@ func modelProfile(ctx context.Context, modeler *core.Modeler, o profileOpts) (fa
 			// The JSONL checkpoint write comes first: a line is only printed
 			// once it is durable, and a cancellation halts here (ErrInterrupted)
 			// before anything half-done reaches the file.
-			if rw != nil {
-				if wErr := rw.WriteResult(resultLine(e, rep, entryErr), entryErr); wErr != nil {
+			if sink.rw != nil {
+				if wErr := sink.rw.WriteResult(resultLine(e, rep, entryErr), entryErr); wErr != nil {
 					return wErr
 				}
 			}
@@ -365,14 +607,14 @@ func modelProfile(ctx context.Context, modeler *core.Modeler, o profileOpts) (fa
 			fmt.Println(line)
 			return nil
 		})
-	if checkpointed != nil {
+	if sink.checkpointed != nil {
 		fmt.Printf("resumed: %d kernel(s) already in %s, %d newly modeled\n",
-			checkpointed.Skipped(), o.outJSONL, total)
+			sink.checkpointed.Skipped(), o.outJSONL, total)
 	}
 	if streamErr != nil {
 		return failed, total, streamErr
 	}
-	if total == 0 && (checkpointed == nil || checkpointed.Skipped() == 0) && o.filter != "" {
+	if total == 0 && (sink.checkpointed == nil || sink.checkpointed.Skipped() == 0) && o.filter != "" {
 		return 0, 0, fmt.Errorf("no kernel matched %q", o.filter)
 	}
 	// A deadline expiry outranks partial failure: the missing kernels were

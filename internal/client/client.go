@@ -1,0 +1,199 @@
+// Package client is the thin HTTP client of the modelerd modeling service.
+// It lets the existing campaign tooling (perfmodeler -server URL) offload
+// modeling to a warm daemon: measurement sets and profile streams go out,
+// model reports and NDJSON result lines come back — the result lines in
+// exactly the JSONL format perfmodeler writes locally, so checkpoint/resume
+// machinery works unchanged against a remote run.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"extrapdnn/internal/cliutil"
+	"extrapdnn/internal/measurement"
+	"extrapdnn/internal/profile"
+	"extrapdnn/internal/server"
+)
+
+// Client talks to one modelerd instance.
+type Client struct {
+	// BaseURL is the daemon's root URL, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTPClient overrides http.DefaultClient (mainly for tests and
+	// timeouts). Streaming profile requests hold the connection for the whole
+	// campaign, so per-request timeouts should be generous or absent; use the
+	// context for cancellation instead.
+	HTTPClient *http.Client
+}
+
+// New returns a client for the daemon at baseURL (scheme and host, no
+// trailing slash required).
+func New(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// errorFrom decodes the daemon's JSON error body into a Go error.
+func errorFrom(resp *http.Response) error {
+	var e server.ErrorResponse
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("client: daemon returned %s: %s", resp.Status, e.Error)
+	}
+	return fmt.Errorf("client: daemon returned %s", resp.Status)
+}
+
+// Model posts one measurement set to /v1/model and returns the daemon's
+// report. The call blocks for the whole modeling run (cold: pretraining
+// already happened at daemon startup, but a cache-miss adaptation still
+// trains); cancel via ctx.
+func (c *Client) Model(ctx context.Context, set *measurement.Set) (*server.ModelResponse, error) {
+	var body bytes.Buffer
+	if err := json.NewEncoder(&body).Encode(set); err != nil {
+		return nil, fmt.Errorf("client: encode set: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/model", &body)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, errorFrom(resp)
+	}
+	var out server.ModelResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("client: decode response: %w", err)
+	}
+	return &out, nil
+}
+
+// Health fetches /healthz. It returns the decoded body even when the daemon
+// reports draining (HTTP 503); only transport and decode failures error.
+func (c *Client) Health(ctx context.Context) (*server.HealthResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	var out server.HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("client: decode health: %w", err)
+	}
+	return &out, nil
+}
+
+// StreamProfile streams a campaign through the daemon: entries pulled from
+// src are re-encoded as a JSONL profile request body (via io.Pipe, so only
+// one entry is buffered client-side), and the daemon's NDJSON result lines
+// are handed to emit as they arrive — in input order, with HTTP flow control
+// providing end-to-end backpressure. A non-nil error from emit aborts the
+// request (the daemon sees the disconnect, drains, and skips queued
+// training). It returns the number of lines emitted and the first error:
+// src's, emit's, ctx's, or a daemon/stream failure.
+func (c *Client) StreamProfile(ctx context.Context, application string, paramNames []string, src profile.Source, emit func(cliutil.ResultLine) error) (int, error) {
+	pr, pw := io.Pipe()
+	encodeErr := make(chan error, 1)
+	go func() {
+		err := encodeProfile(pw, application, paramNames, src)
+		// CloseWithError poisons the request body with src's error so the
+		// daemon-side scanner stops; a nil error ends the body cleanly.
+		pw.CloseWithError(err)
+		encodeErr <- err
+	}()
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/profile", pr)
+	if err != nil {
+		return 0, fmt.Errorf("client: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		// Surface the source error behind a mid-body failure when there is
+		// one; a plain transport error otherwise.
+		if encErr := drainEncodeErr(encodeErr); encErr != nil {
+			return 0, encErr
+		}
+		return 0, fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, errorFrom(resp)
+	}
+
+	emitted := 0
+	dec := json.NewDecoder(resp.Body)
+	for dec.More() {
+		var line cliutil.ResultLine
+		if err := dec.Decode(&line); err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return emitted, ctxErr
+			}
+			return emitted, fmt.Errorf("client: result stream: %w", err)
+		}
+		if line.Kernel == "" {
+			// Kernel-less trailer line: the daemon's input stream failed
+			// mid-campaign (malformed entry, duplicate kernel, ...).
+			if line.Error != "" {
+				return emitted, fmt.Errorf("client: daemon stream failed: %s", line.Error)
+			}
+			return emitted, fmt.Errorf("client: daemon sent an empty result line")
+		}
+		if err := emit(line); err != nil {
+			return emitted, err
+		}
+		emitted++
+	}
+	if encErr := drainEncodeErr(encodeErr); encErr != nil {
+		return emitted, encErr
+	}
+	return emitted, ctx.Err()
+}
+
+// encodeProfile writes src as a JSONL profile stream.
+func encodeProfile(w io.Writer, application string, paramNames []string, src profile.Source) error {
+	pw, err := profile.NewWriter(w, application, paramNames)
+	if err != nil {
+		return err
+	}
+	for {
+		e, err := src.NextEntry()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := pw.WriteEntry(e); err != nil {
+			return err
+		}
+	}
+}
+
+// drainEncodeErr collects the encoder goroutine's outcome without blocking
+// forever: by the time callers ask, the pipe has been closed (request done),
+// so the goroutine is finishing or finished.
+func drainEncodeErr(ch chan error) error {
+	err := <-ch
+	return err
+}

@@ -1,0 +1,216 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"extrapdnn/internal/cliutil"
+	"extrapdnn/internal/core"
+	"extrapdnn/internal/measurement"
+	"extrapdnn/internal/profile"
+	"extrapdnn/internal/server"
+	"extrapdnn/internal/synth"
+)
+
+// newDaemon spins a regression-only in-process daemon — fast, deterministic,
+// and exactly the serving stack cmd/modelerd mounts.
+func newDaemon(t *testing.T, cfg server.Config) (*Client, *server.Server) {
+	t.Helper()
+	m, err := core.New(nil, core.Config{DisableDNN: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Modeler = m
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return New(ts.URL + "/"), srv
+}
+
+func testSet(seed int64, f func(x float64) float64) *measurement.Set {
+	rng := rand.New(rand.NewSource(seed))
+	s := &measurement.Set{}
+	for _, x := range []float64{4, 8, 16, 32, 64} {
+		vals := make([]float64, 3)
+		for r := range vals {
+			vals[r] = f(x) * synth.NoiseFactor(rng, 0.02)
+		}
+		s.Data = append(s.Data, measurement.Measurement{Point: measurement.Point{x}, Values: vals})
+	}
+	return s
+}
+
+func testEntries(n int) []profile.Entry {
+	entries := make([]profile.Entry, n)
+	for i := range entries {
+		slope := float64(i + 1)
+		entries[i] = profile.Entry{
+			Kernel: fmt.Sprintf("kern%d", i),
+			Metric: "time",
+			Set:    testSet(int64(i+1), func(x float64) float64 { return 1 + slope*x }),
+		}
+	}
+	return entries
+}
+
+func TestModelRoundTrip(t *testing.T) {
+	cl, _ := newDaemon(t, server.Config{})
+	set := testSet(1, func(x float64) float64 { return 5 + 2*x })
+
+	resp, err := cl.Model(context.Background(), set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.SelectedDNN || !resp.UsedRegression {
+		t.Fatalf("regression-only daemon selected wrong modeler: %+v", resp)
+	}
+
+	// The returned model is the full structured PMNF form: evaluable locally
+	// and equal to what a local modeler produces from the same set.
+	local, err := core.New(nil, core.Config{DisableDNN: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := local.Model(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := resp.Model.String(), rep.Model.Model.String(); got != want {
+		t.Fatalf("remote model %q != local model %q", got, want)
+	}
+	at := []float64{128}
+	if got, want := resp.Model.Eval(at), rep.Model.Model.Eval(at); got != want {
+		t.Fatalf("remote model evaluates to %g, local to %g", got, want)
+	}
+}
+
+func TestModelDaemonError(t *testing.T) {
+	cl, _ := newDaemon(t, server.Config{})
+	_, err := cl.Model(context.Background(), &measurement.Set{})
+	if err == nil {
+		t.Fatal("empty set should fail")
+	}
+	if !strings.Contains(err.Error(), "daemon returned") {
+		t.Fatalf("error should carry the daemon's status and message: %v", err)
+	}
+}
+
+func TestStreamProfileRoundTrip(t *testing.T) {
+	cl, srv := newDaemon(t, server.Config{Workers: 2})
+	entries := testEntries(5)
+
+	var lines []cliutil.ResultLine
+	emitted, err := cl.StreamProfile(context.Background(), "app", []string{"p"}, profile.Entries(entries),
+		func(line cliutil.ResultLine) error {
+			lines = append(lines, line)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emitted != len(entries) || len(lines) != len(entries) {
+		t.Fatalf("emitted %d lines, want %d", emitted, len(entries))
+	}
+	for i, line := range lines {
+		if line.Kernel != entries[i].Kernel {
+			t.Fatalf("line %d: kernel %q, want %q (input order broken)", i, line.Kernel, entries[i].Kernel)
+		}
+		if line.Error != "" || line.Model == "" {
+			t.Fatalf("line %d: %+v", i, line)
+		}
+	}
+	if got := srv.Kernels(); got != uint64(len(entries)) {
+		t.Fatalf("daemon modeled %d kernels, want %d", got, len(entries))
+	}
+
+	h, err := cl.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Kernels != uint64(len(entries)) {
+		t.Fatalf("health: %+v", h)
+	}
+}
+
+func TestStreamProfileSourceErrorPropagates(t *testing.T) {
+	cl, _ := newDaemon(t, server.Config{})
+	boom := errors.New("generator exploded")
+	src := &failingSource{entries: testEntries(2), failAfter: 2, err: boom}
+
+	emitted, err := cl.StreamProfile(context.Background(), "app", nil, src, func(cliutil.ResultLine) error { return nil })
+	if err == nil {
+		t.Fatal("source failure must surface")
+	}
+	if emitted > 2 {
+		t.Fatalf("emitted %d lines from a 2-entry source", emitted)
+	}
+}
+
+func TestStreamProfileEmitErrorAborts(t *testing.T) {
+	cl, srv := newDaemon(t, server.Config{Workers: 1})
+	entries := testEntries(6)
+	boom := errors.New("sink full")
+
+	emitted, err := cl.StreamProfile(context.Background(), "app", nil, profile.Entries(entries),
+		func(line cliutil.ResultLine) error {
+			if line.Kernel == "kern1" {
+				return boom
+			}
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the emit error", err)
+	}
+	if emitted != 1 {
+		t.Fatalf("emitted %d lines before the abort, want 1", emitted)
+	}
+	_ = srv
+}
+
+func TestStreamProfileDaemonStreamFailure(t *testing.T) {
+	// A mid-stream failure on the daemon (duplicate kernel) arrives as the
+	// kernel-less trailer and must become a client-side error, with the lines
+	// before it delivered.
+	cl, _ := newDaemon(t, server.Config{})
+	entries := testEntries(2)
+	entries[1].Kernel = entries[0].Kernel
+	entries[1].Metric = entries[0].Metric
+
+	var lines []cliutil.ResultLine
+	_, err := cl.StreamProfile(context.Background(), "app", nil, profile.Entries(entries),
+		func(line cliutil.ResultLine) error {
+			lines = append(lines, line)
+			return nil
+		})
+	if err == nil || !strings.Contains(err.Error(), "daemon stream failed") {
+		t.Fatalf("err = %v, want a daemon stream failure", err)
+	}
+	if len(lines) != 1 || lines[0].Kernel != entries[0].Kernel {
+		t.Fatalf("lines before the failure should be delivered: %+v", lines)
+	}
+}
+
+// failingSource yields its entries, then a terminal error instead of io.EOF.
+type failingSource struct {
+	entries   []profile.Entry
+	failAfter int
+	err       error
+	next      int
+}
+
+func (f *failingSource) NextEntry() (profile.Entry, error) {
+	if f.next >= f.failAfter {
+		return profile.Entry{}, f.err
+	}
+	e := f.entries[f.next]
+	f.next++
+	return e, nil
+}

@@ -2,10 +2,19 @@ package parallel
 
 import (
 	"context"
+	"errors"
 	"io"
 	"runtime"
 	"sync"
 )
+
+// errStreamHalted marks an item that was already dispatched when the pipeline
+// halted on an emit error. Such items skip fn entirely — after the consumer
+// failed, their results could never be delivered, so running them (a full
+// model adaptation in the daemon's client-disconnect case) would be pure
+// waste. The results never reach emit; the sentinel only keeps the token
+// accounting uniform.
+var errStreamHalted = errors.New("parallel: stream halted")
 
 // StreamConfig tunes Stream.
 type StreamConfig struct {
@@ -75,9 +84,11 @@ type streamResult[T, R any] struct {
 //     pulled are simply never seen — a streaming campaign cannot enumerate
 //     what it did not read.
 //   - A non-nil error from emit halts the pipeline (no further pulls or
-//     emissions; in-flight work is discarded after completion) and Stream
-//     returns that error. In ordered mode nothing is emitted after the
-//     failure, so an emit-side checkpoint file always holds a clean prefix.
+//     emissions; executing items are discarded after completion, and items
+//     still queued skip fn entirely) and Stream returns that error. In
+//     ordered mode nothing is emitted after the failure, so an emit-side
+//     checkpoint file always holds a clean prefix. Stream returns only after
+//     every worker goroutine has exited — a halted pipeline leaks nothing.
 //
 // Stream returns nil only when every item was pulled, processed and emitted.
 func Stream[T, R any](ctx context.Context, cfg StreamConfig,
@@ -105,6 +116,15 @@ func Stream[T, R any](ctx context.Context, cfg StreamConfig,
 		go func() {
 			defer wg.Done()
 			for j := range work {
+				// After an emit failure nothing is delivered anymore, so items
+				// still queued at that point skip fn: a disconnected client
+				// must not keep paying for model adaptations it will never see.
+				select {
+				case <-stop:
+					results <- streamResult[T, R]{index: j.index, item: j.item, err: errStreamHalted}
+					continue
+				default:
+				}
 				val, err := isolate(j.index, func(int) (R, error) {
 					return fn(ctx, j.index, j.item)
 				})

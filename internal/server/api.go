@@ -1,0 +1,104 @@
+package server
+
+import (
+	"time"
+
+	"extrapdnn/internal/core"
+	"extrapdnn/internal/pmnf"
+)
+
+// Wire types of the modeling service. internal/client shares them, so the
+// daemon and its callers agree on the formats by construction; the shapes are
+// documented for external consumers in docs/SERVICE.md.
+
+// NoiseInfo is the noise analysis of a modeled measurement set.
+type NoiseInfo struct {
+	Global float64 `json:"global"`
+	Mean   float64 `json:"mean"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+}
+
+// SubResult is the outcome of one individual modeler (regression or DNN).
+type SubResult struct {
+	Model string  `json:"model"`
+	SMAPE float64 `json:"smape_pct"`
+}
+
+// DurationsMS breaks down where the server-side modeling time went, in
+// milliseconds. On the warm path AdaptMS is ~0: the adapted network came from
+// the shared cache and no training ran.
+type DurationsMS struct {
+	TotalMS      float64 `json:"total_ms"`
+	AdaptMS      float64 `json:"adapt_ms"`
+	DNNMS        float64 `json:"dnn_ms"`
+	RegressionMS float64 `json:"regression_ms"`
+}
+
+// ModelResponse is the JSON body of a successful POST /v1/model. Model is the
+// full structured PMNF model (including its rendered form), so clients can
+// evaluate predictions locally without re-parsing the formula.
+type ModelResponse struct {
+	Model          pmnf.Model  `json:"model"`
+	SMAPE          float64     `json:"smape_pct"`
+	Noise          NoiseInfo   `json:"noise"`
+	UsedRegression bool        `json:"used_regression"`
+	UsedDNN        bool        `json:"used_dnn"`
+	SelectedDNN    bool        `json:"selected_dnn"`
+	Regression     *SubResult  `json:"regression,omitempty"`
+	DNN            *SubResult  `json:"dnn,omitempty"`
+	Fallback       string      `json:"fallback,omitempty"`
+	AdaptAttempts  int         `json:"adapt_attempts,omitempty"`
+	Resilience     string      `json:"resilience"`
+	Durations      DurationsMS `json:"durations_ms"`
+}
+
+// NewModelResponse maps a core report onto the wire form.
+func NewModelResponse(rep core.Report) ModelResponse {
+	out := ModelResponse{
+		Model:          rep.Model.Model,
+		SMAPE:          rep.Model.SMAPE,
+		Noise:          NoiseInfo{Global: rep.Noise.Global, Mean: rep.Noise.Mean, Min: rep.Noise.Min, Max: rep.Noise.Max},
+		UsedRegression: rep.UsedRegression,
+		UsedDNN:        rep.UsedDNN,
+		SelectedDNN:    rep.SelectedDNN,
+		AdaptAttempts:  rep.Resilience.AdaptAttempts,
+		Resilience:     rep.Resilience.Outcome(),
+		Durations: DurationsMS{
+			TotalMS:      ms(rep.Durations.Total),
+			AdaptMS:      ms(rep.Durations.Adapt),
+			DNNMS:        ms(rep.Durations.DNN),
+			RegressionMS: ms(rep.Durations.Regression),
+		},
+	}
+	if rep.Resilience.Fallback != core.FallbackNone {
+		out.Fallback = rep.Resilience.Fallback.String()
+	}
+	if rep.Regression != nil {
+		out.Regression = &SubResult{Model: rep.Regression.Model.String(), SMAPE: rep.Regression.SMAPE}
+	}
+	if rep.DNN != nil {
+		out.DNN = &SubResult{Model: rep.DNN.Model.String(), SMAPE: rep.DNN.SMAPE}
+	}
+	return out
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// ErrorResponse is the JSON body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// HealthResponse is the body of GET /healthz. Status is "ok" while serving
+// and "draining" (with HTTP 503) once shutdown began, so load balancers stop
+// routing new work while in-flight campaigns complete.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Requests      uint64  `json:"requests_total"`
+	Kernels       uint64  `json:"kernels_total"`
+	InFlight      int64   `json:"in_flight"`
+	CacheHits     uint64  `json:"adapt_cache_hits"`
+	CacheMisses   uint64  `json:"adapt_cache_misses"`
+}

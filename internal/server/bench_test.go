@@ -1,0 +1,77 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"extrapdnn/internal/core"
+	"extrapdnn/internal/measurement"
+)
+
+func postTo(t testing.TB, s *Server, path string, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	return w
+}
+
+// BenchmarkServeProfile measures one end-to-end /v1/profile request (8 DNN
+// kernels) against the daemon in its two regimes:
+//
+//   - cold: a fresh adaptation cache every iteration, so all 8 kernels pay
+//     domain-adaptation training — the cost a request-scoped process (or the
+//     one-shot CLI) pays on every campaign.
+//   - warm: one long-lived server whose cache was primed by an identical
+//     earlier request — the daemon's steady state, zero training.
+//
+// The warm/cold ratio is the service's reason to exist; docs/PERFORMANCE.md
+// tracks it and scripts/bench.sh snapshots it into BENCH_<date>.json.
+func BenchmarkServeProfile(b *testing.B) {
+	testPretrained() // pay the fixture outside the timed regions
+	names := make([]string, 8)
+	for i := range names {
+		names[i] = fmt.Sprintf("kern%d", i)
+	}
+	setFor := func(i int) *measurement.Set {
+		slope := float64(i + 1)
+		return noisySet(int64(i+1), 0.02, func(x float64) float64 { return 1 + slope*x })
+	}
+	body := profileBody(b, names, setFor)
+
+	postProfile := func(b *testing.B, s *Server) {
+		b.Helper()
+		w := postTo(b, s, "/v1/profile", body)
+		if w.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", w.Code, w.Body)
+		}
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			m, err := core.New(testPretrained(), core.Config{Adapt: quietAdapt, Seed: 1, AdaptCacheSize: 16})
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := New(Config{Modeler: m})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			postProfile(b, s)
+		}
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		s, _ := newDNNServer(b, Config{})
+		postProfile(b, s) // prime the shared adaptation cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			postProfile(b, s)
+		}
+	})
+}

@@ -1,0 +1,49 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// errBusy reports that every modeling slot stayed occupied for the whole
+// queue timeout. Handlers map it to HTTP 503 with a Retry-After hint.
+var errBusy = errors.New("server: all modeling slots busy")
+
+// limiter bounds the modeling requests executing at once. It is a plain
+// counting semaphore with a bounded wait: a request beyond the concurrency
+// limit queues until a slot frees, its client disconnects, or the queue
+// timeout expires — so a traffic spike degrades into quick 503s instead of an
+// unbounded goroutine and memory pile-up behind the training-heavy handlers.
+type limiter struct {
+	slots   chan struct{}
+	timeout time.Duration
+}
+
+func newLimiter(n int, timeout time.Duration) *limiter {
+	return &limiter{slots: make(chan struct{}, n), timeout: timeout}
+}
+
+// acquire takes a slot, waiting up to the queue timeout. It returns nil on
+// success, errBusy on timeout, or ctx's error when the caller vanished while
+// queued.
+func (l *limiter) acquire(ctx context.Context) error {
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	obsQueueWaits.Inc()
+	t := time.NewTimer(l.timeout)
+	defer t.Stop()
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return errBusy
+	}
+}
+
+func (l *limiter) release() { <-l.slots }

@@ -1,0 +1,40 @@
+package server
+
+import "extrapdnn/internal/obs"
+
+// Server metric handles, registered once at package init (see internal/obs:
+// labels are baked into the handles, so the request path never formats or
+// allocates). The families appear on the daemon's own /metrics endpoint.
+var (
+	obsReqModel = obs.NewCounter("extrapdnn_server_requests_total",
+		"Modeling requests accepted, by endpoint.", "endpoint", "model")
+	obsReqProfile = obs.NewCounter("extrapdnn_server_requests_total",
+		"Modeling requests accepted, by endpoint.", "endpoint", "profile")
+	obsErrModel = obs.NewCounter("extrapdnn_server_request_errors_total",
+		"Requests that ended in an error response, by endpoint.", "endpoint", "model")
+	obsErrProfile = obs.NewCounter("extrapdnn_server_request_errors_total",
+		"Requests that ended in an error response, by endpoint.", "endpoint", "profile")
+
+	obsRejectedBusy = obs.NewCounter("extrapdnn_server_rejected_total",
+		"Requests rejected before modeling, by reason.", "reason", "busy")
+	obsRejectedDraining = obs.NewCounter("extrapdnn_server_rejected_total",
+		"Requests rejected before modeling, by reason.", "reason", "draining")
+	obsRejectedBadRequest = obs.NewCounter("extrapdnn_server_rejected_total",
+		"Requests rejected before modeling, by reason.", "reason", "bad_request")
+	obsRejectedOversize = obs.NewCounter("extrapdnn_server_rejected_total",
+		"Requests rejected before modeling, by reason.", "reason", "oversize")
+
+	obsQueueWaits = obs.NewCounter("extrapdnn_server_queue_waits_total",
+		"Requests that had to queue for a modeling slot.")
+	obsInFlight = obs.NewGauge("extrapdnn_server_in_flight",
+		"Modeling requests currently executing or queued.")
+	obsKernels = obs.NewCounter("extrapdnn_server_profile_kernels_total",
+		"Profile entries modeled across all /v1/profile requests.")
+	obsDisconnects = obs.NewCounter("extrapdnn_server_client_disconnects_total",
+		"Requests aborted because the client went away mid-stream.")
+
+	obsModelSeconds = obs.NewHistogram("extrapdnn_server_model_seconds",
+		"Wall time of /v1/model requests.", obs.ExpBuckets(0.001, 2, 16))
+	obsProfileSeconds = obs.NewHistogram("extrapdnn_server_profile_seconds",
+		"Wall time of /v1/profile requests.", obs.ExpBuckets(0.001, 2, 18))
+)

@@ -1,0 +1,433 @@
+// Package server is the warm-path modeling service behind cmd/modelerd: an
+// HTTP front end over one process-wide core.Modeler whose steady state does
+// zero training. The network is pretrained (or registry-loaded) once at
+// startup; every request models against that network, all requests share one
+// sharded adaptation cache, and concurrent same-signature adaptations —
+// arriving from different HTTP requests — coalesce through the cache's
+// singleflight, so N tenants asking about the same experiment layout cost one
+// retrain between them.
+//
+// Endpoints:
+//
+//	POST /v1/model    one measurement set (JSON) in, one ModelResponse out
+//	POST /v1/profile  profile stream (JSONL or legacy array) in, NDJSON
+//	                  result lines out, streamed with backpressure
+//	GET  /healthz     liveness + drain state + serving counters
+//	GET  /metrics     Prometheus text (also /metrics.json)
+//
+// Concurrency is bounded end to end: a counting semaphore caps the modeling
+// requests in flight (excess queues briefly, then 503s), and each profile
+// request streams through parallel.Stream with a bounded in-flight window, so
+// a campaign of any size runs in O(MaxInFlight) server memory. A client
+// disconnect cancels the request context and halts that request's pipeline;
+// queued-but-unstarted kernels skip training entirely.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"extrapdnn/internal/cliutil"
+	"extrapdnn/internal/core"
+	"extrapdnn/internal/measurement"
+	"extrapdnn/internal/obs"
+	"extrapdnn/internal/parallel"
+	"extrapdnn/internal/profile"
+)
+
+// Defaults for the capacity knobs (see docs/SERVICE.md for sizing guidance).
+const (
+	// DefaultQueueTimeout bounds how long a request beyond the concurrency
+	// limit waits for a modeling slot before it is rejected with 503.
+	DefaultQueueTimeout = 5 * time.Second
+	// DefaultMaxBodyBytes bounds request bodies (measurement sets and profile
+	// streams alike); oversize requests are rejected with 413.
+	DefaultMaxBodyBytes = 64 << 20
+)
+
+// Config configures a Server.
+type Config struct {
+	// Modeler is the shared adaptive modeler every request runs through. Its
+	// adaptation cache is the cross-request warm path; it must be non-nil.
+	Modeler *core.Modeler
+	// Workers bounds the concurrently modeled kernels per /v1/profile request
+	// (<= 0 means GOMAXPROCS).
+	Workers int
+	// MaxInFlight bounds the per-profile-request streaming window (<= 0 means
+	// 2*Workers); together with the streaming decode it caps the server
+	// memory per campaign request.
+	MaxInFlight int
+	// MaxConcurrent bounds the modeling requests (model + profile) executing
+	// at once (<= 0 means 2*GOMAXPROCS). /healthz and /metrics are exempt.
+	MaxConcurrent int
+	// QueueTimeout bounds the wait for a modeling slot (<= 0 means
+	// DefaultQueueTimeout).
+	QueueTimeout time.Duration
+	// MaxBodyBytes bounds request bodies (<= 0 means DefaultMaxBodyBytes).
+	MaxBodyBytes int64
+	// NoSanitize rejects measurement sets with bad points instead of
+	// repairing them, matching the CLI flag of the same name.
+	NoSanitize bool
+}
+
+// Server is the HTTP modeling service. Create with New, mount Handler on an
+// http.Server, and call Drain when shutdown begins so health checks steer new
+// traffic away while in-flight requests complete.
+type Server struct {
+	cfg     Config
+	modeler *core.Modeler
+	limiter *limiter
+	mux     *http.ServeMux
+	start   time.Time
+
+	draining   atomic.Bool
+	requests   atomic.Uint64
+	kernels    atomic.Uint64
+	inFlight   atomic.Int64
+	workers    int
+	maxBody    int64
+	readOpts   profile.ReadOptions
+	measureCfg measurement.ReadConfig
+}
+
+// New builds a Server over a shared modeler.
+func New(cfg Config) (*Server, error) {
+	if cfg.Modeler == nil {
+		return nil, fmt.Errorf("server: Config.Modeler is required")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	maxConc := cfg.MaxConcurrent
+	if maxConc <= 0 {
+		maxConc = 2 * runtime.GOMAXPROCS(0)
+	}
+	queueTimeout := cfg.QueueTimeout
+	if queueTimeout <= 0 {
+		queueTimeout = DefaultQueueTimeout
+	}
+	maxBody := cfg.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = DefaultMaxBodyBytes
+	}
+	s := &Server{
+		cfg:        cfg,
+		modeler:    cfg.Modeler,
+		limiter:    newLimiter(maxConc, queueTimeout),
+		mux:        http.NewServeMux(),
+		start:      time.Now(),
+		workers:    workers,
+		maxBody:    maxBody,
+		readOpts:   profile.ReadOptions{Read: measurement.ReadConfig{NoSanitize: cfg.NoSanitize}},
+		measureCfg: measurement.ReadConfig{NoSanitize: cfg.NoSanitize},
+	}
+	s.mux.HandleFunc("/v1/model", s.handleModel)
+	s.mux.HandleFunc("/v1/profile", s.handleProfile)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.Handle("/metrics", obs.MetricsHandler())
+	s.mux.Handle("/metrics.json", obs.JSONHandler())
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain flips the server into draining mode: /healthz starts reporting 503
+// and new modeling requests are rejected, while requests already executing
+// run to completion (http.Server.Shutdown provides the actual wait).
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Draining reports whether Drain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// InFlight returns the modeling requests currently executing.
+func (s *Server) InFlight() int64 { return s.inFlight.Load() }
+
+// Requests returns the modeling requests accepted since startup.
+func (s *Server) Requests() uint64 { return s.requests.Load() }
+
+// Kernels returns the profile entries modeled since startup (single-set
+// /v1/model requests count one kernel each).
+func (s *Server) Kernels() uint64 { return s.kernels.Load() }
+
+// writeError emits the uniform JSON error body.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// admit runs the shared front gate of the modeling endpoints: method check,
+// drain check, and the concurrency limiter. It returns false after writing
+// the rejection response; on true the caller owns one slot and must call
+// done().
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (done func(), ok bool) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return nil, false
+	}
+	if s.draining.Load() {
+		obsRejectedDraining.Inc()
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return nil, false
+	}
+	s.inFlight.Add(1)
+	obsInFlight.Add(1)
+	release := func() {
+		s.inFlight.Add(-1)
+		obsInFlight.Add(-1)
+	}
+	if err := s.limiter.acquire(r.Context()); err != nil {
+		release()
+		if errors.Is(err, errBusy) {
+			obsRejectedBusy.Inc()
+			writeError(w, http.StatusServiceUnavailable, "all modeling slots busy, retry later")
+		}
+		// A context error means the client vanished while queued; there is
+		// nobody left to answer.
+		return nil, false
+	}
+	s.requests.Add(1)
+	return func() {
+		s.limiter.release()
+		release()
+	}, true
+}
+
+// handleModel serves POST /v1/model: one measurement set in, one report out.
+// The warm path — an equal-signature request after the first — performs zero
+// training: the adapted network comes straight from the shared cache.
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	done, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer done()
+	obsReqModel.Inc()
+	start := time.Now()
+	ctx, span := obs.StartSpan(r.Context(), "server.request")
+	if span != nil {
+		span.SetString("endpoint", "model")
+		defer span.End()
+	}
+
+	set, err := measurement.ReadJSONWith(http.MaxBytesReader(w, r.Body, s.maxBody), s.measureCfg)
+	if err != nil {
+		s.rejectBody(w, span, "model", err)
+		return
+	}
+	rep, err := s.modeler.ModelCtx(ctx, set)
+	if err != nil {
+		if ctx.Err() != nil {
+			obsDisconnects.Inc()
+			return // client gone; nobody to answer
+		}
+		obsErrModel.Inc()
+		span.SetString("error", err.Error())
+		writeError(w, http.StatusUnprocessableEntity, "modeling failed: %v", err)
+		return
+	}
+	s.kernels.Add(1)
+	obsKernels.Inc()
+	obsModelSeconds.Observe(time.Since(start).Seconds())
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(NewModelResponse(rep))
+}
+
+// rejectBody classifies a request-decode failure into 413 (body cap) or 400
+// (malformed or invalid input) and counts it.
+func (s *Server) rejectBody(w http.ResponseWriter, span *obs.Span, endpoint string, err error) {
+	var tooLarge *http.MaxBytesError
+	status := http.StatusBadRequest
+	if errors.As(err, &tooLarge) {
+		status = http.StatusRequestEntityTooLarge
+		obsRejectedOversize.Inc()
+	} else {
+		obsRejectedBadRequest.Inc()
+	}
+	if endpoint == "model" {
+		obsErrModel.Inc()
+	} else {
+		obsErrProfile.Inc()
+	}
+	span.SetString("error", err.Error())
+	writeError(w, status, "%v", err)
+}
+
+// handleProfile serves POST /v1/profile: a profile stream (JSONL or the
+// legacy array format) in, one NDJSON result line per kernel out, in input
+// order. Decoding, modeling and emission are pipelined through
+// parallel.Stream, so the response starts flowing while later entries are
+// still decoding, at O(MaxInFlight) memory per request. All entries share
+// the process-wide adaptation cache, exactly like a local campaign run.
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	done, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer done()
+	obsReqProfile.Inc()
+	start := time.Now()
+	ctx, span := obs.StartSpan(r.Context(), "server.request")
+	if span != nil {
+		span.SetString("endpoint", "profile")
+		defer span.End()
+	}
+
+	sc, err := profile.NewScannerWith(http.MaxBytesReader(w, r.Body, s.maxBody), s.readOpts)
+	if err != nil {
+		s.rejectBody(w, span, "profile", err)
+		return
+	}
+
+	// The pipeline keeps reading the request body while result lines flow
+	// out; without full duplex, net/http closes the body at the first
+	// response write and every later entry would fail to decode. Best-effort:
+	// HTTP/2 is duplex natively and test recorders don't read-after-write.
+	_ = http.NewResponseController(w).EnableFullDuplex()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	entries := 0
+	runCtx, runSpan := obs.StartSpan(ctx, "profile.run")
+	if runSpan != nil {
+		defer func() {
+			runSpan.SetInt("entries", int64(entries))
+			runSpan.End()
+		}()
+	}
+	streamErr := parallel.Stream(ctx,
+		parallel.StreamConfig{Workers: s.workers, MaxInFlight: s.MaxInFlightBound(), Ordered: true},
+		sc.NextEntry,
+		func(_ context.Context, _ int, e profile.Entry) (core.Report, error) {
+			entryCtx, entrySpan := obs.StartSpan(runCtx, "profile.entry")
+			if entrySpan != nil {
+				entrySpan.SetString(obs.KernelAttr, e.Kernel)
+				entrySpan.SetString("metric", e.Metric)
+				defer entrySpan.End()
+			}
+			return s.modeler.ModelCtx(entryCtx, e.Set)
+		},
+		func(_ int, e profile.Entry, rep core.Report, entryErr error) error {
+			line := resultLine(e, rep, entryErr)
+			if err := enc.Encode(line); err != nil {
+				return err // client write failed: halt the pipeline
+			}
+			if flusher != nil {
+				flusher.Flush() // each line is delivered as it completes
+			}
+			entries++
+			s.kernels.Add(1)
+			obsKernels.Inc()
+			return nil
+		})
+
+	switch {
+	case streamErr == nil:
+	case ctx.Err() != nil:
+		// Client disconnect (or server shutdown cutting the base context):
+		// the pipeline drained, queued kernels skipped training, and the
+		// connection is dead — nothing more to write.
+		obsDisconnects.Inc()
+		obsErrProfile.Inc()
+		return
+	case isProfileDecodeErr(streamErr):
+		// The source failed mid-stream (malformed entry, duplicate kernel).
+		// The response is already 200 and N clean lines long, so the error
+		// travels as a kernel-less trailer line clients treat as fatal.
+		obsErrProfile.Inc()
+		span.SetString("error", streamErr.Error())
+		enc.Encode(cliutil.ResultLine{Error: streamErr.Error()})
+		return
+	default:
+		// Emit-side write error: the connection broke between lines.
+		obsDisconnects.Inc()
+		obsErrProfile.Inc()
+		return
+	}
+	obsProfileSeconds.Observe(time.Since(start).Seconds())
+}
+
+// MaxInFlightBound resolves the per-request streaming window.
+func (s *Server) MaxInFlightBound() int {
+	if s.cfg.MaxInFlight > 0 {
+		return s.cfg.MaxInFlight
+	}
+	return 2 * s.workers
+}
+
+// isProfileDecodeErr reports whether a Stream error came from the profile
+// source rather than the emit side: source errors are produced by the scanner
+// and are the only non-context, non-emit failures the pipeline returns.
+func isProfileDecodeErr(err error) bool {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return true
+	}
+	// Scanner errors are fmt-wrapped with the "profile:" prefix; emit errors
+	// are network write errors. Distinguishing them structurally would
+	// require threading a marker through Stream, so the scanner's stable
+	// prefix is the contract here (profile package tests pin it).
+	return strings.HasPrefix(err.Error(), "profile:")
+}
+
+// resultLine maps one modeled entry onto the shared JSONL result format —
+// the same pure function of the entry's measurement set that perfmodeler
+// -out-jsonl writes locally, so remote and local campaign results are
+// byte-identical line by line.
+func resultLine(e profile.Entry, rep core.Report, err error) cliutil.ResultLine {
+	if err != nil {
+		return cliutil.ResultLine{Kernel: e.Kernel, Metric: e.Metric, Error: err.Error()}
+	}
+	line := cliutil.ResultLine{
+		Kernel: e.Kernel,
+		Metric: e.Metric,
+		Model:  fmt.Sprint(rep.Model.Model),
+		SMAPE:  rep.Model.SMAPE,
+		Noise:  rep.Noise.Global,
+	}
+	if rep.SelectedDNN {
+		line.Selected = "dnn"
+	} else {
+		line.Selected = "regression"
+	}
+	if rep.Resilience.Fallback != core.FallbackNone {
+		line.Fallback = rep.Resilience.Fallback.String()
+	}
+	return line
+}
+
+// handleHealth serves GET /healthz: 200 while serving, 503 once draining.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.draining.Load() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	cache := s.modeler.CacheStats()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(HealthResponse{
+		Status:        status,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Requests:      s.requests.Load(),
+		Kernels:       s.kernels.Load(),
+		InFlight:      s.inFlight.Load(),
+		CacheHits:     cache.Hits,
+		CacheMisses:   cache.Misses,
+	})
+}

@@ -1,0 +1,521 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"extrapdnn/internal/cliutil"
+	"extrapdnn/internal/core"
+	"extrapdnn/internal/dnnmodel"
+	"extrapdnn/internal/measurement"
+	"extrapdnn/internal/obs"
+	"extrapdnn/internal/synth"
+)
+
+// The warm-path and coalescing gates below read process-global obs counters,
+// so metrics are on for the whole test binary and no test runs in parallel.
+func TestMain(m *testing.M) {
+	obs.EnableMetrics()
+	os.Exit(m.Run())
+}
+
+var (
+	pretrainedOnce sync.Once
+	pretrainedNet  *dnnmodel.Modeler
+)
+
+// testPretrained pretrains one tiny shared network (the expensive fixture),
+// exactly like the core package's test fixture.
+func testPretrained() *dnnmodel.Modeler {
+	pretrainedOnce.Do(func() {
+		pretrainedNet, _ = dnnmodel.Pretrain(dnnmodel.PretrainConfig{
+			Hidden:          dnnmodel.TinyTopology,
+			SamplesPerClass: 120,
+			Epochs:          6,
+			Seed:            1,
+		})
+	})
+	return pretrainedNet
+}
+
+var quietAdapt = dnnmodel.AdaptConfig{SamplesPerClass: 40, Epochs: 1}
+
+// newDNNServer builds a server over a fresh DNN modeler (its own adaptation
+// cache), so cache-stat assertions see only the test's own traffic.
+func newDNNServer(t testing.TB, cfg Config) (*Server, *core.Modeler) {
+	t.Helper()
+	m, err := core.New(testPretrained(), core.Config{Adapt: quietAdapt, Seed: 1, AdaptCacheSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Modeler = m
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, m
+}
+
+// newRegServer builds a server over a regression-only modeler — instant
+// modeling, for tests about HTTP mechanics rather than training.
+func newRegServer(t testing.TB, cfg Config) *Server {
+	t.Helper()
+	m, err := core.New(nil, core.Config{DisableDNN: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Modeler = m
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// noisySet builds a deterministic measurement set for f with multiplicative
+// noise, mirroring the core package's test data.
+func noisySet(seed int64, level float64, f func(x float64) float64) *measurement.Set {
+	rng := rand.New(rand.NewSource(seed))
+	s := &measurement.Set{}
+	for _, x := range []float64{4, 8, 16, 32, 64} {
+		vals := make([]float64, 5)
+		for r := range vals {
+			vals[r] = f(x) * synth.NoiseFactor(rng, level)
+		}
+		s.Data = append(s.Data, measurement.Measurement{Point: measurement.Point{x}, Values: vals})
+	}
+	return s
+}
+
+func setBody(t testing.TB, set *measurement.Set) []byte {
+	t.Helper()
+	b, err := json.Marshal(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// profileBody renders a JSONL profile request from kernel-name → set.
+func profileBody(t testing.TB, kernels []string, setFor func(i int) *measurement.Set) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.WriteString(`{"application":"test","param_names":["p"]}` + "\n")
+	enc := json.NewEncoder(&buf)
+	for i, k := range kernels {
+		if err := enc.Encode(map[string]any{
+			"kernel": k, "metric": "time", "measurements": setFor(i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func postModel(t testing.TB, s *Server, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/model", bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	return w
+}
+
+func trainEpochs() uint64 {
+	return obs.Default().Snapshot().Counter("extrapdnn_nn_train_epochs_total")
+}
+
+// TestModelWarmPathZeroTraining is the warm-path gate: the second identical
+// request must run zero training epochs — the whole point of the daemon —
+// and return the same model.
+func TestModelWarmPathZeroTraining(t *testing.T) {
+	s, m := newDNNServer(t, Config{})
+	body := setBody(t, noisySet(2, 0.02, func(x float64) float64 { return 5 + 2*x }))
+
+	cold := postModel(t, s, body)
+	if cold.Code != http.StatusOK {
+		t.Fatalf("cold request: status %d: %s", cold.Code, cold.Body)
+	}
+	epochsAfterCold := trainEpochs()
+	if epochsAfterCold == 0 {
+		t.Fatal("cold request trained no epochs; the gate below would be vacuous")
+	}
+
+	warm := postModel(t, s, body)
+	if warm.Code != http.StatusOK {
+		t.Fatalf("warm request: status %d: %s", warm.Code, warm.Body)
+	}
+	if d := trainEpochs() - epochsAfterCold; d != 0 {
+		t.Fatalf("warm path trained %d epochs, want 0", d)
+	}
+	if st := m.CacheStats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("cache stats after cold+warm: %+v, want 1 hit / 1 miss", st)
+	}
+
+	// The reports must agree modulo wall-clock durations and the
+	// execution-history fields (adapt_attempts, resilience), which
+	// deliberately distinguish a fresh adaptation from a cache hit.
+	if got, want := stripHistory(t, warm.Body.Bytes()), stripHistory(t, cold.Body.Bytes()); got != want {
+		t.Fatalf("warm response differs from cold:\ncold: %s\nwarm: %s", want, got)
+	}
+	var rep ModelResponse
+	if err := json.Unmarshal(warm.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Durations.AdaptMS > 1 {
+		t.Fatalf("warm adaptation took %.2fms, want ~0 (cache hit)", rep.Durations.AdaptMS)
+	}
+}
+
+func stripHistory(t *testing.T, body []byte) string {
+	t.Helper()
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatal(err)
+	}
+	delete(m, "durations_ms")
+	delete(m, "adapt_attempts")
+	delete(m, "resilience")
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// TestModelCoalescing is the coalescing gate: K concurrent requests with the
+// same task signature must cost exactly one adaptation between them.
+func TestModelCoalescing(t *testing.T) {
+	const k = 8
+	s, m := newDNNServer(t, Config{MaxConcurrent: k})
+	body := setBody(t, noisySet(3, 0.02, func(x float64) float64 { return 1 + x*x }))
+
+	var wg sync.WaitGroup
+	codes := make([]int, k)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i] = postModel(t, s, body).Code
+		}(i)
+	}
+	wg.Wait()
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, code)
+		}
+	}
+	if st := m.CacheStats(); st.Misses != 1 || st.Hits != k-1 {
+		t.Fatalf("%d concurrent same-signature requests: %+v, want 1 miss / %d hits", k, st, k-1)
+	}
+}
+
+// TestProfileConcurrentMixedLoad drives several campaign requests with
+// distinct kernels through one server at once (this is the test the -race
+// run leans on) and checks every response streams complete, ordered results.
+func TestProfileConcurrentMixedLoad(t *testing.T) {
+	s := newRegServer(t, Config{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const clients, kernels = 4, 6
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			names := make([]string, kernels)
+			for i := range names {
+				names[i] = fmt.Sprintf("client%d-kern%d", c, i)
+			}
+			body := profileBody(t, names, func(i int) *measurement.Set {
+				return noisySet(int64(100+c*kernels+i), 0.02, func(x float64) float64 {
+					return float64(c+1) + float64(i+1)*x
+				})
+			})
+			resp, err := http.Post(ts.URL+"/v1/profile", "application/x-ndjson", bytes.NewReader(body))
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[c] = fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			dec := json.NewDecoder(resp.Body)
+			for i := 0; dec.More(); i++ {
+				var line cliutil.ResultLine
+				if err := dec.Decode(&line); err != nil {
+					errs[c] = fmt.Errorf("line %d: %w", i, err)
+					return
+				}
+				if line.Error != "" {
+					errs[c] = fmt.Errorf("line %d (%s): %s", i, line.Kernel, line.Error)
+					return
+				}
+				if line.Kernel != names[i] {
+					errs[c] = fmt.Errorf("line %d: kernel %q, want %q (ordering broken)", i, line.Kernel, names[i])
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Errorf("client %d: %v", c, err)
+		}
+	}
+	if got := s.Kernels(); got != clients*kernels {
+		t.Fatalf("served %d kernels, want %d", got, clients*kernels)
+	}
+}
+
+// TestProfileClientDisconnect cancels a campaign request mid-stream and
+// checks the server notices, stops modeling, and releases the request slot.
+func TestProfileClientDisconnect(t *testing.T) {
+	s := newRegServer(t, Config{Workers: 1, MaxInFlight: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const total = 1500
+	names := make([]string, total)
+	for i := range names {
+		names[i] = fmt.Sprintf("kern%d", i)
+	}
+	body := profileBody(t, names, func(i int) *measurement.Set {
+		return noisySet(int64(i), 0.02, func(x float64) float64 { return 1 + x })
+	})
+
+	disconnectsBefore := obsDisconnects.Value()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/profile", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	// One delivered line proves the pipeline is running; then hang up.
+	if _, err := bufio.NewReader(resp.Body).ReadString('\n'); err != nil {
+		t.Fatalf("reading first result line: %v", err)
+	}
+	cancel()
+
+	waitIdle(t, s)
+	if got := s.Kernels(); got >= total {
+		t.Fatalf("server modeled all %d kernels despite the disconnect", total)
+	}
+	if d := obsDisconnects.Value() - disconnectsBefore; d == 0 {
+		t.Fatal("client disconnect not recorded")
+	}
+}
+
+// waitIdle polls until no modeling request is in flight.
+func waitIdle(t *testing.T, s *Server) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for s.InFlight() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("server still has %d requests in flight", s.InFlight())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestGracefulDrainCompletesInFlight starts a campaign, flips the server into
+// draining mode mid-request, and checks that new work is rejected while the
+// in-flight campaign streams to completion.
+func TestGracefulDrainCompletesInFlight(t *testing.T) {
+	s := newRegServer(t, Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	entry := func(name string) string {
+		set := noisySet(9, 0.02, func(x float64) float64 { return 2 * x })
+		b, err := json.Marshal(map[string]any{"kernel": name, "metric": "time", "measurements": set})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b) + "\n"
+	}
+
+	pr, pw := io.Pipe()
+	respCh := make(chan *http.Response, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/profile", "application/x-ndjson", pr)
+		respCh <- resp
+		errCh <- err
+	}()
+	if _, err := io.WriteString(pw, `{"application":"drain","param_names":["p"]}`+"\n"+entry("before-drain")); err != nil {
+		t.Fatal(err)
+	}
+	var resp *http.Response
+	select {
+	case resp = <-respCh:
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("no response headers within 10s")
+	}
+	defer resp.Body.Close()
+	br := bufio.NewReader(resp.Body)
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatalf("first result line: %v", err)
+	}
+
+	// The campaign above is mid-request; draining must reject new work...
+	s.Drain()
+	w := postModel(t, s, setBody(t, noisySet(2, 0.02, func(x float64) float64 { return x })))
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("modeling during drain: status %d, want 503", w.Code)
+	}
+	hw := httptest.NewRecorder()
+	s.Handler().ServeHTTP(hw, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if hw.Code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during drain: status %d, want 503", hw.Code)
+	}
+
+	// ...while the in-flight request runs to completion.
+	if _, err := io.WriteString(pw, entry("during-drain")); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+	rest, err := io.ReadAll(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(rest), `"kernel":"during-drain"`) {
+		t.Fatalf("in-flight campaign did not complete during drain; tail: %s", rest)
+	}
+	waitIdle(t, s)
+}
+
+// TestRejections pins the request-validation status codes: wrong method,
+// malformed bodies, and oversize bodies.
+func TestRejections(t *testing.T) {
+	s := newRegServer(t, Config{MaxBodyBytes: 2048})
+
+	get := httptest.NewRecorder()
+	s.Handler().ServeHTTP(get, httptest.NewRequest(http.MethodGet, "/v1/model", nil))
+	if get.Code != http.StatusMethodNotAllowed || get.Header().Get("Allow") != http.MethodPost {
+		t.Fatalf("GET /v1/model: status %d, Allow %q", get.Code, get.Header().Get("Allow"))
+	}
+
+	if w := postModel(t, s, []byte("{not json")); w.Code != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d, want 400", w.Code)
+	}
+
+	// A structurally valid but unmodelable set must be a 422, not a 500.
+	if w := postModel(t, s, []byte(`{"data":[]}`)); w.Code == http.StatusOK || w.Code >= 500 {
+		t.Fatalf("empty set: status %d, want a 4xx", w.Code)
+	}
+
+	// The decoder stops at the end of the JSON value, so the oversize body
+	// must be actual JSON past the cap, not padding.
+	bigSet := &measurement.Set{}
+	for i := 0; i < 200; i++ {
+		bigSet.Data = append(bigSet.Data, measurement.Measurement{
+			Point:  measurement.Point{float64(i + 1)},
+			Values: []float64{1.0001, 2.0002, 3.0003},
+		})
+	}
+	big := setBody(t, bigSet)
+	if len(big) <= 2048 {
+		t.Fatalf("test set only %d bytes, below the 2048 cap", len(big))
+	}
+	if w := postModel(t, s, big); w.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize body: status %d, want 413", w.Code)
+	}
+
+	pw := httptest.NewRecorder()
+	s.Handler().ServeHTTP(pw, httptest.NewRequest(http.MethodPost, "/v1/profile", strings.NewReader("[1,2,3]")))
+	if pw.Code != http.StatusBadRequest {
+		t.Fatalf("malformed profile header: status %d, want 400", pw.Code)
+	}
+}
+
+// TestProfileMidStreamFailureTrailer pins the stream-failure contract clients
+// rely on: results already modeled are delivered, then one kernel-less
+// trailer line carries the error.
+func TestProfileMidStreamFailureTrailer(t *testing.T) {
+	s := newRegServer(t, Config{Workers: 1})
+	good := profileBody(t, []string{"ok-kernel"}, func(int) *measurement.Set {
+		return noisySet(4, 0.02, func(x float64) float64 { return 3 * x })
+	})
+	body := append(good, []byte("this is not json\n")...)
+
+	req := httptest.NewRequest(http.MethodPost, "/v1/profile", bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d (the stream had already started; failures must ride the body)", w.Code)
+	}
+	dec := json.NewDecoder(w.Body)
+	var lines []cliutil.ResultLine
+	for dec.More() {
+		var line cliutil.ResultLine
+		if err := dec.Decode(&line); err != nil {
+			t.Fatalf("decoding response line %d: %v", len(lines), err)
+		}
+		lines = append(lines, line)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want good result + trailer: %+v", len(lines), lines)
+	}
+	if lines[0].Kernel != "ok-kernel" || lines[0].Error != "" {
+		t.Fatalf("first line should be the completed kernel: %+v", lines[0])
+	}
+	if lines[1].Kernel != "" || lines[1].Error == "" {
+		t.Fatalf("second line should be a kernel-less error trailer: %+v", lines[1])
+	}
+}
+
+// TestHealthAndMetricsServing checks the observability endpoints answer while
+// modeling traffic flows.
+func TestHealthAndMetricsServing(t *testing.T) {
+	s := newRegServer(t, Config{})
+	if w := postModel(t, s, setBody(t, noisySet(5, 0.02, func(x float64) float64 { return 7 * x }))); w.Code != http.StatusOK {
+		t.Fatalf("model request: status %d", w.Code)
+	}
+
+	hw := httptest.NewRecorder()
+	s.Handler().ServeHTTP(hw, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if hw.Code != http.StatusOK {
+		t.Fatalf("healthz: status %d", hw.Code)
+	}
+	var h HealthResponse
+	if err := json.Unmarshal(hw.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Requests != 1 || h.Kernels != 1 {
+		t.Fatalf("health body: %+v", h)
+	}
+
+	mw := httptest.NewRecorder()
+	s.Handler().ServeHTTP(mw, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if mw.Code != http.StatusOK || !strings.Contains(mw.Body.String(), "extrapdnn_server_requests_total") {
+		t.Fatalf("metrics: status %d, body lacks server families", mw.Code)
+	}
+}

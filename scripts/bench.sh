@@ -51,6 +51,9 @@ run internal/dnnmodel 'BenchmarkModelPerSet$|BenchmarkPredictBatch$' 5x
 run internal/adaptcache 'BenchmarkCacheContention$' 0.5s
 # Streaming campaign pipeline vs the slice path (incl. on-disk JSONL decode).
 run . 'BenchmarkModelProfileStream$' 5x
+# Daemon serving: one /v1/profile request cold (fresh adaptation cache, every
+# kernel trains) vs warm (steady state, zero training).
+run internal/server 'BenchmarkServeProfile$' 5x
 
 awk -v date="$DATE" -v goversion="$(go version)" -v count="$COUNT" '
     BEGIN {

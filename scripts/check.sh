@@ -40,6 +40,12 @@ go test -race -tags faultinject . ./internal/nn/... ./internal/core/... ./intern
 echo "==> go test -race (model registry: concurrent load/store on one directory)"
 go test -race -count=1 ./internal/modelregistry/
 
+echo "==> go test -race (modeling daemon: concurrent mixed load, disconnect, drain; HTTP client)"
+go test -race -count=1 ./internal/server/ ./internal/client/
+
+echo "==> warm-path gate (second identical request => zero training epochs) and coalescing gate (K concurrent same-signature requests => one adaptation)"
+go test -count=1 -run 'TestModelWarmPathZeroTraining|TestModelCoalescing' ./internal/server/
+
 echo "==> fuzz smoke (5s per reader target)"
 for target in FuzzReadText FuzzReadJSON FuzzReadExtraP; do
     go test -run '^$' -fuzz "^${target}\$" -fuzztime 5s ./internal/measurement/
