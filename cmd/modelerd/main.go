@@ -21,6 +21,15 @@
 // training run. SIGINT/SIGTERM starts a graceful drain: /healthz flips to
 // 503, new modeling requests are rejected, and in-flight requests complete
 // within -drain-timeout.
+//
+// SIGHUP hot-reloads the pretrained network (re-running the same -net /
+// -model-dir / pretrain resolution as startup) without dropping a single
+// request: in-flight campaigns finish on the network they started with, new
+// requests use the new one, and /healthz's reload_generation counts the
+// swaps. With -client-rate the daemon also rate-limits each client (keyed by
+// X-Client-ID, falling back to the remote address) in front of the shared
+// concurrency limiter, so one flooding tenant gets 429 + Retry-After instead
+// of starving everyone else.
 package main
 
 import (
@@ -52,6 +61,9 @@ func main() {
 		pprofFlag     = flag.Bool("pprof", false, "also serve net/http/pprof under /debug/pprof/")
 		tracePath     = flag.String("trace", "", "write a JSONL span trace of the daemon's requests to this file (empty = off)")
 		regOnly       = flag.Bool("regression-only", false, "serve only the classic regression modeler (no network, no training)")
+		clientRate    = flag.Float64("client-rate", 0, "per-client fairness: sustained requests/second each client may issue (0 = no per-client limit)")
+		clientBurst   = flag.Int("client-burst", 0, "per-client fairness: burst size admitted above the sustained rate (0 = default)")
+		clientQueue   = flag.Int("client-queue", 0, "per-client fairness: requests a client may have waiting for its rate window before 429 (0 = default, negative = reject immediately)")
 	)
 	mf := cliutil.RegisterModelerFlags()
 	flag.Parse()
@@ -86,10 +98,32 @@ func main() {
 		QueueTimeout:  *queueTimeout,
 		MaxBodyBytes:  *maxBody,
 		NoSanitize:    mf.NoSanitize,
+		ClientRate:    *clientRate,
+		ClientBurst:   *clientBurst,
+		ClientQueue:   *clientQueue,
 	})
 	if err != nil {
 		fatal(err)
 	}
+
+	// SIGHUP hot-reload: rebuild the modeler with the same flag resolution as
+	// startup and swap it in atomically. A failed rebuild keeps the current
+	// modeler serving — a reload can never take the daemon down.
+	reload := make(chan os.Signal, 1)
+	signal.Notify(reload, syscall.SIGHUP)
+	go func() {
+		for range reload {
+			start := time.Now()
+			m, err := mf.NewModeler(context.Background(), *regOnly, false)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "modelerd: reload failed, keeping current modeler: %v\n", err)
+				continue
+			}
+			gen := srv.Swap(m)
+			fmt.Fprintf(os.Stderr, "modelerd: modeler reloaded in %v (generation %d)\n",
+				time.Since(start).Round(time.Millisecond), gen)
+		}
+	}()
 
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())

@@ -52,6 +52,10 @@ func main() {
 		params         = flag.Int("params", 0, "number of execution parameters (text format without header)")
 		regressionOnly = flag.Bool("regression-only", false, "use only the classic regression modeler")
 		serverURL      = flag.String("server", "", "offload modeling to a running modelerd at this base URL (e.g. http://localhost:8080); skips all local training")
+		retries        = flag.Int("retries", client.DefaultMaxAttempts, "with -server: max consecutive attempts per request before giving up (1 = no retries, 0 = default)")
+		retryBudget    = flag.Duration("retry-budget", client.DefaultBudget, "with -server: cumulative backoff sleep allowed across one call's retries")
+		clientIDFlag   = flag.String("client-id", "", "with -server: X-Client-ID sent to the daemon's per-client fairness gate (empty = daemon keys on the remote address)")
+		streamIdle     = flag.Duration("stream-idle-timeout", 0, "with -server -profile: reconnect and resume if the result stream is silent this long (0 = off; beware slow cache-miss adaptations)")
 		outJSONL       = flag.String("out-jsonl", "", "with -profile: append one JSONL result line per kernel as it completes (the file doubles as the -resume checkpoint)")
 		resume         = flag.Bool("resume", false, "with -profile and -out-jsonl: skip kernels already in the results file and append the rest")
 		verbose        = flag.Bool("v", false, "print adaptation-cache statistics and the run-telemetry digest after modeling")
@@ -78,7 +82,11 @@ func main() {
 		if *regressionOnly {
 			fatal(fmt.Errorf("-regression-only is a daemon-side choice in -server mode: start modelerd -regression-only instead"))
 		}
-		runRemote(ctx, client.New(*serverURL), remoteOpts{
+		cl := client.New(*serverURL)
+		cl.ClientID = *clientIDFlag
+		cl.Retry = client.RetryPolicy{MaxAttempts: *retries, Budget: *retryBudget}
+		cl.IdleTimeout = *streamIdle
+		runRemote(ctx, cl, remoteOpts{
 			in: *in, format: *format, params: *params,
 			profilePath: *profilePath, filter: *kernelFilter,
 			outJSONL: *outJSONL, resume: *resume,
@@ -257,7 +265,7 @@ func runRemote(ctx context.Context, cl *client.Client, o remoteOpts, obsShutdown
 			fmt.Fprintln(os.Stderr, "perfmodeler:", runErr)
 		}
 		if o.verbose {
-			printDaemonStats(cl)
+			printDaemonStats(ctx, cl)
 		}
 		switch code := cliutil.CampaignExitCode(runErr, failed, total); code {
 		case cliutil.ExitOK:
@@ -313,7 +321,7 @@ func runRemote(ctx context.Context, cl *client.Client, o remoteOpts, obsShutdown
 	fmt.Printf("modeling time:     %.1fms on the daemon (adaptation %.1fms)\n",
 		resp.Durations.TotalMS, resp.Durations.AdaptMS)
 	if o.verbose {
-		printDaemonStats(cl)
+		printDaemonStats(ctx, cl)
 	}
 
 	if err := printPrediction(resp.Model, o.predict, o.interval, set, o.seed); err != nil {
@@ -327,8 +335,8 @@ func runRemote(ctx context.Context, cl *client.Client, o remoteOpts, obsShutdown
 // printDaemonStats is the -server counterpart of the local -v cache report:
 // the adaptation cache lives in the daemon, so its health endpoint is where
 // hit/miss counters come from.
-func printDaemonStats(cl *client.Client) {
-	h, err := cl.Health(context.Background())
+func printDaemonStats(ctx context.Context, cl *client.Client) {
+	h, err := cl.Health(ctx)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "perfmodeler: daemon stats unavailable: %v\n", err)
 		return

@@ -1,0 +1,309 @@
+// Package chaosproxy is a test-only network fault injector: a TCP relay that
+// sits between a client and a server and breaks the connection in scripted,
+// deterministic ways — an RST mid-body, a clean FIN that truncates a chunked
+// response, a stall that outlasts an idle timeout. It exists to drive the
+// resilient-serving test suite: every fault it can produce must land in the
+// client's retry/resume path (or a clean error), never in a wrong or torn
+// result.
+//
+// Faults are enqueued per connection: the Nth accepted connection consumes
+// the Nth queued fault (a connection with no queued fault relays cleanly).
+// Triggers fire on the response (server→client) byte stream, either after a
+// byte count or right after a byte pattern — e.g. a kernel name — has been
+// forwarded, which pins the cut to an exact position in the result stream
+// regardless of how the kernel's JSON is split across TCP segments and HTTP
+// chunks. The request direction is always relayed untouched.
+//
+// It is imported only from _test files; nothing in the serving path depends
+// on it.
+package chaosproxy
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Kind selects what happens to the connection when a fault's trigger fires.
+type Kind int
+
+const (
+	// KindNone relays cleanly (the zero value: no fault).
+	KindNone Kind = iota
+	// KindReset aborts the client connection with a TCP RST (SO_LINGER 0),
+	// the "connection reset by peer" a crashed or rebooted server produces.
+	KindReset
+	// KindTruncate half-closes the client connection cleanly (FIN) mid-body.
+	// Under chunked encoding the client sees a well-formed TCP close but an
+	// unterminated HTTP body — the subtler truncation a dying proxy produces.
+	KindTruncate
+	// KindStall stops forwarding response bytes without closing anything —
+	// the connection looks alive but goes silent, which only an idle timeout
+	// or deadline can detect. Fault.Stall bounds the stall; 0 stalls until
+	// the connection or the proxy is torn down.
+	KindStall
+)
+
+// Fault is one scripted connection failure. Exactly one trigger applies:
+// AfterPattern when non-empty (fires right after the pattern's last byte is
+// forwarded to the client), else AfterBytes (fires once that many response
+// bytes have been forwarded; 0 fires before the first byte).
+type Fault struct {
+	Kind         Kind
+	AfterBytes   int64
+	AfterPattern string
+	// Stall bounds a KindStall: forwarding resumes after this long. 0 means
+	// stall until the connection dies or the proxy closes.
+	Stall time.Duration
+}
+
+// Proxy is the relay. Create with New, point the client at URL, script
+// faults with Enqueue, and Close when done (Close waits for all relay
+// goroutines, so tests under -race see no leaks).
+type Proxy struct {
+	ln     net.Listener
+	target string
+	done   chan struct{}
+	wg     sync.WaitGroup
+
+	mu       sync.Mutex
+	queue    []Fault
+	open     map[net.Conn]struct{}
+	conns    int
+	injected int
+	closed   bool
+}
+
+// New starts a proxy on a fresh localhost port relaying to target
+// (host:port).
+func New(target string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		ln:     ln,
+		target: target,
+		done:   make(chan struct{}),
+		open:   make(map[net.Conn]struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// URL returns the proxy's base URL for an HTTP client.
+func (p *Proxy) URL() string { return "http://" + p.ln.Addr().String() }
+
+// Addr returns the proxy's listen address.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Enqueue appends faults to the per-connection script: the next accepted
+// connection consumes the first queued fault, and so on.
+func (p *Proxy) Enqueue(faults ...Fault) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.queue = append(p.queue, faults...)
+}
+
+// Connections returns how many connections the proxy has accepted.
+func (p *Proxy) Connections() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.conns
+}
+
+// Injected returns how many faults actually fired (a queued fault whose
+// connection ended before the trigger does not count).
+func (p *Proxy) Injected() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.injected
+}
+
+// Close stops accepting, tears down every live connection, and waits for all
+// relay goroutines to exit.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	conns := make([]net.Conn, 0, len(p.open))
+	for c := range p.open {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	close(p.done)
+	p.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	p.wg.Wait()
+}
+
+// track registers a live connection for teardown; false means the proxy is
+// already closing and the connection was closed instead.
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		c.Close()
+		return false
+	}
+	p.open[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.open, c)
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		p.conns++
+		var f Fault
+		if len(p.queue) > 0 {
+			f = p.queue[0]
+			p.queue = p.queue[1:]
+		}
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go p.relay(client, f)
+	}
+}
+
+func (p *Proxy) relay(client net.Conn, f Fault) {
+	defer p.wg.Done()
+	if !p.track(client) {
+		return
+	}
+	defer func() { p.untrack(client); client.Close() }()
+	up, err := net.Dial("tcp", p.target)
+	if err != nil {
+		return
+	}
+	if !p.track(up) {
+		return
+	}
+	defer func() { p.untrack(up); up.Close() }()
+
+	// Request direction: always relayed untouched. Half-close the upstream
+	// write side on client EOF so the server sees the request body end.
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		io.Copy(up, client)
+		if tc, ok := up.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+	}()
+
+	p.copyResponse(client, up, f)
+}
+
+// copyResponse relays server→client until EOF or until the fault's trigger
+// fires.
+func (p *Proxy) copyResponse(dst, src net.Conn, f Fault) {
+	if f.Kind == KindNone {
+		io.Copy(dst, src)
+		return
+	}
+	var (
+		pat       = []byte(f.AfterPattern)
+		tail      []byte // last len(pat)-1 forwarded bytes, for cross-segment matches
+		forwarded int64
+		buf       = make([]byte, 32<<10)
+	)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			chunk := buf[:n]
+			cut := -1 // bytes of chunk to forward before firing
+			if len(pat) > 0 {
+				window := make([]byte, 0, len(tail)+n)
+				window = append(window, tail...)
+				window = append(window, chunk...)
+				if i := bytes.Index(window, pat); i >= 0 {
+					cut = i + len(pat) - len(tail)
+					if cut < 0 {
+						cut = 0
+					}
+				} else {
+					keep := len(pat) - 1
+					if keep > len(window) {
+						keep = len(window)
+					}
+					tail = append(tail[:0], window[len(window)-keep:]...)
+				}
+			} else if forwarded+int64(n) >= f.AfterBytes {
+				cut = int(f.AfterBytes - forwarded)
+				if cut < 0 {
+					cut = 0
+				}
+			}
+			if cut >= 0 {
+				if cut > 0 {
+					dst.Write(chunk[:cut])
+				}
+				p.fire(dst, src, f, chunk[cut:])
+				return
+			}
+			if _, werr := dst.Write(chunk); werr != nil {
+				return
+			}
+			forwarded += int64(n)
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// fire executes the fault. rest is the already-read remainder of the
+// triggering segment, forwarded after a bounded stall resumes.
+func (p *Proxy) fire(dst, src net.Conn, f Fault, rest []byte) {
+	p.mu.Lock()
+	p.injected++
+	p.mu.Unlock()
+	switch f.Kind {
+	case KindReset:
+		if tc, ok := dst.(*net.TCPConn); ok {
+			tc.SetLinger(0) // RST instead of FIN
+		}
+		dst.Close()
+		src.Close()
+	case KindTruncate:
+		dst.Close() // clean FIN; the HTTP body is simply unterminated
+		src.Close()
+	case KindStall:
+		if f.Stall <= 0 {
+			<-p.done // silent until the proxy (or the peer) gives up
+			return
+		}
+		t := time.NewTimer(f.Stall)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-p.done:
+			return
+		}
+		if len(rest) > 0 {
+			if _, err := dst.Write(rest); err != nil {
+				return
+			}
+		}
+		io.Copy(dst, src) // bounded stall: resume cleanly
+	}
+}

@@ -1,0 +1,246 @@
+package chaosproxy
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// collect drains a conn into a string until EOF/error.
+func collect(t *testing.T, c net.Conn) string {
+	t.Helper()
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	b, _ := io.ReadAll(c)
+	return string(b)
+}
+
+// runFault pushes the writes through copyResponse with the given fault and
+// returns what reached the client side. net.Pipe preserves write boundaries,
+// so the segmentation of the response stream is exactly the test's script.
+func runFault(t *testing.T, f Fault, writes []string) string {
+	t.Helper()
+	p := &Proxy{done: make(chan struct{})}
+	defer close(p.done)
+	upClient, upServer := net.Pipe() // upstream side: upServer is "the daemon"
+	dnServer, dnClient := net.Pipe() // downstream side: dnClient is "the client"
+	go func() {
+		for _, w := range writes {
+			if _, err := upServer.Write([]byte(w)); err != nil {
+				return
+			}
+		}
+		upServer.Close()
+	}()
+	go func() {
+		p.copyResponse(dnServer, upClient, f)
+		dnServer.Close()
+		upClient.Close()
+	}()
+	got := collect(t, dnClient)
+	dnClient.Close()
+	return got
+}
+
+func TestPatternTriggerAcrossSegments(t *testing.T) {
+	// The pattern spans three TCP segments; the cut must land exactly after
+	// its last byte regardless of the segmentation.
+	got := runFault(t,
+		Fault{Kind: KindTruncate, AfterPattern: "cdef"},
+		[]string{"abc", "de", "fgh", "never forwarded"})
+	if got != "abcdef" {
+		t.Fatalf("forwarded %q, want exactly the prefix through the pattern", got)
+	}
+}
+
+func TestPatternTriggerWithinOneSegment(t *testing.T) {
+	got := runFault(t,
+		Fault{Kind: KindTruncate, AfterPattern: "ll"},
+		[]string{"hello world"})
+	if got != "hell" {
+		t.Fatalf("forwarded %q, want %q", got, "hell")
+	}
+}
+
+func TestByteTrigger(t *testing.T) {
+	got := runFault(t,
+		Fault{Kind: KindTruncate, AfterBytes: 4},
+		[]string{"abcdefgh"})
+	if got != "abcd" {
+		t.Fatalf("forwarded %q, want the first 4 bytes", got)
+	}
+}
+
+func TestByteTriggerZeroCutsBeforeFirstByte(t *testing.T) {
+	if got := runFault(t, Fault{Kind: KindTruncate}, []string{"abc"}); got != "" {
+		t.Fatalf("forwarded %q, want nothing", got)
+	}
+}
+
+func TestNoFaultRelaysEverything(t *testing.T) {
+	got := runFault(t, Fault{}, []string{"abc", "def"})
+	if got != "abcdef" {
+		t.Fatalf("clean relay forwarded %q", got)
+	}
+}
+
+func TestBoundedStallResumesWithRemainder(t *testing.T) {
+	start := time.Now()
+	got := runFault(t,
+		Fault{Kind: KindStall, AfterPattern: "b", Stall: 50 * time.Millisecond},
+		[]string{"abcd", "ef"})
+	if got != "abcdef" {
+		t.Fatalf("stall-resume forwarded %q, want everything", got)
+	}
+	if time.Since(start) < 50*time.Millisecond {
+		t.Fatal("stall did not actually stall")
+	}
+}
+
+func TestEndToEndRelayAndClose(t *testing.T) {
+	up, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer up.Close()
+	go func() {
+		for {
+			c, err := up.Accept()
+			if err != nil {
+				return
+			}
+			c.Write([]byte("hello from upstream"))
+			c.Close()
+		}
+	}()
+
+	px, err := New(up.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := net.Dial("tcp", px.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, c); got != "hello from upstream" {
+		t.Fatalf("relayed %q", got)
+	}
+	c.Close()
+	if px.Connections() != 1 || px.Injected() != 0 {
+		t.Fatalf("connections=%d injected=%d", px.Connections(), px.Injected())
+	}
+	done := make(chan struct{})
+	go func() { px.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung")
+	}
+}
+
+func TestCloseTearsDownForeverStall(t *testing.T) {
+	up, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer up.Close()
+	go func() {
+		for {
+			c, err := up.Accept()
+			if err != nil {
+				return
+			}
+			c.Write([]byte("data you will never see"))
+			// keep the upstream open: the stall owns the connection now
+		}
+	}()
+
+	px, err := New(up.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	px.Enqueue(Fault{Kind: KindStall}) // silent forever
+	c, err := net.Dial("tcp", px.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+	if n, _ := c.Read(make([]byte, 64)); n != 0 {
+		t.Fatalf("read %d bytes through a stalled proxy", n)
+	}
+	done := make(chan struct{})
+	go func() { px.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on a stalled relay")
+	}
+}
+
+func TestHTTPFaultsScript(t *testing.T) {
+	hf := WrapHTTP(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	ts := httptest.NewServer(hf)
+	defer ts.Close()
+	hf.FailNext(1, http.StatusServiceUnavailable, 7)
+
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("scripted status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") != "7" {
+		t.Fatalf("Retry-After %q, want 7", resp.Header.Get("Retry-After"))
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Fatalf("fault body should be a JSON error: %q", body)
+	}
+
+	resp, err = http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "ok" {
+		t.Fatalf("post-script request: %d %q", resp.StatusCode, body)
+	}
+	if hf.Requests() != 2 || hf.Injected() != 1 {
+		t.Fatalf("requests=%d injected=%d", hf.Requests(), hf.Injected())
+	}
+
+	hf.FailAll(http.StatusServiceUnavailable, 0)
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("FailAll request %d: %d", i, resp.StatusCode)
+		}
+	}
+	hf.Clear()
+	resp, err = http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("after Clear: %d", resp.StatusCode)
+	}
+}

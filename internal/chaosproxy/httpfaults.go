@@ -1,0 +1,90 @@
+package chaosproxy
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// HTTPFaults injects HTTP-level faults in front of a handler: scripted
+// requests get a canned error status (a 503 burst, a 429 with Retry-After)
+// instead of reaching the handler. Where Proxy breaks the transport,
+// HTTPFaults exercises the status-code half of the client's retry policy —
+// including the no-retry-storm property under a server that refuses forever.
+type HTTPFaults struct {
+	next http.Handler
+
+	mu         sync.Mutex
+	failNext   int // fail this many upcoming requests...
+	failAll    bool
+	status     int // ...with this status
+	retryAfter int // Retry-After seconds (0 = no header)
+	requests   int
+	injected   int
+}
+
+// WrapHTTP wraps next; with no faults scripted it is a transparent pass-through.
+func WrapHTTP(next http.Handler) *HTTPFaults {
+	return &HTTPFaults{next: next}
+}
+
+// FailNext makes the next n requests fail with status; retryAfterSecs > 0
+// adds a Retry-After header.
+func (h *HTTPFaults) FailNext(n, status, retryAfterSecs int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.failNext, h.failAll, h.status, h.retryAfter = n, false, status, retryAfterSecs
+}
+
+// FailAll makes every request fail with status until Clear — the
+// dead-forever server a retry budget must give up on.
+func (h *HTTPFaults) FailAll(status, retryAfterSecs int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.failAll, h.failNext, h.status, h.retryAfter = true, 0, status, retryAfterSecs
+}
+
+// Clear removes any scripted fault.
+func (h *HTTPFaults) Clear() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.failAll, h.failNext = false, 0
+}
+
+// Requests returns how many requests arrived (including injected failures).
+func (h *HTTPFaults) Requests() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.requests
+}
+
+// Injected returns how many requests were failed by the script.
+func (h *HTTPFaults) Injected() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.injected
+}
+
+func (h *HTTPFaults) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mu.Lock()
+	h.requests++
+	inject := h.failAll || h.failNext > 0
+	status, after := h.status, h.retryAfter
+	if inject {
+		if h.failNext > 0 {
+			h.failNext--
+		}
+		h.injected++
+	}
+	h.mu.Unlock()
+	if !inject {
+		h.next.ServeHTTP(w, r)
+		return
+	}
+	if after > 0 {
+		w.Header().Set("Retry-After", fmt.Sprint(after))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	fmt.Fprintf(w, `{"error":"chaosproxy: injected %d"}`, status)
+}

@@ -1,0 +1,379 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"extrapdnn/internal/chaosproxy"
+	"extrapdnn/internal/cliutil"
+	"extrapdnn/internal/core"
+	"extrapdnn/internal/profile"
+	"extrapdnn/internal/server"
+)
+
+// The network chaos suite: every fault the chaos proxy can inject — RST
+// mid-body, clean-FIN truncation, a silent stall, 5xx/429 bursts — must land
+// in the client's retry/resume/fallback path and never in a wrong, torn, or
+// duplicated result. Campaign outputs after faults are compared byte-for-byte
+// against an unfaulted run.
+
+// fastRetry is the test retry policy: real retry semantics, microscopic
+// sleeps, deterministic zero jitter.
+func fastRetry() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    2 * time.Millisecond,
+		Budget:      5 * time.Second,
+		Rand:        func() float64 { return 0 },
+	}
+}
+
+// chaosDaemon stands up a regression daemon behind a chaos proxy and a client
+// pointed through it. Keep-alives are off so connection N maps to request N —
+// the property the per-connection fault script depends on.
+func chaosDaemon(t *testing.T, cfg server.Config) (*Client, *chaosproxy.Proxy) {
+	t.Helper()
+	m, err := core.New(nil, core.Config{DisableDNN: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Modeler = m
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	u, err := url.Parse(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	px, err := chaosproxy.New(u.Host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(px.Close)
+	tr := &http.Transport{DisableKeepAlives: true}
+	t.Cleanup(tr.CloseIdleConnections)
+	cl := New(px.URL())
+	cl.HTTPClient = &http.Client{Transport: tr}
+	cl.Retry = fastRetry()
+	return cl, px
+}
+
+// runCampaign streams entries and returns each emitted line marshaled back to
+// JSON — the byte-identity currency of the suite.
+func runCampaign(t *testing.T, cl *Client, entries []profile.Entry) ([]string, int, error) {
+	t.Helper()
+	var lines []string
+	n, err := cl.StreamProfile(context.Background(), "app", []string{"p"}, profile.Entries(entries),
+		func(l cliutil.ResultLine) error {
+			b, mErr := json.Marshal(l)
+			if mErr != nil {
+				t.Fatal(mErr)
+			}
+			lines = append(lines, string(b))
+			return nil
+		})
+	return lines, n, err
+}
+
+// baselineLines runs the campaign against an unproxied, unfaulted daemon.
+func baselineLines(t *testing.T, n int) []string {
+	t.Helper()
+	cl, _ := newDaemon(t, server.Config{Workers: 2})
+	lines, emitted, err := runCampaign(t, cl, testEntries(n))
+	if err != nil || emitted != n {
+		t.Fatalf("baseline run: emitted=%d err=%v", emitted, err)
+	}
+	return lines
+}
+
+func TestChaosResetMidStreamResumesByteIdentical(t *testing.T) {
+	want := baselineLines(t, 6)
+	cl, px := chaosDaemon(t, server.Config{Workers: 2})
+	// RST the connection right after kern3's name hits the wire: lines 0-2
+	// are confirmed, kern3 is torn mid-line, kern3-5 must resume.
+	px.Enqueue(chaosproxy.Fault{Kind: chaosproxy.KindReset, AfterPattern: `"kern3"`})
+
+	got, n, err := runCampaign(t, cl, testEntries(6))
+	if err != nil {
+		t.Fatalf("campaign through a reset: %v", err)
+	}
+	if n != 6 || !reflect.DeepEqual(got, want) {
+		t.Fatalf("resumed output differs from the uninterrupted run:\ngot  %v\nwant %v", got, want)
+	}
+	if px.Injected() != 1 {
+		t.Fatalf("injected %d faults, want 1", px.Injected())
+	}
+	if px.Connections() != 2 {
+		t.Fatalf("%d connections, want 2 (original + one resume)", px.Connections())
+	}
+}
+
+func TestChaosTruncateMidStreamResumesByteIdentical(t *testing.T) {
+	want := baselineLines(t, 5)
+	cl, px := chaosDaemon(t, server.Config{Workers: 2})
+	// Clean FIN mid-body: under chunked encoding the TCP close is orderly but
+	// the HTTP body is unterminated — the decoder's unexpected EOF must read
+	// as "resume", not "done".
+	px.Enqueue(chaosproxy.Fault{Kind: chaosproxy.KindTruncate, AfterPattern: `"kern1"`})
+
+	got, n, err := runCampaign(t, cl, testEntries(5))
+	if err != nil {
+		t.Fatalf("campaign through a truncation: %v", err)
+	}
+	if n != 5 || !reflect.DeepEqual(got, want) {
+		t.Fatalf("resumed output differs from the uninterrupted run:\ngot  %v\nwant %v", got, want)
+	}
+	if px.Injected() != 1 || px.Connections() != 2 {
+		t.Fatalf("injected=%d connections=%d, want 1 fault and 2 connections", px.Injected(), px.Connections())
+	}
+}
+
+func TestChaosRepeatedFaultsStillConverge(t *testing.T) {
+	want := baselineLines(t, 8)
+	cl, px := chaosDaemon(t, server.Config{Workers: 2})
+	// Two faults on consecutive connections. Each resumed attempt confirms
+	// new lines first, so the consecutive-failure count resets and the
+	// campaign converges well within the per-fault attempt limit.
+	px.Enqueue(
+		chaosproxy.Fault{Kind: chaosproxy.KindReset, AfterPattern: `"kern2"`},
+		chaosproxy.Fault{Kind: chaosproxy.KindTruncate, AfterPattern: `"kern5"`},
+	)
+
+	got, n, err := runCampaign(t, cl, testEntries(8))
+	if err != nil {
+		t.Fatalf("campaign through two faults: %v", err)
+	}
+	if n != 8 || !reflect.DeepEqual(got, want) {
+		t.Fatalf("twice-resumed output differs from the uninterrupted run:\ngot  %v\nwant %v", got, want)
+	}
+	if px.Injected() != 2 || px.Connections() != 3 {
+		t.Fatalf("injected=%d connections=%d, want 2 faults and 3 connections", px.Injected(), px.Connections())
+	}
+}
+
+func TestChaosStallTripsIdleWatchdogAndResumes(t *testing.T) {
+	want := baselineLines(t, 4)
+	cl, px := chaosDaemon(t, server.Config{Workers: 2})
+	cl.IdleTimeout = 150 * time.Millisecond
+	// The connection goes silent forever after kern1 — only the idle watchdog
+	// can notice. It must tear the body down and resume on a fresh connection.
+	px.Enqueue(chaosproxy.Fault{Kind: chaosproxy.KindStall, AfterPattern: `"kern1"`})
+
+	got, n, err := runCampaign(t, cl, testEntries(4))
+	if err != nil {
+		t.Fatalf("campaign through a stall: %v", err)
+	}
+	if n != 4 || !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-stall output differs from the uninterrupted run:\ngot  %v\nwant %v", got, want)
+	}
+	if px.Connections() != 2 {
+		t.Fatalf("%d connections, want 2 (stalled + resume)", px.Connections())
+	}
+}
+
+func TestChaosNoIdleTimeoutToleratesBoundedStall(t *testing.T) {
+	// Without an idle timeout a bounded stall is just latency: no retry, no
+	// resume, one connection, identical output.
+	want := baselineLines(t, 3)
+	cl, px := chaosDaemon(t, server.Config{Workers: 2})
+	px.Enqueue(chaosproxy.Fault{Kind: chaosproxy.KindStall, AfterPattern: `"kern1"`, Stall: 100 * time.Millisecond})
+
+	got, n, err := runCampaign(t, cl, testEntries(3))
+	if err != nil {
+		t.Fatalf("campaign through a bounded stall: %v", err)
+	}
+	if n != 3 || !reflect.DeepEqual(got, want) {
+		t.Fatalf("stalled output differs:\ngot  %v\nwant %v", got, want)
+	}
+	if px.Connections() != 1 {
+		t.Fatalf("%d connections, want 1 (a bounded stall is not a fault)", px.Connections())
+	}
+}
+
+// --- HTTP-level faults -------------------------------------------------------
+
+// faultedDaemon stands up a regression daemon behind the HTTP fault injector
+// (no TCP proxy): scripted requests get canned error statuses.
+func faultedDaemon(t *testing.T, cfg server.Config) (*Client, *chaosproxy.HTTPFaults) {
+	t.Helper()
+	m, err := core.New(nil, core.Config{DisableDNN: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Modeler = m
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hf := chaosproxy.WrapHTTP(srv.Handler())
+	ts := httptest.NewServer(hf)
+	t.Cleanup(ts.Close)
+	cl := New(ts.URL)
+	cl.Retry = fastRetry()
+	return cl, hf
+}
+
+func TestChaos503BurstRetriedThenSucceeds(t *testing.T) {
+	cl, hf := faultedDaemon(t, server.Config{})
+	hf.FailNext(2, http.StatusServiceUnavailable, 0)
+
+	set := testSet(1, func(x float64) float64 { return 5 + 2*x })
+	resp, err := cl.Model(context.Background(), set)
+	if err != nil {
+		t.Fatalf("model through a 503 burst: %v", err)
+	}
+	if resp.Model.String() == "" {
+		t.Fatal("empty model after retries")
+	}
+	if hf.Requests() != 3 || hf.Injected() != 2 {
+		t.Fatalf("requests=%d injected=%d, want 3 and 2", hf.Requests(), hf.Injected())
+	}
+}
+
+func TestChaosStreamRejectedThenResumed(t *testing.T) {
+	want := baselineLines(t, 3)
+	cl, hf := faultedDaemon(t, server.Config{Workers: 2})
+	hf.FailNext(1, http.StatusTooManyRequests, 0)
+
+	got, n, err := runCampaign(t, cl, testEntries(3))
+	if err != nil {
+		t.Fatalf("campaign through a 429: %v", err)
+	}
+	if n != 3 || !reflect.DeepEqual(got, want) {
+		t.Fatalf("output differs after a pre-stream 429:\ngot  %v\nwant %v", got, want)
+	}
+	if hf.Injected() != 1 {
+		t.Fatalf("injected %d, want 1", hf.Injected())
+	}
+}
+
+func TestChaosSustained503IsBoundedNoRetryStorm(t *testing.T) {
+	// A daemon that refuses forever must produce a bounded number of requests
+	// and a prompt, explanatory failure — never a retry storm.
+	cl, hf := faultedDaemon(t, server.Config{})
+	hf.FailAll(http.StatusServiceUnavailable, 0)
+	cl.Retry = RetryPolicy{
+		MaxAttempts: 6,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    2 * time.Millisecond,
+		Budget:      time.Second,
+		Rand:        func() float64 { return 1 },
+	}
+
+	start := time.Now()
+	_, err := cl.Model(context.Background(), testSet(1, func(x float64) float64 { return x }))
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("sustained 503 must eventually fail")
+	}
+	if !strings.Contains(err.Error(), "giving up") || !strings.Contains(err.Error(), "503") {
+		t.Fatalf("failure should name the attempts and the status: %v", err)
+	}
+	if hf.Requests() != 6 {
+		t.Fatalf("%d requests against a dead daemon, want exactly MaxAttempts (6)", hf.Requests())
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("gave up after %v — backoff not bounded", elapsed)
+	}
+}
+
+func TestChaosRetryBudgetCapsSleep(t *testing.T) {
+	// Retry-After demands 1s per attempt but the budget allows well under
+	// one such sleep: the client must give up on the budget, not honor the
+	// server into a stall.
+	cl, hf := faultedDaemon(t, server.Config{})
+	hf.FailAll(http.StatusServiceUnavailable, 1)
+	cl.Retry = RetryPolicy{MaxAttempts: 10, Budget: 500 * time.Millisecond, Rand: func() float64 { return 0 }}
+
+	start := time.Now()
+	_, err := cl.Model(context.Background(), testSet(1, func(x float64) float64 { return x }))
+	if err == nil || !strings.Contains(err.Error(), "retry budget") {
+		t.Fatalf("err = %v, want a retry-budget failure", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("budget of 500ms allowed %v of retrying", elapsed)
+	}
+	if hf.Requests() != 1 {
+		t.Fatalf("%d requests, want 1 (the first Retry-After already exceeds the budget)", hf.Requests())
+	}
+}
+
+func TestChaosFatalStatusNotRetried(t *testing.T) {
+	cl, hf := faultedDaemon(t, server.Config{})
+	hf.FailNext(1, http.StatusBadRequest, 0)
+
+	_, err := cl.Model(context.Background(), testSet(1, func(x float64) float64 { return x }))
+	if err == nil || !strings.Contains(err.Error(), "400") {
+		t.Fatalf("err = %v, want the daemon's 400", err)
+	}
+	if hf.Requests() != 1 {
+		t.Fatalf("a 400 was retried: %d requests", hf.Requests())
+	}
+}
+
+func TestChaosRetriesDisabledSurfaceFirstFault(t *testing.T) {
+	cl, px := chaosDaemon(t, server.Config{Workers: 2})
+	cl.Retry = RetryPolicy{MaxAttempts: -1} // one attempt, the pre-retry behavior
+	px.Enqueue(chaosproxy.Fault{Kind: chaosproxy.KindReset, AfterPattern: `"kern1"`})
+
+	_, n, err := runCampaign(t, cl, testEntries(4))
+	if err == nil {
+		t.Fatal("with retries disabled the reset must surface")
+	}
+	if n != 1 {
+		t.Fatalf("emitted %d lines before the reset, want 1", n)
+	}
+	if px.Connections() != 1 {
+		t.Fatalf("%d connections with retries disabled, want 1", px.Connections())
+	}
+}
+
+func TestChaosEmitSeesNoDuplicatesAcrossResume(t *testing.T) {
+	cl, px := chaosDaemon(t, server.Config{Workers: 2})
+	px.Enqueue(chaosproxy.Fault{Kind: chaosproxy.KindReset, AfterPattern: `"kern2"`})
+
+	seen := map[string]int{}
+	_, err := cl.StreamProfile(context.Background(), "app", []string{"p"}, profile.Entries(testEntries(6)),
+		func(l cliutil.ResultLine) error {
+			seen[l.Kernel]++
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for kernel, count := range seen {
+		if count != 1 {
+			t.Fatalf("kernel %s emitted %d times across the resume", kernel, count)
+		}
+	}
+	if len(seen) != 6 {
+		t.Fatalf("emitted %d distinct kernels, want 6", len(seen))
+	}
+}
+
+func TestChaosContextCancelIsFinal(t *testing.T) {
+	cl, px := chaosDaemon(t, server.Config{Workers: 2})
+	px.Enqueue(chaosproxy.Fault{Kind: chaosproxy.KindStall}) // stall before the first response byte
+
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	_, err := cl.Model(ctx, testSet(1, func(x float64) float64 { return x }))
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want the context deadline (no retries past cancellation)", err)
+	}
+	if px.Connections() != 1 {
+		t.Fatalf("%d connections after cancellation, want 1", px.Connections())
+	}
+}

@@ -4,16 +4,27 @@
 // model reports and NDJSON result lines come back — the result lines in
 // exactly the JSONL format perfmodeler writes locally, so checkpoint/resume
 // machinery works unchanged against a remote run.
+//
+// The client is fault-tolerant: transient failures (connection resets, 503
+// from a busy or draining daemon, 429 from the fairness gate) are retried
+// with jittered exponential backoff under a retry budget, and a profile
+// stream cut mid-campaign reconnects and resumes where it left off — the
+// request replay skips everything already confirmed, so the resumed output
+// is byte-identical to an uninterrupted run and a killed connection costs
+// only the in-flight window.
 package client
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strings"
+	"time"
 
 	"extrapdnn/internal/cliutil"
 	"extrapdnn/internal/measurement"
@@ -21,15 +32,49 @@ import (
 	"extrapdnn/internal/server"
 )
 
+// defaultHTTPClient replaces http.DefaultClient as the fallback transport:
+// same connection pooling, but with bounded dial, TLS-handshake, and
+// response-header waits so a black-holed daemon fails fast instead of
+// hanging forever. There is deliberately no overall Timeout — profile
+// streams legitimately run for hours; the caller's context bounds the call,
+// and Client.IdleTimeout (optional) bounds silence within a stream.
+var defaultHTTPClient = &http.Client{
+	Transport: &http.Transport{
+		Proxy: http.ProxyFromEnvironment,
+		DialContext: (&net.Dialer{
+			Timeout:   10 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		TLSHandshakeTimeout:   10 * time.Second,
+		ResponseHeaderTimeout: 30 * time.Second,
+		ExpectContinueTimeout: 1 * time.Second,
+		MaxIdleConns:          16,
+		IdleConnTimeout:       90 * time.Second,
+	},
+}
+
 // Client talks to one modelerd instance.
 type Client struct {
 	// BaseURL is the daemon's root URL, e.g. "http://localhost:8080".
 	BaseURL string
-	// HTTPClient overrides http.DefaultClient (mainly for tests and
-	// timeouts). Streaming profile requests hold the connection for the whole
-	// campaign, so per-request timeouts should be generous or absent; use the
-	// context for cancellation instead.
+	// HTTPClient overrides the package's default transport (mainly for tests).
+	// Streaming profile requests hold the connection for the whole campaign,
+	// so an overall Timeout should be generous or absent; use the context for
+	// cancellation and IdleTimeout for stall detection instead.
 	HTTPClient *http.Client
+	// ClientID is sent as the X-Client-ID header so the daemon's per-client
+	// fairness gate can tell tenants apart even behind a shared NAT. Empty
+	// means the daemon falls back to the remote address.
+	ClientID string
+	// Retry bounds retries and backoff; the zero value means the package
+	// defaults (see RetryPolicy).
+	Retry RetryPolicy
+	// IdleTimeout, when positive, tears down a profile-stream connection that
+	// has been silent for this long and resumes over a fresh one. Off by
+	// default: a legitimate cache-miss adaptation can stall the stream for a
+	// long time, so only campaigns that know their worst-case per-kernel
+	// latency should set it.
+	IdleTimeout time.Duration
 }
 
 // New returns a client for the daemon at baseURL (scheme and host, no
@@ -42,7 +87,13 @@ func (c *Client) httpClient() *http.Client {
 	if c.HTTPClient != nil {
 		return c.HTTPClient
 	}
-	return http.DefaultClient
+	return defaultHTTPClient
+}
+
+func (c *Client) setClientID(req *http.Request) {
+	if c.ClientID != "" {
+		req.Header.Set("X-Client-ID", c.ClientID)
+	}
 }
 
 // errorFrom decodes the daemon's JSON error body into a Go error.
@@ -55,30 +106,62 @@ func errorFrom(resp *http.Response) error {
 	return fmt.Errorf("client: daemon returned %s", resp.Status)
 }
 
+// statusErrorFrom converts a non-200 response into the right error flavor:
+// retryable statuses carry the daemon's Retry-After hint, everything else is
+// final (the daemon rejected the input; retrying cannot change its mind).
+func statusErrorFrom(resp *http.Response) error {
+	err := errorFrom(resp)
+	if retryableStatus(resp.StatusCode) {
+		return &statusError{err: err, code: resp.StatusCode, retryAfter: retryAfter(resp)}
+	}
+	return fatal(err)
+}
+
 // Model posts one measurement set to /v1/model and returns the daemon's
 // report. The call blocks for the whole modeling run (cold: pretraining
 // already happened at daemon startup, but a cache-miss adaptation still
-// trains); cancel via ctx.
+// trains); cancel via ctx. Transient failures are retried under c.Retry —
+// safe because modeling is deterministic and cached daemon-side.
 func (c *Client) Model(ctx context.Context, set *measurement.Set) (*server.ModelResponse, error) {
-	var body bytes.Buffer
-	if err := json.NewEncoder(&body).Encode(set); err != nil {
+	body, err := json.Marshal(set)
+	if err != nil {
 		return nil, fmt.Errorf("client: encode set: %w", err)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/model", &body)
+	rt := &retrier{policy: c.Retry}
+	for {
+		out, err := c.modelOnce(ctx, body)
+		if err == nil {
+			return out, nil
+		}
+		cause, after, retryable := classify(ctx, err)
+		if !retryable {
+			return nil, cause
+		}
+		if berr := rt.backoff(ctx, cause, after); berr != nil {
+			obsGiveUps.Inc()
+			return nil, berr
+		}
+	}
+}
+
+func (c *Client) modelOnce(ctx context.Context, body []byte) (*server.ModelResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/model", bytes.NewReader(body))
 	if err != nil {
-		return nil, fmt.Errorf("client: %w", err)
+		return nil, fatal(fmt.Errorf("client: %w", err))
 	}
 	req.Header.Set("Content-Type", "application/json")
+	c.setClientID(req)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, errorFrom(resp)
+		return nil, statusErrorFrom(resp)
 	}
 	var out server.ModelResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		// A truncated 200 body is a transport fault; retrying is safe.
 		return nil, fmt.Errorf("client: decode response: %w", err)
 	}
 	return &out, nil
@@ -86,11 +169,13 @@ func (c *Client) Model(ctx context.Context, set *measurement.Set) (*server.Model
 
 // Health fetches /healthz. It returns the decoded body even when the daemon
 // reports draining (HTTP 503); only transport and decode failures error.
+// Health is a point-in-time probe and is deliberately not retried.
 func (c *Client) Health(ctx context.Context) (*server.HealthResponse, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
 	}
+	c.setClientID(req)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
@@ -105,95 +190,136 @@ func (c *Client) Health(ctx context.Context) (*server.HealthResponse, error) {
 
 // StreamProfile streams a campaign through the daemon: entries pulled from
 // src are re-encoded as a JSONL profile request body (via io.Pipe, so only
-// one entry is buffered client-side), and the daemon's NDJSON result lines
-// are handed to emit as they arrive — in input order, with HTTP flow control
-// providing end-to-end backpressure. A non-nil error from emit aborts the
-// request (the daemon sees the disconnect, drains, and skips queued
-// training). It returns the number of lines emitted and the first error:
-// src's, emit's, ctx's, or a daemon/stream failure.
+// the unconfirmed window is buffered client-side), and the daemon's NDJSON
+// result lines are handed to emit as they arrive — in input order, with HTTP
+// flow control providing end-to-end backpressure. A non-nil error from emit
+// aborts the request (the daemon sees the disconnect, drains, and skips
+// queued training). It returns the number of lines emitted and the first
+// error: src's, emit's, ctx's, or a daemon/stream failure.
+//
+// Transient failures reconnect and resume under c.Retry: the replay request
+// carries only unconfirmed entries, emit never sees a line twice, and an
+// attempt that confirmed new lines resets the consecutive-failure count so
+// a long campaign's retry allowance is per-fault, not per-lifetime.
 func (c *Client) StreamProfile(ctx context.Context, application string, paramNames []string, src profile.Source, emit func(cliutil.ResultLine) error) (int, error) {
+	st := &resumeState{src: src, app: application, params: paramNames}
+	rt := &retrier{policy: c.Retry}
+	emitted := 0
+	for {
+		confirmed, err := c.streamOnce(ctx, st, emit, &emitted)
+		if err == nil {
+			return emitted, ctx.Err()
+		}
+		cause, after, retryable := classify(ctx, err)
+		if !retryable {
+			return emitted, cause
+		}
+		if confirmed > 0 {
+			rt.progress()
+		}
+		if berr := rt.backoff(ctx, cause, after); berr != nil {
+			obsGiveUps.Inc()
+			return emitted, berr
+		}
+		if emitted > 0 || st.unconfirmed() > 0 {
+			obsResumes.Inc() // mid-campaign reconnect, not a pre-first-byte retry
+		}
+	}
+}
+
+// errAttemptDone poisons the request pipe when an attempt ends (success or
+// failure) so the encoder goroutine's pending write unblocks; it never
+// escapes streamOnce.
+var errAttemptDone = errors.New("client: stream attempt finished")
+
+// streamOnce runs one connection's worth of the campaign. It returns the
+// number of lines confirmed on this attempt and nil only when the whole
+// campaign completed; any other outcome is an error the caller classifies.
+func (c *Client) streamOnce(ctx context.Context, st *resumeState, emit func(cliutil.ResultLine) error, emitted *int) (confirmed int, err error) {
 	pr, pw := io.Pipe()
-	encodeErr := make(chan error, 1)
+	encDone := make(chan struct{})
 	go func() {
-		err := encodeProfile(pw, application, paramNames, src)
+		defer close(encDone)
 		// CloseWithError poisons the request body with src's error so the
 		// daemon-side scanner stops; a nil error ends the body cleanly.
-		pw.CloseWithError(err)
-		encodeErr <- err
+		pw.CloseWithError(st.encode(pw))
+	}()
+	defer func() {
+		pr.CloseWithError(errAttemptDone) // unblock a blocked encoder write
+		<-encDone                         // keep src single-threaded across attempts
 	}()
 
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/profile", pr)
-	if err != nil {
-		return 0, fmt.Errorf("client: %w", err)
+	req, reqErr := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/profile", pr)
+	if reqErr != nil {
+		return 0, fatal(fmt.Errorf("client: %w", reqErr))
 	}
 	req.Header.Set("Content-Type", "application/x-ndjson")
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
+	c.setClientID(req)
+	resp, doErr := c.httpClient().Do(req)
+	if doErr != nil {
 		// Surface the source error behind a mid-body failure when there is
-		// one; a plain transport error otherwise.
-		if encErr := drainEncodeErr(encodeErr); encErr != nil {
-			return 0, encErr
+		// one; a plain (retryable) transport error otherwise.
+		if srcErr := st.sourceErr(); srcErr != nil {
+			return 0, fatal(srcErr)
 		}
-		return 0, fmt.Errorf("client: %w", err)
+		return 0, fmt.Errorf("client: %w", doErr)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return 0, errorFrom(resp)
+		return 0, statusErrorFrom(resp)
 	}
 
-	emitted := 0
-	dec := json.NewDecoder(resp.Body)
+	body, watch := watchBody(resp.Body, c.IdleTimeout)
+	defer body.Close()
+	dec := json.NewDecoder(body)
 	for dec.More() {
 		var line cliutil.ResultLine
-		if err := dec.Decode(&line); err != nil {
+		if decErr := dec.Decode(&line); decErr != nil {
 			if ctxErr := ctx.Err(); ctxErr != nil {
-				return emitted, ctxErr
+				return confirmed, fatal(ctxErr)
 			}
-			return emitted, fmt.Errorf("client: result stream: %w", err)
+			if srcErr := st.sourceErr(); srcErr != nil {
+				// Our own poisoned request body tore the connection.
+				return confirmed, fatal(srcErr)
+			}
+			if watch.Tripped() {
+				return confirmed, errStreamStalled
+			}
+			return confirmed, fmt.Errorf("client: result stream: %w", decErr)
 		}
 		if line.Kernel == "" {
 			// Kernel-less trailer line: the daemon's input stream failed
-			// mid-campaign (malformed entry, duplicate kernel, ...).
-			if line.Error != "" {
-				return emitted, fmt.Errorf("client: daemon stream failed: %s", line.Error)
+			// mid-campaign (malformed entry, duplicate kernel, a contained
+			// panic, ...). When our own source caused it, report that.
+			if srcErr := st.sourceErr(); srcErr != nil {
+				return confirmed, fatal(srcErr)
 			}
-			return emitted, fmt.Errorf("client: daemon sent an empty result line")
+			if line.Error != "" {
+				return confirmed, fatal(fmt.Errorf("client: daemon stream failed: %s", line.Error))
+			}
+			return confirmed, fatal(fmt.Errorf("client: daemon sent an empty result line"))
 		}
-		if err := emit(line); err != nil {
-			return emitted, err
+		if cfmErr := st.confirm(line); cfmErr != nil {
+			return confirmed, fatal(cfmErr)
 		}
-		emitted++
+		if emitErr := emit(line); emitErr != nil {
+			return confirmed, fatal(emitErr)
+		}
+		confirmed++
+		*emitted++
 	}
-	if encErr := drainEncodeErr(encodeErr); encErr != nil {
-		return emitted, encErr
-	}
-	return emitted, ctx.Err()
-}
-
-// encodeProfile writes src as a JSONL profile stream.
-func encodeProfile(w io.Writer, application string, paramNames []string, src profile.Source) error {
-	pw, err := profile.NewWriter(w, application, paramNames)
-	if err != nil {
-		return err
-	}
-	for {
-		e, err := src.NextEntry()
-		if err == io.EOF {
-			return nil
+	// The response body ended without a JSON decode error. That means "done"
+	// only if everything was sent and confirmed; otherwise the daemon hung up
+	// early (clean-FIN truncation, a drain cutting the campaign) and the
+	// remainder resumes on a fresh connection.
+	if !st.complete() {
+		if srcErr := st.sourceErr(); srcErr != nil {
+			return confirmed, fatal(srcErr)
 		}
-		if err != nil {
-			return err
+		if watch.Tripped() {
+			return confirmed, errStreamStalled
 		}
-		if err := pw.WriteEntry(e); err != nil {
-			return err
-		}
+		return confirmed, fmt.Errorf("client: result stream ended early: %w", io.ErrUnexpectedEOF)
 	}
-}
-
-// drainEncodeErr collects the encoder goroutine's outcome without blocking
-// forever: by the time callers ask, the pipe has been closed (request done),
-// so the goroutine is finishing or finished.
-func drainEncodeErr(ch chan error) error {
-	err := <-ch
-	return err
+	return confirmed, nil
 }

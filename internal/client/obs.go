@@ -1,0 +1,16 @@
+package client
+
+import "extrapdnn/internal/obs"
+
+// Client-side resilience counters: how often the transport layer had to
+// retry, reconnect-and-resume, or give up. They surface through the shared
+// -metrics-addr flag trio like every other family (and stay free when
+// metrics are off).
+var (
+	obsRetries = obs.NewCounter("extrapdnn_client_retries_total",
+		"Request attempts retried after a transient failure (backoff slept).")
+	obsResumes = obs.NewCounter("extrapdnn_client_stream_resumes_total",
+		"Profile streams reconnected and resumed mid-campaign.")
+	obsGiveUps = obs.NewCounter("extrapdnn_client_giveups_total",
+		"Calls abandoned after exhausting the retry policy.")
+)

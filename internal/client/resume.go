@@ -1,0 +1,152 @@
+package client
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"extrapdnn/internal/cliutil"
+	"extrapdnn/internal/profile"
+)
+
+// resumeState is the in-memory checkpoint of one streaming campaign. It
+// tracks exactly what a -resume file tracks on disk — which entries are done,
+// keyed by cliutil.CheckpointKey — but at connection granularity: entries
+// sent to the daemon and not yet answered sit in a pending window, and a
+// reconnect replays precisely that window before continuing with fresh
+// entries. Because the daemon delivers results in input order and every
+// result line is a pure function of its entry, the resumed line sequence is
+// byte-identical to an uninterrupted run's, and a killed connection costs
+// only the in-flight window — never a re-model of confirmed work, never a
+// duplicate or dropped line.
+//
+// Concurrency: one encoder goroutine (the current attempt's) appends via
+// entry() while the response loop pops via confirm(); the mutex covers both.
+// Attempts never overlap — streamOnce waits for its encoder to exit before
+// returning — so src itself is only ever pulled from one goroutine at a time.
+type resumeState struct {
+	src    profile.Source
+	app    string
+	params []string
+
+	mu      sync.Mutex
+	baseSeq int             // entries confirmed (line received) so far
+	pending []profile.Entry // sent but unconfirmed, in input order
+	srcEOF  bool
+	srcErr  error
+}
+
+// encode writes one attempt's request body: the profile header, the pending
+// (unconfirmed) window, then fresh entries pulled from src. The cursor is an
+// absolute sequence number, so confirmations arriving concurrently (popping
+// the window's head) never shift it.
+func (st *resumeState) encode(w io.Writer) error {
+	pw, err := profile.NewWriter(w, st.app, st.params)
+	if err != nil {
+		return err
+	}
+	st.mu.Lock()
+	seq := st.baseSeq
+	st.mu.Unlock()
+	for ; ; seq++ {
+		e, ok, err := st.entry(seq)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if err := pw.WriteEntry(e); err != nil {
+			return err
+		}
+	}
+}
+
+// entry returns the entry at absolute sequence seq: from the pending window
+// when it is a replay, freshly pulled from src (and appended to the window
+// before being returned, so a torn connection can never lose it) when it is
+// new. ok=false means the source is exhausted; a source error is recorded so
+// later attempts fail the same way instead of re-pulling.
+func (st *resumeState) entry(seq int) (e profile.Entry, ok bool, err error) {
+	st.mu.Lock()
+	idx := seq - st.baseSeq
+	if idx < 0 {
+		// Confirmations only ever cover entries this attempt already wrote,
+		// so the cursor cannot fall behind the confirmation frontier.
+		st.mu.Unlock()
+		return profile.Entry{}, false, fmt.Errorf("client: internal: resume cursor %d behind confirmed %d", seq, st.baseSeq)
+	}
+	if idx < len(st.pending) {
+		e = st.pending[idx]
+		st.mu.Unlock()
+		return e, true, nil
+	}
+	if st.srcEOF {
+		st.mu.Unlock()
+		return profile.Entry{}, false, nil
+	}
+	if st.srcErr != nil {
+		st.mu.Unlock()
+		return profile.Entry{}, false, st.srcErr
+	}
+	st.mu.Unlock()
+
+	e, pullErr := st.src.NextEntry() // single-threaded: only the live attempt's encoder pulls
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if pullErr == io.EOF {
+		st.srcEOF = true
+		return profile.Entry{}, false, nil
+	}
+	if pullErr != nil {
+		st.srcErr = pullErr
+		return profile.Entry{}, false, pullErr
+	}
+	st.pending = append(st.pending, e)
+	return e, true, nil
+}
+
+// confirm matches one received result line against the head of the pending
+// window and pops it. Results arrive in input order by the daemon's ordered-
+// stream contract, so anything else is a protocol violation (fatal — resuming
+// on top of it could interleave wrong results).
+func (st *resumeState) confirm(line cliutil.ResultLine) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.pending) == 0 {
+		return fmt.Errorf("client: daemon sent an unexpected result line for %q", line.Kernel)
+	}
+	head := st.pending[0]
+	if cliutil.CheckpointKey(line.Kernel, line.Metric) != cliutil.CheckpointKey(head.Kernel, head.Metric) {
+		return fmt.Errorf("client: result line for %s/%s out of order, expected %s/%s",
+			line.Kernel, line.Metric, head.Kernel, head.Metric)
+	}
+	copy(st.pending, st.pending[1:])
+	st.pending[len(st.pending)-1] = profile.Entry{} // release the Set for GC
+	st.pending = st.pending[:len(st.pending)-1]
+	st.baseSeq++
+	return nil
+}
+
+// complete reports whether every entry of the campaign has been sent and
+// confirmed — the condition under which a cleanly ended response body means
+// "done" rather than "the daemon hung up early".
+func (st *resumeState) complete() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.srcEOF && len(st.pending) == 0 && st.srcErr == nil
+}
+
+// unconfirmed returns the pending-window size.
+func (st *resumeState) unconfirmed() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.pending)
+}
+
+// sourceErr returns the recorded source failure, if any.
+func (st *resumeState) sourceErr() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.srcErr
+}

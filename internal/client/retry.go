@@ -1,0 +1,290 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Retry machinery of the daemon client. Transient failures — a reset
+// connection, a 503 from a busy or draining daemon, a 429 from the fairness
+// gate — are retried with exponential backoff and full jitter under a hard
+// retry budget, so a blip costs one backoff sleep while a dead daemon is
+// given up on quickly and deterministically (never a retry storm: the
+// attempt count and the cumulative sleep are both bounded). When the daemon
+// says how long to wait (Retry-After on 503/429), that wins over the
+// computed backoff.
+
+// Default retry policy values (see RetryPolicy).
+const (
+	DefaultMaxAttempts = 4
+	DefaultBaseDelay   = 100 * time.Millisecond
+	DefaultMaxDelay    = 5 * time.Second
+	DefaultBudget      = 30 * time.Second
+)
+
+// RetryPolicy bounds the client's retries. The zero value means the package
+// defaults; MaxAttempts < 0 disables retries entirely (one attempt, the
+// pre-retry behavior).
+type RetryPolicy struct {
+	// MaxAttempts is the maximum consecutive failed attempts before giving
+	// up (0 = DefaultMaxAttempts, negative = 1: no retries). A streaming
+	// request that makes progress — new result lines confirmed — resets the
+	// consecutive-failure count, so a long campaign may survive more than
+	// MaxAttempts total faults, but never MaxAttempts in a row.
+	MaxAttempts int
+	// BaseDelay is the first backoff ceiling; attempt n sleeps uniformly in
+	// [0, min(MaxDelay, BaseDelay<<n)] — "full jitter", so a fleet of
+	// clients that failed together does not retry together.
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff sleep.
+	MaxDelay time.Duration
+	// Budget caps the cumulative backoff sleep across the whole call
+	// (including Retry-After waits). Once spent, the next failure is final.
+	Budget time.Duration
+	// Rand supplies the jitter (nil = math/rand's global source). Tests pin
+	// it for determinism.
+	Rand func() float64
+}
+
+func (p RetryPolicy) maxAttempts() int {
+	if p.MaxAttempts < 0 {
+		return 1
+	}
+	if p.MaxAttempts == 0 {
+		return DefaultMaxAttempts
+	}
+	return p.MaxAttempts
+}
+
+func (p RetryPolicy) baseDelay() time.Duration {
+	if p.BaseDelay <= 0 {
+		return DefaultBaseDelay
+	}
+	return p.BaseDelay
+}
+
+func (p RetryPolicy) maxDelay() time.Duration {
+	if p.MaxDelay <= 0 {
+		return DefaultMaxDelay
+	}
+	return p.MaxDelay
+}
+
+func (p RetryPolicy) budget() time.Duration {
+	if p.Budget <= 0 {
+		return DefaultBudget
+	}
+	return p.Budget
+}
+
+func (p RetryPolicy) rand() float64 {
+	if p.Rand != nil {
+		return p.Rand()
+	}
+	return rand.Float64()
+}
+
+// retrier tracks one call's retry state: consecutive failures and the spent
+// sleep budget.
+type retrier struct {
+	policy   RetryPolicy
+	failures int           // consecutive failed attempts
+	slept    time.Duration // cumulative backoff sleep
+	retries  int           // total retries performed (for diagnostics)
+}
+
+// progress resets the consecutive-failure count; called when a streaming
+// attempt confirmed new result lines before failing, so a campaign's retry
+// allowance is per-fault, not per-lifetime.
+func (r *retrier) progress() { r.failures = 0 }
+
+// backoff records one failed attempt and sleeps before the next one. A nil
+// return means "retry now"; otherwise the call is over and the returned
+// error explains the final failure (wrapping cause).
+func (r *retrier) backoff(ctx context.Context, cause error, retryAfter time.Duration) error {
+	r.failures++
+	if r.failures >= r.policy.maxAttempts() {
+		if r.policy.maxAttempts() == 1 {
+			return cause // retries disabled: the cause speaks for itself
+		}
+		return fmt.Errorf("client: giving up after %d attempts: %w", r.failures, cause)
+	}
+	delay := r.delay(retryAfter)
+	if r.slept+delay > r.policy.budget() {
+		return fmt.Errorf("client: retry budget (%v) exhausted after %d attempts: %w",
+			r.policy.budget(), r.failures, cause)
+	}
+	obsRetries.Inc()
+	r.retries++
+	r.slept += delay
+	if delay <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(delay)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// delay computes the next sleep: the server's Retry-After when it sent one,
+// full-jittered exponential backoff otherwise.
+func (r *retrier) delay(retryAfter time.Duration) time.Duration {
+	if retryAfter > 0 {
+		return retryAfter
+	}
+	ceil := r.policy.baseDelay() << (r.failures - 1)
+	if max := r.policy.maxDelay(); ceil > max || ceil <= 0 {
+		ceil = max
+	}
+	return time.Duration(r.policy.rand() * float64(ceil))
+}
+
+// fatalError marks an error that must never be retried: the daemon rejected
+// the input, the caller's emit failed, the source failed, or the context is
+// done. Unwrap exposes the cause to errors.Is/As.
+type fatalError struct{ err error }
+
+func (e *fatalError) Error() string { return e.err.Error() }
+func (e *fatalError) Unwrap() error { return e.err }
+
+func fatal(err error) error { return &fatalError{err: err} }
+
+// statusError carries a retryable HTTP status rejection and the daemon's
+// Retry-After hint.
+type statusError struct {
+	err        error
+	code       int
+	retryAfter time.Duration
+}
+
+func (e *statusError) Error() string { return e.err.Error() }
+func (e *statusError) Unwrap() error { return e.err }
+
+// retryableStatus reports whether an HTTP status is worth retrying: the
+// daemon being busy or draining (503), the fairness gate (429), or a proxy
+// in between having a moment (502/504).
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusServiceUnavailable, http.StatusTooManyRequests,
+		http.StatusBadGateway, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// retryAfter parses the response's Retry-After header (delay-seconds form;
+// 0 when absent or unparseable).
+func retryAfter(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// classify splits an attempt's failure into (cause, retryAfter, retryable).
+// Context errors and fatalErrors are final; statusErrors consult
+// retryableStatus; everything else is a transport-level failure (dial
+// refused, connection reset, truncated body) and is retryable.
+func classify(ctx context.Context, err error) (cause error, after time.Duration, retryable bool) {
+	var f *fatalError
+	if errors.As(err, &f) {
+		return f.err, 0, false
+	}
+	if ctx.Err() != nil {
+		return ctx.Err(), 0, false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err, 0, false
+	}
+	var s *statusError
+	if errors.As(err, &s) {
+		return s.err, s.retryAfter, retryableStatus(s.code)
+	}
+	return err, 0, true
+}
+
+// errStreamStalled marks an idle-watchdog trip: the response stream went
+// silent past Client.IdleTimeout, so the connection was torn down locally
+// and the campaign resumes over a fresh one.
+var errStreamStalled = errors.New("client: result stream stalled past the idle timeout")
+
+// idleBody watches a streaming response body: every successful read re-arms
+// the timer, and a timer expiry closes the body, unblocking the pending read
+// with an error the caller maps to errStreamStalled. A nil *idleBody (no
+// timeout configured) is inert.
+type idleBody struct {
+	rc      io.ReadCloser
+	timeout time.Duration
+	timer   *time.Timer
+	mu      sync.Mutex
+	tripped bool
+	closed  bool
+}
+
+// watchBody wraps rc with an idle watchdog; with timeout <= 0 it returns rc
+// unwrapped (no goroutine, no timer).
+func watchBody(rc io.ReadCloser, timeout time.Duration) (io.ReadCloser, *idleBody) {
+	if timeout <= 0 {
+		return rc, nil
+	}
+	b := &idleBody{rc: rc, timeout: timeout}
+	b.timer = time.AfterFunc(timeout, b.trip)
+	return b, b
+}
+
+func (b *idleBody) trip() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.tripped = true
+	b.mu.Unlock()
+	b.rc.Close() // unblocks the pending Read
+}
+
+// Tripped reports whether the watchdog fired. Nil-safe.
+func (b *idleBody) Tripped() bool {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tripped
+}
+
+func (b *idleBody) Read(p []byte) (int, error) {
+	n, err := b.rc.Read(p)
+	if err == nil {
+		b.mu.Lock()
+		if !b.tripped && !b.closed {
+			b.timer.Reset(b.timeout)
+		}
+		b.mu.Unlock()
+	}
+	return n, err
+}
+
+func (b *idleBody) Close() error {
+	b.mu.Lock()
+	b.closed = true
+	b.timer.Stop()
+	b.mu.Unlock()
+	return b.rc.Close()
+}

@@ -1,0 +1,163 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestRetrierDelayHonorsRetryAfter(t *testing.T) {
+	r := &retrier{policy: RetryPolicy{Rand: func() float64 { return 1 }}}
+	r.failures = 1
+	if got := r.delay(2 * time.Second); got != 2*time.Second {
+		t.Fatalf("delay = %v, want the server's Retry-After", got)
+	}
+}
+
+func TestRetrierDelayExponentialAndCapped(t *testing.T) {
+	r := &retrier{policy: RetryPolicy{
+		BaseDelay: 100 * time.Millisecond,
+		MaxDelay:  1 * time.Second,
+		Rand:      func() float64 { return 1 }, // jitter ceiling
+	}}
+	want := []time.Duration{
+		100 * time.Millisecond, // 1st failure
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1 * time.Second, // capped
+		1 * time.Second,
+	}
+	for i, w := range want {
+		r.failures = i + 1
+		if got := r.delay(0); got != w {
+			t.Fatalf("failure %d: delay = %v, want %v", i+1, got, w)
+		}
+	}
+	// Full jitter: the floor of every sleep is zero.
+	r.policy.Rand = func() float64 { return 0 }
+	r.failures = 3
+	if got := r.delay(0); got != 0 {
+		t.Fatalf("zero jitter draw should sleep 0, got %v", got)
+	}
+}
+
+func TestRetrierMaxAttempts(t *testing.T) {
+	cause := errors.New("boom")
+	r := &retrier{policy: RetryPolicy{MaxAttempts: 3, BaseDelay: time.Nanosecond, Rand: func() float64 { return 0 }}}
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if err := r.backoff(ctx, cause, 0); err != nil {
+			t.Fatalf("attempt %d should be allowed to retry: %v", i+1, err)
+		}
+	}
+	err := r.backoff(ctx, cause, 0)
+	if err == nil || !errors.Is(err, cause) {
+		t.Fatalf("third failure must be final and wrap the cause: %v", err)
+	}
+}
+
+func TestRetrierProgressResetsAllowance(t *testing.T) {
+	cause := errors.New("boom")
+	r := &retrier{policy: RetryPolicy{MaxAttempts: 2, BaseDelay: time.Nanosecond, Rand: func() float64 { return 0 }}}
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if err := r.backoff(ctx, cause, 0); err != nil {
+			t.Fatalf("fault %d after progress should retry: %v", i+1, err)
+		}
+		r.progress() // each attempt confirmed new lines
+	}
+}
+
+func TestRetriesDisabledReturnsCauseVerbatim(t *testing.T) {
+	cause := errors.New("boom")
+	r := &retrier{policy: RetryPolicy{MaxAttempts: -1}}
+	if err := r.backoff(context.Background(), cause, 0); err != cause {
+		t.Fatalf("err = %v, want the bare cause", err)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	ctx := context.Background()
+	boom := errors.New("boom")
+
+	if cause, _, retryable := classify(ctx, fatal(boom)); retryable || cause != boom {
+		t.Fatalf("fatal: cause=%v retryable=%v", cause, retryable)
+	}
+	if _, _, retryable := classify(ctx, boom); !retryable {
+		t.Fatal("plain transport error must be retryable")
+	}
+	if _, after, retryable := classify(ctx, &statusError{err: boom, code: 503, retryAfter: time.Second}); !retryable || after != time.Second {
+		t.Fatalf("503: after=%v retryable=%v", after, retryable)
+	}
+	if _, _, retryable := classify(ctx, &statusError{err: boom, code: 400}); retryable {
+		t.Fatal("400 must be final")
+	}
+
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	if cause, _, retryable := classify(canceled, boom); retryable || !errors.Is(cause, context.Canceled) {
+		t.Fatalf("canceled ctx: cause=%v retryable=%v", cause, retryable)
+	}
+}
+
+func TestRetryableStatus(t *testing.T) {
+	for code, want := range map[int]bool{
+		http.StatusServiceUnavailable:  true,
+		http.StatusTooManyRequests:     true,
+		http.StatusBadGateway:          true,
+		http.StatusGatewayTimeout:      true,
+		http.StatusBadRequest:          false,
+		http.StatusNotFound:            false,
+		http.StatusInternalServerError: false,
+	} {
+		if got := retryableStatus(code); got != want {
+			t.Fatalf("retryableStatus(%d) = %v, want %v", code, got, want)
+		}
+	}
+}
+
+// blockingBody blocks Read until closed, then errors.
+type blockingBody struct{ unblock chan struct{} }
+
+func (b *blockingBody) Read([]byte) (int, error) {
+	<-b.unblock
+	return 0, io.ErrClosedPipe
+}
+func (b *blockingBody) Close() error {
+	select {
+	case <-b.unblock:
+	default:
+		close(b.unblock)
+	}
+	return nil
+}
+
+func TestWatchBodyTripsOnSilence(t *testing.T) {
+	rc := &blockingBody{unblock: make(chan struct{})}
+	body, watch := watchBody(rc, 50*time.Millisecond)
+	if watch.Tripped() {
+		t.Fatal("tripped before any silence")
+	}
+	if _, err := body.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read should fail once the watchdog closes the body")
+	}
+	if !watch.Tripped() {
+		t.Fatal("watchdog should have tripped")
+	}
+}
+
+func TestWatchBodyDisabled(t *testing.T) {
+	rc := &blockingBody{unblock: make(chan struct{})}
+	body, watch := watchBody(rc, 0)
+	if body != io.ReadCloser(rc) {
+		t.Fatal("timeout 0 should return the body unwrapped")
+	}
+	if watch.Tripped() {
+		t.Fatal("nil watchdog must report not tripped")
+	}
+	rc.Close()
+}

@@ -19,4 +19,11 @@ const (
 	// args[0] = *error. A hook may set the error to make the DNN modeling
 	// path fail deterministically (exercising the regression fallback).
 	SiteDNNModel = "dnnmodel/model"
+
+	// SiteServerEmit fires in the modeling daemon's /v1/profile result
+	// emitter just before a result line is encoded, with args[0] = the
+	// entry's kernel name (string). A hook may panic to prove the stream's
+	// panic containment: the pipeline halts cleanly and the client receives
+	// the kernel-less error trailer instead of a torn stream.
+	SiteServerEmit = "server/emit"
 )

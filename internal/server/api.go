@@ -92,13 +92,18 @@ type ErrorResponse struct {
 
 // HealthResponse is the body of GET /healthz. Status is "ok" while serving
 // and "draining" (with HTTP 503) once shutdown began, so load balancers stop
-// routing new work while in-flight campaigns complete.
+// routing new work while in-flight campaigns complete. ReloadGeneration
+// counts hot reloads (Swap/SIGHUP) since startup, and InFlight the requests
+// currently executing — together they let an orchestrator (or the chaos
+// suite) distinguish a daemon that is draining, freshly reloaded, or wedged
+// from one that crashed.
 type HealthResponse struct {
-	Status        string  `json:"status"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
-	Requests      uint64  `json:"requests_total"`
-	Kernels       uint64  `json:"kernels_total"`
-	InFlight      int64   `json:"in_flight"`
-	CacheHits     uint64  `json:"adapt_cache_hits"`
-	CacheMisses   uint64  `json:"adapt_cache_misses"`
+	Status           string  `json:"status"`
+	ReloadGeneration uint64  `json:"reload_generation"`
+	UptimeSeconds    float64 `json:"uptime_seconds"`
+	Requests         uint64  `json:"requests_total"`
+	Kernels          uint64  `json:"kernels_total"`
+	InFlight         int64   `json:"in_flight"`
+	CacheHits        uint64  `json:"adapt_cache_hits"`
+	CacheMisses      uint64  `json:"adapt_cache_misses"`
 }

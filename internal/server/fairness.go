@@ -1,0 +1,169 @@
+package server
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Per-client fairness gate in front of the shared request limiter. The shared
+// limiter (limiter.go) bounds the total modeling work the process accepts,
+// but by itself it is first-come-first-served: one client flooding requests
+// occupies every slot and every queue position, and a well-behaved client
+// starves behind it. The fairness gate meters each client individually —
+// before the flood ever reaches the shared limiter — so a greedy client is
+// throttled with 429 + Retry-After while everyone else's traffic is admitted
+// at its usual latency.
+//
+// The meter is a GCRA (generic cell rate algorithm) token bucket: one
+// timestamp per client (the theoretical arrival time of its next conforming
+// request) gives exact rate+burst enforcement in O(1) state and one mutex'd
+// map lookup per request — no per-client goroutines, no background refill
+// ticker. A request arriving early by less than the burst tolerance is
+// admitted immediately; early by more but within the bounded per-client queue
+// window, it waits for its token (so short bursts smooth out instead of
+// failing); beyond that it is rejected with 429 and a Retry-After telling the
+// client when its next token accrues.
+
+// clientID extracts the fairness key of a request: the X-Client-ID header
+// when the client identifies itself (the CLI's -client-id flag), otherwise
+// the remote host (without the ephemeral port, so one client's connections
+// share a bucket).
+func clientID(r *http.Request) string {
+	if id := r.Header.Get(clientIDHeader); id != "" {
+		return id
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// clientIDHeader names the self-identification header shared by client and
+// server.
+const clientIDHeader = "X-Client-ID"
+
+// maxClients bounds the per-client state map. When it fills, buckets idle
+// past their own horizon (tat long in the past) are swept; an adversary
+// rotating client IDs gets fresh (full-burst) buckets either way, so the cap
+// only bounds memory, it cannot starve honest clients.
+const maxClients = 16384
+
+// fairness is the per-client GCRA limiter. A nil *fairness admits everything
+// (fairness disabled).
+type fairness struct {
+	interval time.Duration // time between tokens: 1/rate
+	burst    time.Duration // burst tolerance: (burst-1)*interval
+	queue    time.Duration // max conforming wait: queueDepth*interval
+	depth    int           // max simultaneous waiters per client
+
+	mu      sync.Mutex
+	clients map[string]*clientBucket
+}
+
+type clientBucket struct {
+	// tat is the theoretical arrival time of the client's next request if it
+	// ran exactly at the sustained rate. tat far ahead of now = the client is
+	// over its rate; tat at or behind now = the bucket is full.
+	tat     time.Time
+	waiters int
+}
+
+// newFairness builds the gate; rate <= 0 disables it (returns nil).
+func newFairness(rate float64, burst, queueDepth int) *fairness {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	interval := time.Duration(float64(time.Second) / rate)
+	if interval <= 0 {
+		interval = 1 // nanosecond resolution floor for absurd rates
+	}
+	return &fairness{
+		interval: interval,
+		burst:    time.Duration(burst-1) * interval,
+		queue:    time.Duration(queueDepth) * interval,
+		depth:    queueDepth,
+		clients:  make(map[string]*clientBucket),
+	}
+}
+
+// reserve decides one request's fate at time now: admitted immediately
+// (wait 0), admitted after a bounded wait (wait > 0; the caller must sleep it
+// out, then call unwait), or rejected (ok false) with retryAfter saying when
+// the client's next token accrues.
+func (f *fairness) reserve(client string, now time.Time) (wait time.Duration, retryAfter time.Duration, ok bool) {
+	if f == nil {
+		return 0, 0, true
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	b := f.clients[client]
+	if b == nil {
+		if len(f.clients) >= maxClients {
+			f.sweep(now)
+		}
+		b = &clientBucket{}
+		f.clients[client] = b
+	}
+	tat := b.tat
+	if tat.Before(now) {
+		tat = now
+	}
+	// The request conforms when it is early by no more than the burst
+	// tolerance; the excess beyond that is how long it must wait for a token.
+	wait = tat.Sub(now) - f.burst
+	if wait <= 0 {
+		b.tat = tat.Add(f.interval)
+		return 0, 0, true
+	}
+	if wait > f.queue || b.waiters >= f.depth {
+		// Over the bounded queue: reject now. Retry-After is the time until
+		// the earliest conforming arrival, so an obedient client retries
+		// exactly when it can succeed.
+		return 0, wait, false
+	}
+	b.tat = tat.Add(f.interval)
+	b.waiters++
+	return wait, 0, true
+}
+
+// unwait releases one queued-waiter slot after its sleep (successful or
+// abandoned).
+func (f *fairness) unwait(client string) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if b := f.clients[client]; b != nil && b.waiters > 0 {
+		b.waiters--
+	}
+}
+
+// sweep drops buckets that have been idle past their own burst horizon;
+// called with f.mu held, only when the map hits maxClients.
+func (f *fairness) sweep(now time.Time) {
+	for id, b := range f.clients {
+		if b.waiters == 0 && now.Sub(b.tat) > f.burst+f.interval {
+			delete(f.clients, id)
+		}
+	}
+}
+
+// retryAfterSeconds renders a wait as a Retry-After header value: whole
+// seconds, rounded up, at least 1.
+func retryAfterSeconds(wait time.Duration) int {
+	s := int(math.Ceil(wait.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

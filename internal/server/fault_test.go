@@ -1,0 +1,61 @@
+//go:build faultinject
+
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"extrapdnn/internal/cliutil"
+	"extrapdnn/internal/faultinject"
+	"extrapdnn/internal/measurement"
+)
+
+// TestInjectedEmitPanicBecomesTrailer pins the streaming panic containment:
+// a panic raised while emitting a result line must not tear the connection or
+// leak pipeline goroutines — the lines before it are delivered, the stream
+// ends with the kernel-less error trailer, and the handler returns normally.
+func TestInjectedEmitPanicBecomesTrailer(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	faultinject.Set(faultinject.SiteServerEmit, func(args ...any) {
+		if kernel, _ := args[0].(string); kernel == "kern1" {
+			panic("injected emit fault")
+		}
+	})
+
+	s := newRegServer(t, Config{Workers: 2})
+	body := profileBody(t, []string{"kern0", "kern1", "kern2"}, func(i int) *measurement.Set {
+		return noisySet(int64(i+1), 0.02, func(x float64) float64 { return float64(i+1) * x })
+	})
+	req := httptest.NewRequest(http.MethodPost, "/v1/profile", bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: the stream had already started", w.Code)
+	}
+	var lines []cliutil.ResultLine
+	sc := bufio.NewScanner(w.Body)
+	for sc.Scan() {
+		var line cliutil.ResultLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, line)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("stream = %+v, want kern0 plus the trailer", lines)
+	}
+	if lines[0].Kernel != "kern0" || lines[0].Error != "" {
+		t.Fatalf("first line: %+v", lines[0])
+	}
+	trailer := lines[1]
+	if trailer.Kernel != "" || !strings.Contains(trailer.Error, "panic") {
+		t.Fatalf("trailer = %+v, want the kernel-less panic trailer", trailer)
+	}
+}

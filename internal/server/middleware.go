@@ -1,0 +1,82 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"extrapdnn/internal/cliutil"
+	"extrapdnn/internal/obs"
+)
+
+// Panic isolation for the modeling endpoints. The parallel pipeline already
+// isolates per-kernel panics (one crashing kernel becomes one error result
+// line), but a panic in the handler itself — a decode edge case, a bug in the
+// response encoding — would otherwise tear the connection down mid-write: the
+// client of a streaming campaign sees a connection reset it cannot tell apart
+// from a network fault and retries work the server will deterministically
+// crash on again. The middleware converts such panics into protocol-level
+// failures instead: a 500 JSON error when the response has not started, and a
+// kernel-less NDJSON trailer line (the same shape as a mid-stream input
+// failure) when result lines are already on the wire — either way the client
+// gets a clean, fatal, diagnosable error, never a torn stream.
+
+// protect wraps a modeling handler with panic recovery.
+func (s *Server) protect(endpoint string, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		tw := &trackingWriter{ResponseWriter: w}
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if p == http.ErrAbortHandler { // deliberate abort: let net/http handle it
+				panic(p)
+			}
+			obsPanics.Inc()
+			if !tw.started {
+				writeError(tw, http.StatusInternalServerError, "internal error: %v", p)
+				return
+			}
+			// Mid-stream: the status line is long gone, so the failure rides
+			// the body as the kernel-less trailer clients treat as fatal.
+			if endpoint == "profile" {
+				enc := json.NewEncoder(tw)
+				enc.Encode(cliutil.ResultLine{Error: "internal error in result stream"})
+				tw.Flush()
+			}
+		}()
+		h(tw, r)
+	}
+}
+
+var obsPanics = obs.NewCounter("extrapdnn_server_panics_total",
+	"Handler panics converted into 500s or stream trailers by the recovery middleware.")
+
+// trackingWriter records whether the response has started, so the recovery
+// path knows whether a status code can still be sent. It forwards Flush and
+// unwraps for http.NewResponseController, keeping the streaming handler's
+// full-duplex and per-line flushing intact.
+type trackingWriter struct {
+	http.ResponseWriter
+	started bool
+}
+
+func (t *trackingWriter) WriteHeader(code int) {
+	t.started = true
+	t.ResponseWriter.WriteHeader(code)
+}
+
+func (t *trackingWriter) Write(b []byte) (int, error) {
+	t.started = true
+	return t.ResponseWriter.Write(b)
+}
+
+func (t *trackingWriter) Flush() {
+	if f, ok := t.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.NewResponseController reach the underlying writer for
+// EnableFullDuplex and friends.
+func (t *trackingWriter) Unwrap() http.ResponseWriter { return t.ResponseWriter }

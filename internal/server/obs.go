@@ -23,6 +23,15 @@ var (
 		"Requests rejected before modeling, by reason.", "reason", "bad_request")
 	obsRejectedOversize = obs.NewCounter("extrapdnn_server_rejected_total",
 		"Requests rejected before modeling, by reason.", "reason", "oversize")
+	obsRejectedThrottled = obs.NewCounter("extrapdnn_server_rejected_total",
+		"Requests rejected before modeling, by reason.", "reason", "throttled")
+
+	obsThrottleWaits = obs.NewCounter("extrapdnn_server_throttle_waits_total",
+		"Requests that waited in a per-client fairness queue before admission.")
+	obsReloads = obs.NewCounter("extrapdnn_server_reloads_total",
+		"Hot reloads of the modeler (Swap/SIGHUP).")
+	obsReloadGen = obs.NewGauge("extrapdnn_server_reload_generation",
+		"Current reload generation (0 = the startup modeler).")
 
 	obsQueueWaits = obs.NewCounter("extrapdnn_server_queue_waits_total",
 		"Requests that had to queue for a modeling slot.")

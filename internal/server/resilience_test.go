@@ -1,0 +1,376 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"extrapdnn/internal/cliutil"
+	"extrapdnn/internal/core"
+)
+
+// --- per-client fairness -----------------------------------------------------
+
+func TestFairnessReserve(t *testing.T) {
+	// 10 req/s, burst 2, queue 2: interval 100ms.
+	f := newFairness(10, 2, 2)
+	t0 := time.Unix(1000, 0)
+
+	for i := 0; i < 2; i++ {
+		wait, _, ok := f.reserve("a", t0)
+		if !ok || wait != 0 {
+			t.Fatalf("burst request %d: wait=%v ok=%v, want immediate admit", i, wait, ok)
+		}
+	}
+	// Third and fourth: queued with a positive wait inside the queue window.
+	for i := 0; i < 2; i++ {
+		wait, _, ok := f.reserve("a", t0)
+		if !ok || wait <= 0 {
+			t.Fatalf("queued request %d: wait=%v ok=%v, want positive wait", i, wait, ok)
+		}
+		if wait > 2*200*time.Millisecond {
+			t.Fatalf("queued request %d: wait=%v beyond the queue window", i, wait)
+		}
+	}
+	// Fifth: the queue is full — rejected with a usable Retry-After.
+	wait, retryAfter, ok := f.reserve("a", t0)
+	if ok {
+		t.Fatalf("request past the queue depth admitted (wait=%v)", wait)
+	}
+	if retryAfterSeconds(retryAfter) < 1 {
+		t.Fatalf("rejection Retry-After %v rounds to %d, want >= 1s", retryAfter, retryAfterSeconds(retryAfter))
+	}
+
+	// A different client is untouched by a's backlog.
+	if wait, _, ok := f.reserve("b", t0); !ok || wait != 0 {
+		t.Fatalf("independent client throttled: wait=%v ok=%v", wait, ok)
+	}
+
+	// Once a's accrued debt has drained, a is admitted immediately again.
+	if wait, _, ok := f.reserve("a", t0.Add(time.Minute)); !ok || wait != 0 {
+		t.Fatalf("client not forgiven after idling: wait=%v ok=%v", wait, ok)
+	}
+}
+
+func TestFairnessNilAdmitsEverything(t *testing.T) {
+	var f *fairness // rate 0 → no gate
+	for i := 0; i < 100; i++ {
+		if wait, _, ok := f.reserve("a", time.Unix(1000, 0)); !ok || wait != 0 {
+			t.Fatalf("nil fairness must admit: wait=%v ok=%v", wait, ok)
+		}
+	}
+}
+
+// postModelAs is postModel with a client identity attached.
+func postModelAs(t testing.TB, s *Server, clientID string, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/model", bytes.NewReader(body))
+	req.Header.Set(clientIDHeader, clientID)
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	return w
+}
+
+func TestFairnessThrottlesFloodNotNeighbor(t *testing.T) {
+	// 1 req/s, burst 2, no queue: the third rapid request from one client is
+	// turned away with 429 while another client stays unthrottled.
+	s := newRegServer(t, Config{ClientRate: 1, ClientBurst: 2, ClientQueue: -1})
+	body := setBody(t, noisySet(1, 0.02, func(x float64) float64 { return 2 * x }))
+
+	var ok, throttled int
+	for i := 0; i < 5; i++ {
+		w := postModelAs(t, s, "flood", body)
+		switch w.Code {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			throttled++
+			if secs, err := strconv.Atoi(w.Header().Get("Retry-After")); err != nil || secs < 1 {
+				t.Fatalf("429 Retry-After = %q, want >= 1 second", w.Header().Get("Retry-After"))
+			}
+			var e ErrorResponse
+			if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || e.Error == "" {
+				t.Fatalf("429 body should be a JSON error: %q", w.Body.String())
+			}
+		default:
+			t.Fatalf("request %d: unexpected status %d: %s", i, w.Code, w.Body.String())
+		}
+	}
+	if ok != 2 || throttled != 3 {
+		t.Fatalf("flood client: %d ok / %d throttled, want 2 / 3 (burst admits, rest rejected)", ok, throttled)
+	}
+
+	// The well-behaved neighbor is admitted instantly despite the flood.
+	start := time.Now()
+	if w := postModelAs(t, s, "calm", body); w.Code != http.StatusOK {
+		t.Fatalf("calm client got %d: %s", w.Code, w.Body.String())
+	}
+	if waited := time.Since(start); waited > 500*time.Millisecond {
+		t.Fatalf("calm client waited %v behind the flood", waited)
+	}
+}
+
+func TestFairnessKeyedByRemoteHostWithoutHeader(t *testing.T) {
+	s := newRegServer(t, Config{ClientRate: 1, ClientBurst: 1, ClientQueue: -1})
+	body := setBody(t, noisySet(1, 0.02, func(x float64) float64 { return 2 * x }))
+
+	post := func(addr string) int {
+		req := httptest.NewRequest(http.MethodPost, "/v1/model", bytes.NewReader(body))
+		req.RemoteAddr = addr
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, req)
+		return w.Code
+	}
+	if code := post("10.0.0.1:1111"); code != http.StatusOK {
+		t.Fatalf("first request from host: %d", code)
+	}
+	// Same host, different ephemeral port: same bucket.
+	if code := post("10.0.0.1:2222"); code != http.StatusTooManyRequests {
+		t.Fatalf("same host should share the bucket, got %d", code)
+	}
+	if code := post("10.0.0.2:1111"); code != http.StatusOK {
+		t.Fatalf("different host should have its own bucket, got %d", code)
+	}
+}
+
+// --- hot reload --------------------------------------------------------------
+
+func TestHealthzReadinessBody(t *testing.T) {
+	s := newRegServer(t, Config{})
+	get := func() (map[string]any, *httptest.ResponseRecorder) {
+		req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, req)
+		var m map[string]any
+		if err := json.Unmarshal(w.Body.Bytes(), &m); err != nil {
+			t.Fatalf("healthz body: %v", err)
+		}
+		return m, w
+	}
+
+	m, w := get()
+	if w.Code != http.StatusOK {
+		t.Fatalf("healthz: %d", w.Code)
+	}
+	for _, key := range []string{"status", "reload_generation", "in_flight"} {
+		if _, present := m[key]; !present {
+			t.Fatalf("healthz readiness body missing %q: %v", key, m)
+		}
+	}
+	if m["status"] != "ok" || m["reload_generation"] != float64(0) {
+		t.Fatalf("fresh daemon healthz: %v", m)
+	}
+
+	m2, err := core.New(nil, core.Config{DisableDNN: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen := s.Swap(m2); gen != 1 {
+		t.Fatalf("first Swap returned generation %d", gen)
+	}
+	if m, _ := get(); m["reload_generation"] != float64(1) {
+		t.Fatalf("reload_generation after swap: %v", m["reload_generation"])
+	}
+}
+
+func TestHotReloadPinsInFlightCampaign(t *testing.T) {
+	// A campaign in flight across a Swap must finish on the modeler it started
+	// with; requests arriving after the swap must use the new one. Each
+	// modeler's adaptation cache records who actually did the work.
+	m1, err := core.New(testPretrained(), core.Config{Adapt: quietAdapt, Seed: 1, AdaptCacheSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := core.New(testPretrained(), core.Config{Adapt: quietAdapt, Seed: 1, AdaptCacheSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Modeler: m1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/profile", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	respCh := make(chan *http.Response, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		respCh <- resp
+	}()
+
+	writeEntry := func(kernel string, seed int64) {
+		t.Helper()
+		e := map[string]any{"kernel": kernel, "metric": "time",
+			"measurements": noisySet(seed, 0.05, func(x float64) float64 { return float64(seed) + 2*x })}
+		b, _ := json.Marshal(e)
+		if _, err := pw.Write(append(b, '\n')); err != nil {
+			t.Fatalf("write entry: %v", err)
+		}
+	}
+
+	if _, err := pw.Write([]byte(`{"application":"test","param_names":["p"]}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	writeEntry("kern0", 3)
+	var resp *http.Response
+	select {
+	case resp = <-respCh:
+	case err := <-errCh:
+		t.Fatal(err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("no response header")
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("profile request: %s", resp.Status)
+	}
+	lines := bufio.NewScanner(resp.Body)
+	readLine := func() cliutil.ResultLine {
+		t.Helper()
+		if !lines.Scan() {
+			t.Fatalf("result stream ended early: %v", lines.Err())
+		}
+		var line cliutil.ResultLine
+		if err := json.Unmarshal(lines.Bytes(), &line); err != nil {
+			t.Fatalf("result line %q: %v", lines.Text(), err)
+		}
+		return line
+	}
+
+	first := readLine() // kern0 modeled — the campaign is live on m1
+	if first.Kernel != "kern0" || first.Error != "" {
+		t.Fatalf("first line: %+v", first)
+	}
+
+	if gen := s.Swap(m2); gen != 1 {
+		t.Fatalf("Swap generation = %d", gen)
+	}
+
+	writeEntry("kern1", 7) // after the swap, but this campaign is pinned to m1
+	second := readLine()
+	if second.Kernel != "kern1" || second.Error != "" {
+		t.Fatalf("second line: %+v", second)
+	}
+	pw.Close()
+	if lines.Scan() {
+		t.Fatalf("unexpected extra line: %s", lines.Text())
+	}
+
+	c1, c2 := m1.CacheStats(), m2.CacheStats()
+	if got := c1.Hits + c1.Misses; got != 2 {
+		t.Fatalf("pinned campaign should have done both kernels on the old modeler, cache activity = %d", got)
+	}
+	if got := c2.Hits + c2.Misses; got != 0 {
+		t.Fatalf("new modeler saw traffic (%d) before any post-swap request", got)
+	}
+
+	// A request arriving after the swap runs on the new modeler.
+	body := setBody(t, noisySet(9, 0.05, func(x float64) float64 { return 4 * x }))
+	hresp, err := http.Post(ts.URL+"/v1/model", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, hresp.Body)
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("post-swap model request: %s", hresp.Status)
+	}
+	if c2 := m2.CacheStats(); c2.Hits+c2.Misses == 0 {
+		t.Fatal("post-swap request did not use the new modeler")
+	}
+	if c1Again := m1.CacheStats(); c1Again.Hits+c1Again.Misses != c1.Hits+c1.Misses {
+		t.Fatal("post-swap request leaked onto the old modeler")
+	}
+}
+
+// --- panic isolation ---------------------------------------------------------
+
+func TestProtectPanicBeforeResponse(t *testing.T) {
+	s := newRegServer(t, Config{})
+	h := s.protect("model", func(http.ResponseWriter, *http.Request) { panic("kaboom") })
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/v1/model", nil))
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", w.Code)
+	}
+	var e ErrorResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || !strings.Contains(e.Error, "kaboom") {
+		t.Fatalf("body %q should be a JSON error naming the panic", w.Body.String())
+	}
+}
+
+func TestProtectPanicMidStreamEmitsTrailer(t *testing.T) {
+	s := newRegServer(t, Config{})
+	line0, _ := json.Marshal(cliutil.ResultLine{Kernel: "kern0", Metric: "time", Model: "2*x"})
+	h := s.protect("profile", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write(append(line0, '\n'))
+		panic("kaboom")
+	})
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/v1/profile", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: a started stream cannot change its status line", w.Code)
+	}
+	sc := bufio.NewScanner(w.Body)
+	var got []cliutil.ResultLine
+	for sc.Scan() {
+		var line cliutil.ResultLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		got = append(got, line)
+	}
+	if len(got) != 2 || got[0].Kernel != "kern0" {
+		t.Fatalf("stream = %+v, want the delivered line plus a trailer", got)
+	}
+	if got[1].Kernel != "" || !strings.Contains(got[1].Error, "internal error") {
+		t.Fatalf("trailer = %+v, want the kernel-less internal-error line", got[1])
+	}
+}
+
+func TestProtectPassesCleanRequestsThrough(t *testing.T) {
+	s := newRegServer(t, Config{})
+	body := setBody(t, noisySet(1, 0.02, func(x float64) float64 { return 2 * x }))
+	w := postModel(t, s, body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("clean request through middleware: %d %s", w.Code, w.Body.String())
+	}
+}
+
+// sanity: Config resolution of the fairness knobs in New.
+func TestFairnessConfigDefaults(t *testing.T) {
+	s := newRegServer(t, Config{ClientRate: 4})
+	if s.fair == nil {
+		t.Fatal("positive rate must enable the gate")
+	}
+	if s.fair.depth != DefaultClientQueue {
+		t.Fatalf("default queue depth not applied: %d", s.fair.depth)
+	}
+	if want := time.Duration(DefaultClientBurst-1) * s.fair.interval; s.fair.burst != want {
+		t.Fatalf("default burst not applied: %v, want %v", s.fair.burst, want)
+	}
+	if newRegServer(t, Config{}).fair != nil {
+		t.Fatal("rate 0 must disable the gate")
+	}
+	if s := newRegServer(t, Config{ClientRate: 1, ClientQueue: -3}); s.fair.depth != 0 {
+		t.Fatalf("negative queue should clamp to reject-immediately, got depth %d", s.fair.depth)
+	}
+}

@@ -12,15 +12,21 @@
 //	POST /v1/model    one measurement set (JSON) in, one ModelResponse out
 //	POST /v1/profile  profile stream (JSONL or legacy array) in, NDJSON
 //	                  result lines out, streamed with backpressure
-//	GET  /healthz     liveness + drain state + serving counters
+//	GET  /healthz     liveness + drain state + reload generation + counters
 //	GET  /metrics     Prometheus text (also /metrics.json)
 //
-// Concurrency is bounded end to end: a counting semaphore caps the modeling
-// requests in flight (excess queues briefly, then 503s), and each profile
-// request streams through parallel.Stream with a bounded in-flight window, so
-// a campaign of any size runs in O(MaxInFlight) server memory. A client
+// Concurrency is bounded end to end: an optional per-client fairness gate
+// (token bucket keyed by X-Client-ID or remote host, 429 + Retry-After)
+// meters each client before a counting semaphore caps the modeling requests
+// in flight (excess queues briefly, then 503s), and each profile request
+// streams through parallel.Stream with a bounded in-flight window, so a
+// campaign of any size runs in O(MaxInFlight) server memory. A client
 // disconnect cancels the request context and halts that request's pipeline;
 // queued-but-unstarted kernels skip training entirely.
+//
+// The modeler is hot-swappable: Swap atomically replaces it (cmd/modelerd
+// wires this to SIGHUP) while every in-flight request keeps the modeler it
+// started with — a reload never changes the result of a running campaign.
 package server
 
 import (
@@ -30,12 +36,14 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
 
 	"extrapdnn/internal/cliutil"
 	"extrapdnn/internal/core"
+	"extrapdnn/internal/faultinject"
 	"extrapdnn/internal/measurement"
 	"extrapdnn/internal/obs"
 	"extrapdnn/internal/parallel"
@@ -50,6 +58,13 @@ const (
 	// DefaultMaxBodyBytes bounds request bodies (measurement sets and profile
 	// streams alike); oversize requests are rejected with 413.
 	DefaultMaxBodyBytes = 64 << 20
+	// DefaultClientBurst is the instantaneous per-client burst admitted by the
+	// fairness gate when Config.ClientRate is set.
+	DefaultClientBurst = 8
+	// DefaultClientQueue is the bounded per-client queue depth of the fairness
+	// gate: requests early by less than this many token intervals wait for
+	// their token instead of failing.
+	DefaultClientQueue = 4
 )
 
 // Config configures a Server.
@@ -75,6 +90,18 @@ type Config struct {
 	// NoSanitize rejects measurement sets with bad points instead of
 	// repairing them, matching the CLI flag of the same name.
 	NoSanitize bool
+	// ClientRate enables the per-client fairness gate: sustained modeling
+	// requests per second each client (X-Client-ID header, else remote host)
+	// may issue before being throttled with 429 + Retry-After. <= 0 disables
+	// the gate (the PR-8 behavior: shared limiter only).
+	ClientRate float64
+	// ClientBurst is the instantaneous burst each client may issue on top of
+	// the sustained rate (<= 0 means DefaultClientBurst).
+	ClientBurst int
+	// ClientQueue bounds the per-client queue: a request early by at most
+	// this many token intervals waits for its token instead of 429ing
+	// (< 0 means 0 — reject immediately; 0 means DefaultClientQueue).
+	ClientQueue int
 }
 
 // Server is the HTTP modeling service. Create with New, mount Handler on an
@@ -82,10 +109,16 @@ type Config struct {
 // traffic away while in-flight requests complete.
 type Server struct {
 	cfg     Config
-	modeler *core.Modeler
 	limiter *limiter
+	fair    *fairness
 	mux     *http.ServeMux
 	start   time.Time
+
+	// modeler is the current adaptive modeler. Requests load it exactly once
+	// at admission and keep that reference for their whole lifetime, so Swap
+	// (hot reload) never changes the network under a running campaign.
+	modeler    atomic.Pointer[core.Modeler]
+	generation atomic.Uint64
 
 	draining   atomic.Bool
 	requests   atomic.Uint64
@@ -118,10 +151,20 @@ func New(cfg Config) (*Server, error) {
 	if maxBody <= 0 {
 		maxBody = DefaultMaxBodyBytes
 	}
+	clientBurst := cfg.ClientBurst
+	if clientBurst <= 0 {
+		clientBurst = DefaultClientBurst
+	}
+	clientQueue := cfg.ClientQueue
+	if clientQueue == 0 {
+		clientQueue = DefaultClientQueue
+	} else if clientQueue < 0 {
+		clientQueue = 0
+	}
 	s := &Server{
 		cfg:        cfg,
-		modeler:    cfg.Modeler,
 		limiter:    newLimiter(maxConc, queueTimeout),
+		fair:       newFairness(cfg.ClientRate, clientBurst, clientQueue),
 		mux:        http.NewServeMux(),
 		start:      time.Now(),
 		workers:    workers,
@@ -129,8 +172,9 @@ func New(cfg Config) (*Server, error) {
 		readOpts:   profile.ReadOptions{Read: measurement.ReadConfig{NoSanitize: cfg.NoSanitize}},
 		measureCfg: measurement.ReadConfig{NoSanitize: cfg.NoSanitize},
 	}
-	s.mux.HandleFunc("/v1/model", s.handleModel)
-	s.mux.HandleFunc("/v1/profile", s.handleProfile)
+	s.modeler.Store(cfg.Modeler)
+	s.mux.HandleFunc("/v1/model", s.protect("model", s.handleModel))
+	s.mux.HandleFunc("/v1/profile", s.protect("profile", s.handleProfile))
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.Handle("/metrics", obs.MetricsHandler())
 	s.mux.Handle("/metrics.json", obs.JSONHandler())
@@ -139,6 +183,26 @@ func New(cfg Config) (*Server, error) {
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Swap atomically replaces the modeler (hot reload: cmd/modelerd calls it on
+// SIGHUP after rebuilding the modeler from the registry). Requests admitted
+// before the swap keep the old modeler — and its adaptation cache — until
+// they complete, so an in-flight campaign finishes on the network it started
+// with while every request admitted after the swap models on the new one.
+// It returns the new reload generation (0 = the startup modeler).
+func (s *Server) Swap(m *core.Modeler) uint64 {
+	s.modeler.Store(m)
+	gen := s.generation.Add(1)
+	obsReloads.Inc()
+	obsReloadGen.Set(float64(gen))
+	return gen
+}
+
+// Generation returns the reload generation: 0 until the first Swap.
+func (s *Server) Generation() uint64 { return s.generation.Load() }
+
+// currentModeler pins the modeler for one request.
+func (s *Server) currentModeler() *core.Modeler { return s.modeler.Load() }
 
 // Drain flips the server into draining mode: /healthz starts reporting 503
 // and new modeling requests are rejected, while requests already executing
@@ -168,10 +232,19 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	json.NewEncoder(w).Encode(ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
+// writeThrottled emits the fairness gate's 429 with a Retry-After that names
+// the moment the client's next token accrues.
+func writeThrottled(w http.ResponseWriter, retryAfter time.Duration) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(retryAfter)))
+	w.WriteHeader(http.StatusTooManyRequests)
+	json.NewEncoder(w).Encode(ErrorResponse{Error: "client over its request rate, honor Retry-After"})
+}
+
 // admit runs the shared front gate of the modeling endpoints: method check,
-// drain check, and the concurrency limiter. It returns false after writing
-// the rejection response; on true the caller owns one slot and must call
-// done().
+// drain check, the per-client fairness gate, and the shared concurrency
+// limiter. It returns false after writing the rejection response; on true the
+// caller owns one slot and must call done().
 func (s *Server) admit(w http.ResponseWriter, r *http.Request) (done func(), ok bool) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
@@ -182,6 +255,30 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) (done func(), ok 
 		obsRejectedDraining.Inc()
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return nil, false
+	}
+	// Fairness first: one flooding client must be turned away before it can
+	// occupy shared limiter slots or queue positions.
+	if s.fair != nil {
+		client := clientID(r)
+		wait, retryAfter, admitted := s.fair.reserve(client, time.Now())
+		if !admitted {
+			obsRejectedThrottled.Inc()
+			writeThrottled(w, retryAfter)
+			return nil, false
+		}
+		if wait > 0 {
+			obsThrottleWaits.Inc()
+			t := time.NewTimer(wait)
+			select {
+			case <-t.C:
+			case <-r.Context().Done():
+				t.Stop()
+				s.fair.unwait(client)
+				return nil, false // client vanished while queued
+			}
+			t.Stop()
+			s.fair.unwait(client)
+		}
 	}
 	s.inFlight.Add(1)
 	obsInFlight.Add(1)
@@ -215,6 +312,7 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer done()
+	modeler := s.currentModeler() // pinned: a hot reload never swaps mid-request
 	obsReqModel.Inc()
 	start := time.Now()
 	ctx, span := obs.StartSpan(r.Context(), "server.request")
@@ -228,7 +326,7 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		s.rejectBody(w, span, "model", err)
 		return
 	}
-	rep, err := s.modeler.ModelCtx(ctx, set)
+	rep, err := modeler.ModelCtx(ctx, set)
 	if err != nil {
 		if ctx.Err() != nil {
 			obsDisconnects.Inc()
@@ -266,6 +364,12 @@ func (s *Server) rejectBody(w http.ResponseWriter, span *obs.Span, endpoint stri
 	writeError(w, status, "%v", err)
 }
 
+// errEmitPanic marks a panic recovered inside the result-emission path of a
+// streaming campaign. It halts the pipeline cleanly (workers drain, nothing
+// leaks) and the handler converts it into the kernel-less trailer line, so
+// the client sees a fatal protocol error instead of a torn stream.
+var errEmitPanic = errors.New("server: panic in result emission")
+
 // handleProfile serves POST /v1/profile: a profile stream (JSONL or the
 // legacy array format) in, one NDJSON result line per kernel out, in input
 // order. Decoding, modeling and emission are pipelined through
@@ -278,6 +382,7 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer done()
+	modeler := s.currentModeler() // pinned: the whole campaign runs on one network
 	obsReqProfile.Inc()
 	start := time.Now()
 	ctx, span := obs.StartSpan(r.Context(), "server.request")
@@ -319,9 +424,22 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 				entrySpan.SetString("metric", e.Metric)
 				defer entrySpan.End()
 			}
-			return s.modeler.ModelCtx(entryCtx, e.Set)
+			return modeler.ModelCtx(entryCtx, e.Set)
 		},
-		func(_ int, e profile.Entry, rep core.Report, entryErr error) error {
+		func(_ int, e profile.Entry, rep core.Report, entryErr error) (emitErr error) {
+			// A panic below this line (an encoding bug, an injected fault)
+			// must not tear the stream or leak pipeline goroutines: it is
+			// converted into an error that halts the pipeline cleanly and
+			// becomes the trailer line in the switch below.
+			defer func() {
+				if p := recover(); p != nil {
+					obsPanics.Inc()
+					emitErr = fmt.Errorf("%w: %v", errEmitPanic, p)
+				}
+			}()
+			if faultinject.Enabled {
+				faultinject.Fire(faultinject.SiteServerEmit, e.Kernel)
+			}
 			line := resultLine(e, rep, entryErr)
 			if err := enc.Encode(line); err != nil {
 				return err // client write failed: halt the pipeline
@@ -343,6 +461,16 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		// connection is dead — nothing more to write.
 		obsDisconnects.Inc()
 		obsErrProfile.Inc()
+		return
+	case errors.Is(streamErr, errEmitPanic):
+		// Recovered emission panic: the stream is intact up to the last good
+		// line; the failure travels as the fatal kernel-less trailer.
+		obsErrProfile.Inc()
+		span.SetString("error", streamErr.Error())
+		enc.Encode(cliutil.ResultLine{Error: streamErr.Error()})
+		if flusher != nil {
+			flusher.Flush()
+		}
 		return
 	case isProfileDecodeErr(streamErr):
 		// The source failed mid-stream (malformed entry, duplicate kernel).
@@ -411,6 +539,10 @@ func resultLine(e profile.Entry, rep core.Report, err error) cliutil.ResultLine 
 }
 
 // handleHealth serves GET /healthz: 200 while serving, 503 once draining.
+// The body is the readiness contract orchestrators and the chaos suite rely
+// on to tell a draining daemon from a crashed one: status, the reload
+// generation (how many Swap/SIGHUP reloads have happened), and the in-flight
+// request count.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	status := "ok"
 	code := http.StatusOK
@@ -418,16 +550,17 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		status = "draining"
 		code = http.StatusServiceUnavailable
 	}
-	cache := s.modeler.CacheStats()
+	cache := s.currentModeler().CacheStats()
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(HealthResponse{
-		Status:        status,
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		Requests:      s.requests.Load(),
-		Kernels:       s.kernels.Load(),
-		InFlight:      s.inFlight.Load(),
-		CacheHits:     cache.Hits,
-		CacheMisses:   cache.Misses,
+		Status:           status,
+		ReloadGeneration: s.generation.Load(),
+		UptimeSeconds:    time.Since(s.start).Seconds(),
+		Requests:         s.requests.Load(),
+		Kernels:          s.kernels.Load(),
+		InFlight:         s.inFlight.Load(),
+		CacheHits:        cache.Hits,
+		CacheMisses:      cache.Misses,
 	})
 }

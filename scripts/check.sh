@@ -41,7 +41,15 @@ echo "==> go test -race (model registry: concurrent load/store on one directory)
 go test -race -count=1 ./internal/modelregistry/
 
 echo "==> go test -race (modeling daemon: concurrent mixed load, disconnect, drain; HTTP client)"
-go test -race -count=1 ./internal/server/ ./internal/client/
+go test -race -count=1 ./internal/server/ ./internal/client/ ./internal/chaosproxy/
+
+echo "==> chaos gate (proxy faults under -race: reset/truncate/stall resumed byte-identical, 5xx bursts retried; fairness; hot reload)"
+go test -race -count=1 -run 'TestChaos' ./internal/client/
+go test -race -count=1 -run 'TestFairness|TestHotReload|TestHealthz|TestProtect' ./internal/server/
+go test -race -count=1 -tags faultinject -run 'TestInjectedEmitPanicBecomesTrailer' ./internal/server/
+
+echo "==> no-retry-storm gate (sustained 503 => bounded attempts, budget-capped sleep)"
+go test -race -count=1 -run 'TestChaosSustained503IsBoundedNoRetryStorm|TestChaosRetryBudgetCapsSleep' ./internal/client/
 
 echo "==> warm-path gate (second identical request => zero training epochs) and coalescing gate (K concurrent same-signature requests => one adaptation)"
 go test -count=1 -run 'TestModelWarmPathZeroTraining|TestModelCoalescing' ./internal/server/
