@@ -13,6 +13,8 @@
 //	POST /v1/profile   profile stream (JSONL or legacy array) → NDJSON
 //	                   result lines, streamed as kernels complete
 //	GET  /healthz      liveness, drain state, serving counters
+//	GET  /statusz      live introspection: in-flight requests with trace IDs,
+//	                   occupancy, cache and tracing state (text or ?format=json)
 //	GET  /metrics      Prometheus text exposition (also /metrics.json)
 //
 // All requests share one process-wide adaptation cache: kernels with equal
@@ -30,6 +32,15 @@
 // X-Client-ID, falling back to the remote address) in front of the shared
 // concurrency limiter, so one flooding tenant gets 429 + Retry-After instead
 // of starving everyone else.
+//
+// Observability (docs/OBSERVABILITY.md): -trace writes a JSONL span trace; a
+// traced client's traceparent header joins its spans with the daemon's, so a
+// faulted campaign reconstructs as one trace across both files (cmd/traceview
+// merges them). -trace-sample keeps one trace in N, deterministically by
+// trace ID. -access-log appends one JSONL line per modeling request —
+// accepted or rejected — and enables request IDs, echoed as X-Request-ID, in
+// error bodies, and on stream-failure trailer lines. Both sinks are flushed
+// on SIGHUP and closed on drain.
 package main
 
 import (
@@ -60,6 +71,8 @@ func main() {
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "how long a shutdown signal waits for in-flight requests")
 		pprofFlag     = flag.Bool("pprof", false, "also serve net/http/pprof under /debug/pprof/")
 		tracePath     = flag.String("trace", "", "write a JSONL span trace of the daemon's requests to this file (empty = off)")
+		traceSample   = flag.Int("trace-sample", 1, "with -trace: keep one trace in every N (deterministic by trace ID; 1 = keep all)")
+		accessLogPath = flag.String("access-log", "", "append one JSONL access-log line per modeling request to this file and enable request IDs (empty = off)")
 		regOnly       = flag.Bool("regression-only", false, "serve only the classic regression modeler (no network, no training)")
 		clientRate    = flag.Float64("client-rate", 0, "per-client fairness: sustained requests/second each client may issue (0 = no per-client limit)")
 		clientBurst   = flag.Int("client-burst", 0, "per-client fairness: burst size admitted above the sustained rate (0 = default)")
@@ -77,7 +90,19 @@ func main() {
 			fatal(fmt.Errorf("create trace file: %w", err))
 		}
 		tracer = obs.NewTracer(f)
+		tracer.SetSampleEvery(*traceSample)
 		obs.SetTracer(tracer)
+	}
+	var accessLog *server.AccessLog
+	if *accessLogPath != "" {
+		// Append, not truncate: an access log is forensic history; restarts
+		// must not erase it (the random request-ID prefix keeps IDs unique
+		// across restarts within one file).
+		f, err := os.OpenFile(*accessLogPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(fmt.Errorf("open access log: %w", err))
+		}
+		accessLog = server.NewAccessLog(f)
 	}
 
 	// Cold start, paid exactly once: load (or pretrain and, with -model-dir,
@@ -101,6 +126,7 @@ func main() {
 		ClientRate:    *clientRate,
 		ClientBurst:   *clientBurst,
 		ClientQueue:   *clientQueue,
+		AccessLog:     accessLog,
 	})
 	if err != nil {
 		fatal(err)
@@ -122,6 +148,15 @@ func main() {
 			gen := srv.Swap(m)
 			fmt.Fprintf(os.Stderr, "modelerd: modeler reloaded in %v (generation %d)\n",
 				time.Since(start).Round(time.Millisecond), gen)
+			// A reload is a natural flush boundary for the diagnostic sinks:
+			// everything before the swap is durable on disk before the new
+			// generation starts writing.
+			if err := tracer.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "modelerd: flushing trace: %v\n", err)
+			}
+			if err := accessLog.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "modelerd: flushing access log: %v\n", err)
+			}
 		}
 	}()
 
@@ -140,7 +175,7 @@ func main() {
 		fatal(err)
 	}
 	httpSrv := &http.Server{Handler: mux}
-	fmt.Fprintf(os.Stderr, "modelerd: serving on http://%s (model: /v1/model, profile: /v1/profile, health: /healthz, metrics: /metrics)\n", ln.Addr())
+	fmt.Fprintf(os.Stderr, "modelerd: serving on http://%s (model: /v1/model, profile: /v1/profile, health: /healthz, status: /statusz, metrics: /metrics)\n", ln.Addr())
 
 	// Serve until a shutdown signal, then drain: health checks flip to 503
 	// immediately, new modeling work is rejected, and in-flight requests get
@@ -162,11 +197,25 @@ func main() {
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(os.Stderr, "modelerd: drain incomplete: %v\n", err)
+		closeAccessLog(accessLog, *accessLogPath)
 		closeTrace(tracer, *tracePath)
 		os.Exit(cliutil.ExitTimeout)
 	}
 	fmt.Fprintf(os.Stderr, "modelerd: drained cleanly after %d requests (%d kernels)\n", srv.Requests(), srv.Kernels())
+	closeAccessLog(accessLog, *accessLogPath)
 	closeTrace(tracer, *tracePath)
+}
+
+// closeAccessLog flushes and closes the access log, if one was set up.
+func closeAccessLog(l *server.AccessLog, path string) {
+	if l == nil {
+		return
+	}
+	if err := l.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "modelerd: closing access log: %v\n", err)
+	} else {
+		fmt.Fprintf(os.Stderr, "modelerd: access log written to %s (%d lines)\n", path, l.Lines())
+	}
 }
 
 // closeTrace uninstalls and flushes the tracer, if one was set up.

@@ -1,0 +1,75 @@
+// Command traceview merges obs JSONL trace files — typically the client-side
+// file written by `perfmodeler -server ... -trace client.jsonl` and the
+// server-side file from `modelerd -trace server.jsonl` — by trace ID and
+// prints one span tree plus a per-kernel timeline per trace. Because the
+// client propagates a traceparent header (docs/OBSERVABILITY.md), one
+// campaign is one trace even across processes, retries, and mid-stream
+// resumes.
+//
+//	traceview client.jsonl server.jsonl
+//	traceview -trace 00f3ab129e44d1c7 client.jsonl server.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"extrapdnn/internal/tracemerge"
+)
+
+func main() {
+	traceFilter := flag.String("trace", "", "only show the trace with this hex ID (as printed by traceview or found in span records)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: traceview [-trace HEXID] FILE.jsonl [FILE.jsonl ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var filter uint64
+	if *traceFilter != "" {
+		v, err := strconv.ParseUint(strings.TrimPrefix(*traceFilter, "0x"), 16, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "traceview: bad -trace %q: %v\n", *traceFilter, err)
+			os.Exit(2)
+		}
+		filter = v
+	}
+
+	files := make([][]tracemerge.Span, 0, flag.NArg())
+	total := 0
+	for _, path := range flag.Args() {
+		spans, err := tracemerge.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "traceview: %v\n", err)
+			os.Exit(1)
+		}
+		files = append(files, spans)
+		total += len(spans)
+	}
+
+	traces := tracemerge.Merge(files...)
+	shown := 0
+	for _, tr := range traces {
+		if filter != 0 && tr.ID != filter {
+			continue
+		}
+		if shown > 0 {
+			fmt.Println()
+		}
+		tracemerge.WriteTimeline(os.Stdout, tr)
+		shown++
+	}
+	fmt.Fprintf(os.Stderr, "traceview: %d files, %d spans, %d traces (%d shown)\n",
+		flag.NArg(), total, len(traces), shown)
+	if filter != 0 && shown == 0 {
+		fmt.Fprintf(os.Stderr, "traceview: trace %016x not found\n", filter)
+		os.Exit(1)
+	}
+}

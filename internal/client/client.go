@@ -28,6 +28,7 @@ import (
 
 	"extrapdnn/internal/cliutil"
 	"extrapdnn/internal/measurement"
+	"extrapdnn/internal/obs"
 	"extrapdnn/internal/profile"
 	"extrapdnn/internal/server"
 )
@@ -96,6 +97,34 @@ func (c *Client) setClientID(req *http.Request) {
 	}
 }
 
+// setTraceParent propagates the active span (if any) to the daemon so
+// server-side spans join the client's trace (docs/OBSERVABILITY.md). With
+// tracing off, TraceParent is "" and no header is sent — zero allocations.
+func setTraceParent(req *http.Request, ctx context.Context) {
+	if tp := obs.TraceParent(ctx); tp != "" {
+		req.Header.Set(obs.TraceParentHeader, tp)
+	}
+}
+
+// attemptSpan opens the per-attempt child span under a campaign root span:
+// attempt N of an operation named name, linked back to the first attempt so
+// retries and resumes are navigable from either end of a merged trace. The
+// first attempt's identity is captured into first.
+func attemptSpan(ctx context.Context, name string, attempt int, first *obs.SpanLink) (context.Context, *obs.Span) {
+	actx, s := obs.StartSpan(ctx, name)
+	if s == nil {
+		return actx, nil
+	}
+	s.SetInt("attempt", int64(attempt))
+	if first.Span == 0 {
+		*first = obs.SpanLink{Trace: s.TraceID(), Span: s.SpanID()}
+	} else {
+		s.SetBool("retry", true)
+		s.Link(first.Trace, first.Span)
+	}
+	return actx, s
+}
+
 // errorFrom decodes the daemon's JSON error body into a Go error.
 func errorFrom(resp *http.Response) error {
 	var e server.ErrorResponse
@@ -127,9 +156,16 @@ func (c *Client) Model(ctx context.Context, set *measurement.Set) (*server.Model
 	if err != nil {
 		return nil, fmt.Errorf("client: encode set: %w", err)
 	}
+	ctx, root := obs.StartSpan(ctx, "client.model")
+	defer root.End()
 	rt := &retrier{policy: c.Retry}
+	var first obs.SpanLink
+	attempt := 0
 	for {
-		out, err := c.modelOnce(ctx, body)
+		attempt++
+		actx, aspan := attemptSpan(ctx, "client.request", attempt, &first)
+		out, err := c.modelOnce(actx, body)
+		aspan.End()
 		if err == nil {
 			return out, nil
 		}
@@ -151,6 +187,7 @@ func (c *Client) modelOnce(ctx context.Context, body []byte) (*server.ModelRespo
 	}
 	req.Header.Set("Content-Type", "application/json")
 	c.setClientID(req)
+	setTraceParent(req, ctx)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
@@ -203,11 +240,24 @@ func (c *Client) Health(ctx context.Context) (*server.HealthResponse, error) {
 // a long campaign's retry allowance is per-fault, not per-lifetime.
 func (c *Client) StreamProfile(ctx context.Context, application string, paramNames []string, src profile.Source, emit func(cliutil.ResultLine) error) (int, error) {
 	st := &resumeState{src: src, app: application, params: paramNames}
+	ctx, root := obs.StartSpan(ctx, "client.profile")
+	defer root.End()
 	rt := &retrier{policy: c.Retry}
-	emitted := 0
+	var first obs.SpanLink
+	emitted, attempt := 0, 0
 	for {
-		confirmed, err := c.streamOnce(ctx, st, emit, &emitted)
+		attempt++
+		actx, aspan := attemptSpan(ctx, "client.stream", attempt, &first)
+		if aspan != nil && attempt > 1 && (emitted > 0 || st.unconfirmed() > 0) {
+			aspan.SetBool("resume", true) // replaying an unconfirmed window, not a fresh start
+		}
+		confirmed, err := c.streamOnce(actx, st, emit, &emitted)
+		if aspan != nil {
+			aspan.SetInt("confirmed", int64(confirmed))
+			aspan.End()
+		}
 		if err == nil {
+			root.SetInt("entries", int64(emitted))
 			return emitted, ctx.Err()
 		}
 		cause, after, retryable := classify(ctx, err)
@@ -255,6 +305,7 @@ func (c *Client) streamOnce(ctx context.Context, st *resumeState, emit func(cliu
 	}
 	req.Header.Set("Content-Type", "application/x-ndjson")
 	c.setClientID(req)
+	setTraceParent(req, ctx)
 	resp, doErr := c.httpClient().Do(req)
 	if doErr != nil {
 		// Surface the source error behind a mid-body failure when there is
@@ -295,6 +346,11 @@ func (c *Client) streamOnce(ctx context.Context, st *resumeState, emit func(cliu
 				return confirmed, fatal(srcErr)
 			}
 			if line.Error != "" {
+				if line.RequestID != "" {
+					// The daemon's access log carries the same request ID —
+					// grep it there for the server-side duration breakdown.
+					return confirmed, fatal(fmt.Errorf("client: daemon stream failed (request %s): %s", line.RequestID, line.Error))
+				}
 				return confirmed, fatal(fmt.Errorf("client: daemon stream failed: %s", line.Error))
 			}
 			return confirmed, fatal(fmt.Errorf("client: daemon sent an empty result line"))

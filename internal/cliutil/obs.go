@@ -23,6 +23,10 @@ type ObsFlags struct {
 	MetricsAddr string
 	// TracePath writes a JSONL span trace of the run to this file.
 	TracePath string
+	// TraceSample keeps one trace in every N (<= 1 keeps all). The decision is
+	// a pure function of the trace ID, so a client and a daemon configured with
+	// the same rate agree on which traces to record across processes.
+	TraceSample int
 	// Pprof additionally serves net/http/pprof under /debug/pprof/ on
 	// MetricsAddr.
 	Pprof bool
@@ -36,6 +40,8 @@ func RegisterObsFlags() *ObsFlags {
 		`serve Prometheus metrics on this address while running, e.g. "localhost:9090" (/metrics, /metrics.json; empty = off)`)
 	flag.StringVar(&f.TracePath, "trace", "",
 		"write a JSONL span trace of the run to this file (empty = off)")
+	flag.IntVar(&f.TraceSample, "trace-sample", 1,
+		"with -trace: keep one trace in every N (deterministic by trace ID; 1 = keep all)")
 	flag.BoolVar(&f.Pprof, "pprof", false,
 		"with -metrics-addr: also serve net/http/pprof under /debug/pprof/")
 	return f
@@ -66,6 +72,7 @@ func (f *ObsFlags) Setup(tool string, verbose bool) (shutdown func(), err error)
 	} else {
 		tracer = obs.NewTracer(nil) // collect-only: span stats for the digest
 	}
+	tracer.SetSampleEvery(f.TraceSample)
 	obs.SetTracer(tracer)
 	if f.MetricsAddr != "" {
 		mux := http.NewServeMux()

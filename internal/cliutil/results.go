@@ -67,6 +67,11 @@ type ResultLine struct {
 	// Error records a failed entry (per-entry failures are results too: a
 	// resumed run must not retry a kernel that deterministically fails).
 	Error string `json:"error,omitempty"`
+	// RequestID is set ONLY by modelerd on kernel-less trailer lines (stream
+	// failures) when its access log is enabled, correlating the trailer with
+	// the daemon's access-log line. Kernel result lines never carry it —
+	// trailers never reach results files, so resume byte-identity holds.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // ResultWriter appends ResultLines to a JSONL results/checkpoint stream.

@@ -14,10 +14,13 @@
 //     path never looks anything up, formats anything, or allocates. All
 //     handle methods are additionally nil-receiver safe.
 //
-//   - Tracing: StartSpan loads one atomic pointer; with no tracer installed
-//     it returns its inputs unchanged and a nil *Span, and every Span method
+//   - Tracing: StartSpan inspects the context (two allocation-free key
+//     lookups) and loads one atomic pointer; with no tracer reachable it
+//     returns its inputs unchanged and a nil *Span, and every Span method
 //     is a no-op on a nil receiver. A disabled pipeline therefore carries
-//     spans as nil pointers end to end.
+//     spans as nil pointers end to end. The same holds for the cross-process
+//     propagation helpers (TraceParent, AdoptTraceParent): with no tracer
+//     they return their inputs unchanged without allocating.
 //
 // TestObsDisabledAllocations pins the zero-allocation claim, and
 // scripts/check.sh runs it as a gate next to the PR 1 zero-alloc training
@@ -310,8 +313,9 @@ func NewGauge(name, help string, labels ...string) *Gauge {
 }
 
 // NewHistogram registers and returns a fixed-bucket histogram. uppers must be
-// sorted ascending; the +Inf bucket is implicit.
-func NewHistogram(name, help string, uppers []float64) *Histogram {
+// sorted ascending; the +Inf bucket is implicit. Like counters and gauges,
+// labels are key/value pairs baked into the handle at registration.
+func NewHistogram(name, help string, uppers []float64, labels ...string) *Histogram {
 	for i := 1; i < len(uppers); i++ {
 		if uppers[i] <= uppers[i-1] {
 			panic(fmt.Sprintf("obs: histogram %s buckets must be sorted ascending", name))
@@ -320,6 +324,7 @@ func NewHistogram(name, help string, uppers []float64) *Histogram {
 	h := &Histogram{
 		base:    name,
 		help:    help,
+		lbls:    renderLabels(labels),
 		uppers:  append([]float64(nil), uppers...),
 		buckets: make([]atomic.Uint64, len(uppers)+1),
 	}

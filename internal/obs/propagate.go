@@ -1,0 +1,175 @@
+package obs
+
+// Cross-process trace propagation: a W3C-trace-context-style `traceparent`
+// header carries the trace ID and parent span ID from a client span to the
+// server, so spans recorded by two processes into two JSONL files join into
+// one trace (merge them with internal/tracemerge or cmd/traceview).
+//
+// Header format (W3C trace-context layout, 64-bit IDs zero-padded to the
+// 128/64-bit field widths):
+//
+//	00-<32 hex trace id>-<16 hex parent span id>-<2 hex flags>
+//
+// Only the low 64 bits of a foreign 128-bit trace ID are kept. Flags bit 0 is
+// the sampled bit: a client that drops a trace (or traces nothing) sends no
+// header at all, so an explicit not-sampled header is only honored, never
+// emitted.
+
+import (
+	"context"
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// TraceParentHeader is the canonical (textproto) form of the propagation
+// header, usable directly with http.Header.Get/Set.
+const TraceParentHeader = "Traceparent"
+
+// tracerCtxKey carries a context-scoped tracer override (ContextWithTracer).
+type tracerCtxKey struct{}
+
+// remoteParentKey carries an adopted remote parent (AdoptTraceParent); the
+// next StartSpan roots itself under it instead of opening a fresh trace.
+type remoteParentKey struct{}
+
+type remoteParent struct {
+	trace uint64
+	span  uint64
+}
+
+// ContextWithTracer returns a context that scopes tracing to t: spans started
+// from the returned context (and their descendants) record into t instead of
+// the process-wide tracer. A server can hand each listener its own tracer
+// this way. A nil t returns ctx unchanged.
+func ContextWithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerCtxKey{}, t)
+}
+
+// ActiveTracer returns the tracer a root span started from ctx would use:
+// the context-scoped tracer if present, else the process-wide one, else nil.
+func ActiveTracer(ctx context.Context) *Tracer { return activeTracer(ctx) }
+
+func activeTracer(ctx context.Context) *Tracer {
+	if t, ok := ctx.Value(tracerCtxKey{}).(*Tracer); ok && t != nil {
+		return t
+	}
+	return currentTracer.Load()
+}
+
+// TraceParent renders the traceparent header value for the span carried by
+// ctx, or "" when ctx carries no live span. Zero allocations when tracing is
+// off.
+func TraceParent(ctx context.Context) string {
+	s := SpanFromContext(ctx)
+	if s == nil {
+		return ""
+	}
+	return FormatTraceParent(s.trace, s.id)
+}
+
+// FormatTraceParent renders a sampled traceparent header value from raw IDs.
+func FormatTraceParent(trace, span uint64) string {
+	var b [55]byte
+	b[0], b[1], b[2] = '0', '0', '-'
+	for i := 3; i < 19; i++ {
+		b[i] = '0'
+	}
+	hexPad(b[19:35], trace)
+	b[35] = '-'
+	hexPad(b[36:52], span)
+	b[52], b[53], b[54] = '-', '0', '1'
+	return string(b[:])
+}
+
+// hexPad writes v into dst as zero-padded lowercase hex (len(dst) == 16).
+func hexPad(dst []byte, v uint64) {
+	const digits = "0123456789abcdef"
+	for i := len(dst) - 1; i >= 0; i-- {
+		dst[i] = digits[v&0xf]
+		v >>= 4
+	}
+}
+
+// ParseTraceParent parses a traceparent header value. ok is false on any
+// malformed input, a zero trace ID, or a zero span ID. sampled reflects flags
+// bit 0. Foreign 128-bit trace IDs keep their low 64 bits (which must be
+// non-zero).
+func ParseTraceParent(h string) (trace, span uint64, sampled, ok bool) {
+	if len(h) != 55 || h[0] != '0' || h[1] != '0' || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return 0, 0, false, false
+	}
+	// The high 64 bits of the trace ID must still be valid hex, even though
+	// only the low 64 bits are kept.
+	if _, err := strconv.ParseUint(h[3:19], 16, 64); err != nil {
+		return 0, 0, false, false
+	}
+	trace, err := strconv.ParseUint(h[19:35], 16, 64)
+	if err != nil || trace == 0 {
+		return 0, 0, false, false
+	}
+	span, err = strconv.ParseUint(h[36:52], 16, 64)
+	if err != nil || span == 0 {
+		return 0, 0, false, false
+	}
+	flags, err := strconv.ParseUint(h[53:55], 16, 8)
+	if err != nil || strings.ContainsAny(h[3:55], "ABCDEF") {
+		return 0, 0, false, false
+	}
+	return trace, span, flags&1 == 1, true
+}
+
+// AdoptTraceParent joins ctx to the remote trace described by a traceparent
+// header value: the next StartSpan becomes a child of the remote span instead
+// of opening a fresh trace. The local sampler still applies — it keys on the
+// (propagated) trace ID, so a client and server sharing a sampling rate make
+// the same decision. An empty or malformed header, or no reachable tracer,
+// returns ctx unchanged with zero allocations; a not-sampled header suppresses
+// the subtree.
+func AdoptTraceParent(ctx context.Context, header string) context.Context {
+	if header == "" {
+		return ctx
+	}
+	t := activeTracer(ctx)
+	if t == nil {
+		return ctx
+	}
+	trace, span, sampled, ok := ParseTraceParent(header)
+	if !ok {
+		return ctx
+	}
+	if !sampled || !t.sampled(trace) {
+		t.sampledOut.Add(1)
+		return context.WithValue(ctx, spanCtxKey{}, (*Span)(nil))
+	}
+	return context.WithValue(ctx, remoteParentKey{}, remoteParent{trace: trace, span: span})
+}
+
+// mix64 is the SplitMix64 finalizer: a bijective avalanche over uint64. ID
+// generation runs a counter through it (uniqueness preserved, values well
+// spread), and the sampler hashes trace IDs with it so "1 in N" holds even
+// for adopted IDs from an arbitrary source.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// randomIDBase seeds a tracer's ID space so concurrent processes do not
+// collide. crypto/rand with a clock fallback: ID quality matters, secrecy
+// does not.
+func randomIDBase() uint64 {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err == nil {
+		return binary.LittleEndian.Uint64(b[:])
+	}
+	return uint64(time.Now().UnixNano())
+}

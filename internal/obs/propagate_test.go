@@ -1,0 +1,282 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestFormatParseTraceParentRoundTrip(t *testing.T) {
+	for _, c := range []struct{ trace, span uint64 }{
+		{1, 2},
+		{0xdeadbeefcafef00d, 0x0123456789abcdef},
+		{^uint64(0), 1},
+	} {
+		h := FormatTraceParent(c.trace, c.span)
+		if len(h) != 55 {
+			t.Fatalf("header %q has length %d, want 55", h, len(h))
+		}
+		trace, span, sampled, ok := ParseTraceParent(h)
+		if !ok || !sampled || trace != c.trace || span != c.span {
+			t.Fatalf("round trip %q = (%x, %x, %v, %v), want (%x, %x, true, true)",
+				h, trace, span, sampled, ok, c.trace, c.span)
+		}
+	}
+}
+
+func TestParseTraceParentRejectsMalformed(t *testing.T) {
+	for _, h := range []string{
+		"",
+		"00-abc",
+		"01-0000000000000000deadbeefcafef00d-0123456789abcdef-01", // wrong version
+		"00-0000000000000000deadbeefcafef00d+0123456789abcdef-01", // wrong separator
+		"00-00000000000000000000000000000000-0123456789abcdef-01", // zero trace
+		"00-0000000000000000deadbeefcafef00d-0000000000000000-01", // zero span
+		"00-0000000000000000deadbeefcafeXOOD-0123456789abcdef-01", // non-hex
+		"00-0000000000000000DEADBEEFCAFEF00D-0123456789abcdef-01", // uppercase
+		"00-0000000000000000deadbeefcafef00d-0123456789abcdef-0",  // short flags
+	} {
+		if _, _, _, ok := ParseTraceParent(h); ok {
+			t.Fatalf("ParseTraceParent(%q) accepted malformed input", h)
+		}
+	}
+	// A foreign 128-bit trace ID keeps its low 64 bits.
+	trace, _, _, ok := ParseTraceParent("00-11112222333344445555666677778888-0123456789abcdef-01")
+	if !ok || trace != 0x5555666677778888 {
+		t.Fatalf("low-64 truncation = (%x, %v)", trace, ok)
+	}
+	// Not-sampled flag.
+	_, _, sampled, ok := ParseTraceParent("00-0000000000000000deadbeefcafef00d-0123456789abcdef-00")
+	if !ok || sampled {
+		t.Fatalf("flags 00 parsed as sampled=%v ok=%v", sampled, ok)
+	}
+}
+
+func TestTraceParentOfActiveSpan(t *testing.T) {
+	tr := NewTracer(nil)
+	prev := SetTracer(tr)
+	defer SetTracer(prev)
+
+	if h := TraceParent(context.Background()); h != "" {
+		t.Fatalf("TraceParent without a span = %q, want empty", h)
+	}
+	ctx, s := StartSpan(context.Background(), "root")
+	h := TraceParent(ctx)
+	trace, span, _, ok := ParseTraceParent(h)
+	if !ok || trace != s.TraceID() || span != s.SpanID() {
+		t.Fatalf("TraceParent = %q (parsed %x/%x), want span %x/%x", h, trace, span, s.TraceID(), s.SpanID())
+	}
+	s.End()
+}
+
+func TestAdoptTraceParentJoinsRemoteTrace(t *testing.T) {
+	tr := NewTracer(nil)
+	prev := SetTracer(tr)
+	defer SetTracer(prev)
+
+	ctx := AdoptTraceParent(context.Background(), FormatTraceParent(0xabc, 0xdef))
+	_, s := StartSpan(ctx, "server.request")
+	if s == nil {
+		t.Fatal("span not started under adopted parent")
+	}
+	if s.TraceID() != 0xabc {
+		t.Fatalf("trace = %x, want abc", s.TraceID())
+	}
+	if s.parent != 0xdef {
+		t.Fatalf("parent = %x, want def", s.parent)
+	}
+	// Children keep nesting locally.
+	cctx, _ := StartSpan(ctx, "a")
+	_, child := StartSpan(cctx, "b")
+	if child.TraceID() != 0xabc {
+		t.Fatalf("descendant trace = %x, want abc", child.TraceID())
+	}
+	s.End()
+}
+
+func TestAdoptTraceParentNoTracerIsUnchanged(t *testing.T) {
+	if prev := SetTracer(nil); prev != nil {
+		defer SetTracer(prev)
+	}
+	ctx := context.Background()
+	if got := AdoptTraceParent(ctx, FormatTraceParent(1, 2)); got != ctx {
+		t.Fatal("AdoptTraceParent without a tracer must return ctx unchanged")
+	}
+	if got := AdoptTraceParent(ctx, ""); got != ctx {
+		t.Fatal("AdoptTraceParent with empty header must return ctx unchanged")
+	}
+}
+
+func TestAdoptTraceParentNotSampledSuppressesSubtree(t *testing.T) {
+	tr := NewTracer(nil)
+	prev := SetTracer(tr)
+	defer SetTracer(prev)
+
+	h := FormatTraceParent(0xabc, 0xdef)
+	ctx := AdoptTraceParent(context.Background(), h[:53]+"00")
+	sctx, s := StartSpan(ctx, "server.request")
+	if s != nil {
+		t.Fatal("not-sampled header must suppress the span")
+	}
+	if _, child := StartSpan(sctx, "child"); child != nil {
+		t.Fatal("descendants of a suppressed root must stay suppressed")
+	}
+	if tr.Stats().Spans != 0 {
+		t.Fatal("suppressed subtree recorded spans")
+	}
+}
+
+func TestContextWithTracerOverridesGlobal(t *testing.T) {
+	global := NewTracer(nil)
+	prev := SetTracer(global)
+	defer SetTracer(prev)
+	scoped := NewTracer(nil)
+
+	ctx := ContextWithTracer(context.Background(), scoped)
+	if ActiveTracer(ctx) != scoped {
+		t.Fatal("ActiveTracer must prefer the context-scoped tracer")
+	}
+	if ActiveTracer(context.Background()) != global {
+		t.Fatal("ActiveTracer must fall back to the global tracer")
+	}
+	sctx, s := StartSpan(ctx, "root")
+	_, child := StartSpan(sctx, "child")
+	child.End()
+	s.End()
+	if got := scoped.Stats().Spans; got != 2 {
+		t.Fatalf("scoped tracer recorded %d spans, want 2", got)
+	}
+	if got := global.Stats().Spans; got != 0 {
+		t.Fatalf("global tracer recorded %d spans, want 0", got)
+	}
+}
+
+func TestDeterministicSamplerAgreesAcrossTracers(t *testing.T) {
+	// Two tracers with different ID bases but the same rate must agree on
+	// every adopted trace ID — that is what makes client/server sampling
+	// coherent.
+	a, b := NewTracer(nil), NewTracer(nil)
+	a.SetSampleEvery(3)
+	b.SetSampleEvery(3)
+	kept := 0
+	for i := uint64(1); i <= 300; i++ {
+		trace := mix64(i)
+		if a.sampled(trace) != b.sampled(trace) {
+			t.Fatalf("tracers disagree on trace %x", trace)
+		}
+		if a.sampled(trace) {
+			kept++
+		}
+	}
+	if kept < 60 || kept > 140 {
+		t.Fatalf("sampler kept %d of 300 at rate 1/3", kept)
+	}
+	if a.SampleEvery() != 3 {
+		t.Fatalf("SampleEvery = %d, want 3", a.SampleEvery())
+	}
+	a.SetSampleEvery(0)
+	if a.SampleEvery() != 1 || !a.sampled(42) {
+		t.Fatal("rate <= 1 must keep everything")
+	}
+}
+
+func TestSamplerDropsRootsDeterministically(t *testing.T) {
+	tr := NewTracer(nil)
+	tr.SetSampleEvery(4)
+	prev := SetTracer(tr)
+	defer SetTracer(prev)
+
+	var kept, dropped int
+	for i := 0; i < 400; i++ {
+		ctx, s := StartSpan(context.Background(), "root")
+		if s == nil {
+			dropped++
+			if _, child := StartSpan(ctx, "child"); child != nil {
+				t.Fatal("descendant of sampled-out root must be nil")
+			}
+			continue
+		}
+		kept++
+		s.End()
+	}
+	if kept == 0 || dropped == 0 {
+		t.Fatalf("sampler at 1/4 kept %d dropped %d, want a mix", kept, dropped)
+	}
+	st := tr.Stats()
+	if st.Spans != uint64(kept) || st.SampledOut != uint64(dropped) {
+		t.Fatalf("stats = %+v, want spans=%d sampledOut=%d", st, kept, dropped)
+	}
+}
+
+func TestSpanLinksInRecord(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	prev := SetTracer(tr)
+	defer SetTracer(prev)
+
+	_, s := StartSpan(context.Background(), "client.stream")
+	s.Link(0x1111, 0x2222)
+	s.Link(0, 5) // ignored: zero trace
+	s.End()
+	SetTracer(prev)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var rec struct {
+		Links []SpanLink `json:"links"`
+	}
+	if err := json.Unmarshal([]byte(strings.TrimSpace(buf.String())), &rec); err != nil {
+		t.Fatalf("bad span record: %v", err)
+	}
+	if len(rec.Links) != 1 || rec.Links[0] != (SpanLink{Trace: 0x1111, Span: 0x2222}) {
+		t.Fatalf("links = %+v", rec.Links)
+	}
+}
+
+func TestDistinctTracersDistinctIDs(t *testing.T) {
+	a, b := NewTracer(nil), NewTracer(nil)
+	ids := map[uint64]bool{}
+	for _, tr := range []*Tracer{a, b} {
+		prev := SetTracer(tr)
+		for i := 0; i < 100; i++ {
+			_, s := StartSpan(context.Background(), "x")
+			if ids[s.SpanID()] || ids[s.TraceID()] {
+				t.Fatalf("ID collision at %x/%x", s.TraceID(), s.SpanID())
+			}
+			ids[s.SpanID()] = true
+			ids[s.TraceID()] = true
+			s.End()
+		}
+		SetTracer(prev)
+	}
+}
+
+// TestTracePropagationDisabledZeroAlloc extends the disabled-path allocation
+// gate to the cross-process propagation helpers: with no tracer reachable,
+// rendering, adopting, and probing traceparent state must not allocate.
+func TestTracePropagationDisabledZeroAlloc(t *testing.T) {
+	if prev := SetTracer(nil); prev != nil {
+		defer SetTracer(prev)
+	}
+	ctx := context.Background()
+	header := FormatTraceParent(0xabc, 0xdef)
+	if n := testing.AllocsPerRun(1000, func() {
+		if TraceParent(ctx) != "" {
+			t.Fatal("unexpected header")
+		}
+		if AdoptTraceParent(ctx, header) != ctx {
+			t.Fatal("ctx changed")
+		}
+		if ActiveTracer(ctx) != nil {
+			t.Fatal("unexpected tracer")
+		}
+		var s *Span
+		s.Link(1, 2)
+		_ = s.TraceID()
+		_ = s.SpanID()
+	}); n != 0 {
+		t.Fatalf("disabled propagation allocates %.1f times per op, want 0", n)
+	}
+}

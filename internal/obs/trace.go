@@ -40,8 +40,15 @@ type Tracer struct {
 	w      *bufio.Writer
 	closer io.Closer
 
+	// idBase is a per-tracer random offset mixed into every generated ID so
+	// two processes tracing the same campaign never collide on span or trace
+	// IDs (required for cross-process trace merging, internal/tracemerge).
+	idBase      uint64
+	sampleEvery atomic.Uint64 // 0 or 1 = keep every trace; N = keep 1-in-N
+
 	nextID     atomic.Uint64
 	spansTotal atomic.Uint64
+	sampledOut atomic.Uint64 // root traces dropped by the sampler
 
 	topMu sync.Mutex
 	top   []SpanInfo // sorted by Dur descending; kernel-labeled spans only
@@ -51,7 +58,7 @@ type Tracer struct {
 // a collect-only tracer (statistics, no sink). If w is also an io.Closer,
 // Close closes it after flushing.
 func NewTracer(w io.Writer) *Tracer {
-	t := &Tracer{}
+	t := &Tracer{idBase: randomIDBase()}
 	if w != nil {
 		t.w = bufio.NewWriter(w)
 		if c, ok := w.(io.Closer); ok {
@@ -59,6 +66,50 @@ func NewTracer(w io.Writer) *Tracer {
 		}
 	}
 	return t
+}
+
+// SetSampleEvery configures the deterministic trace sampler: the tracer keeps
+// one trace in every n (n <= 1 keeps all). The decision is a pure function of
+// the trace ID, so a client and a server configured with the same rate agree
+// on which traces to record even across processes.
+func (t *Tracer) SetSampleEvery(n int) {
+	if t == nil {
+		return
+	}
+	if n < 1 {
+		n = 1
+	}
+	t.sampleEvery.Store(uint64(n))
+}
+
+// SampleEvery reports the configured sampling rate (1 = record every trace).
+func (t *Tracer) SampleEvery() int {
+	if t == nil {
+		return 1
+	}
+	if n := t.sampleEvery.Load(); n > 1 {
+		return int(n)
+	}
+	return 1
+}
+
+// sampled reports whether a trace with the given ID should be recorded.
+func (t *Tracer) sampled(trace uint64) bool {
+	n := t.sampleEvery.Load()
+	if n <= 1 {
+		return true
+	}
+	return mix64(trace)%n == 0
+}
+
+// newID generates a process-unique, well-mixed 64-bit ID (never zero; zero is
+// the "absent" sentinel in span records and traceparent headers).
+func (t *Tracer) newID() uint64 {
+	id := mix64(t.idBase + t.nextID.Add(1))
+	if id == 0 {
+		id = 1
+	}
+	return id
 }
 
 // Close flushes and closes the sink. Safe on a collect-only tracer.
@@ -102,8 +153,9 @@ type SpanInfo struct {
 // TraceStats summarizes a tracer's run: how many spans completed and the
 // slowest kernel-labeled spans, longest first.
 type TraceStats struct {
-	Spans   uint64
-	Slowest []SpanInfo
+	Spans      uint64
+	SampledOut uint64 // root traces dropped by the deterministic sampler
+	Slowest    []SpanInfo
 }
 
 // Stats snapshots the tracer's run statistics.
@@ -114,7 +166,7 @@ func (t *Tracer) Stats() TraceStats {
 	t.topMu.Lock()
 	top := append([]SpanInfo(nil), t.top...)
 	t.topMu.Unlock()
-	return TraceStats{Spans: t.spansTotal.Load(), Slowest: top}
+	return TraceStats{Spans: t.spansTotal.Load(), SampledOut: t.sampledOut.Load(), Slowest: top}
 }
 
 // CurrentTraceStats returns the installed tracer's statistics (zeros when no
@@ -152,30 +204,53 @@ type Span struct {
 	start   time.Time
 	mu      sync.Mutex
 	attrs   []attr
+	links   []SpanLink
 	doneOne sync.Once
 }
 
-// spanCtxKey threads the active span through context.Context.
+// SpanLink is a causal reference to another span that is not this span's
+// parent — e.g. a resumed stream attempt linking back to the attempt it
+// replaces.
+type SpanLink struct {
+	Trace uint64 `json:"trace"`
+	Span  uint64 `json:"span"`
+}
+
+// spanCtxKey threads the active span through context.Context. A stored nil
+// *Span is the "unsampled subtree" sentinel: the root of this trace was
+// dropped by the sampler, so descendants must not start fresh traces.
 type spanCtxKey struct{}
 
 // StartSpan starts a span named name as a child of the span carried by ctx
-// (a root span when ctx carries none) and returns a derived context carrying
-// the new span. With no tracer installed it returns (ctx, nil) after one
-// atomic load — zero allocations, zero clock reads.
+// (a root span when ctx carries none, a remote child when ctx carries an
+// adopted traceparent) and returns a derived context carrying the new span.
+// With no tracer installed it returns (ctx, nil) with zero allocations and
+// zero clock reads. Root spans pass through the tracer's deterministic
+// sampler; a sampled-out root suppresses its whole subtree.
 func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
-	t := currentTracer.Load()
+	if p, ok := ctx.Value(spanCtxKey{}).(*Span); ok {
+		if p == nil {
+			return ctx, nil // unsampled subtree
+		}
+		t := p.t
+		s := &Span{t: t, name: name, trace: p.trace, id: t.newID(), parent: p.id, start: time.Now()}
+		return context.WithValue(ctx, spanCtxKey{}, s), s
+	}
+	t := activeTracer(ctx)
 	if t == nil {
 		return ctx, nil
 	}
-	var parentID, traceID uint64
-	if p, ok := ctx.Value(spanCtxKey{}).(*Span); ok && p != nil {
-		parentID, traceID = p.id, p.trace
+	var traceID, parentID uint64
+	if rp, ok := ctx.Value(remoteParentKey{}).(remoteParent); ok {
+		traceID, parentID = rp.trace, rp.span
+	} else {
+		traceID = t.newID()
 	}
-	id := t.nextID.Add(1)
-	if traceID == 0 {
-		traceID = id
+	if !t.sampled(traceID) {
+		t.sampledOut.Add(1)
+		return context.WithValue(ctx, spanCtxKey{}, (*Span)(nil)), nil
 	}
-	s := &Span{t: t, name: name, trace: traceID, id: id, parent: parentID, start: time.Now()}
+	s := &Span{t: t, name: name, trace: traceID, id: t.newID(), parent: parentID, start: time.Now()}
 	return context.WithValue(ctx, spanCtxKey{}, s), s
 }
 
@@ -183,6 +258,33 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 func SpanFromContext(ctx context.Context) *Span {
 	s, _ := ctx.Value(spanCtxKey{}).(*Span)
 	return s
+}
+
+// TraceID returns the span's trace ID (0 on a nil span).
+func (s *Span) TraceID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.trace
+}
+
+// SpanID returns the span's own ID (0 on a nil span).
+func (s *Span) SpanID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// Link attaches a causal link to another span (no-op on a nil span or when
+// either ID is zero).
+func (s *Span) Link(trace, span uint64) {
+	if s == nil || trace == 0 || span == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.links = append(s.links, SpanLink{Trace: trace, Span: span})
+	s.mu.Unlock()
 }
 
 // SetString attaches a string attribute.
@@ -247,6 +349,7 @@ type spanRecord struct {
 	Start  string         `json:"start"` // RFC3339Nano
 	DurNS  int64          `json:"dur_ns"`
 	Attrs  map[string]any `json:"attrs,omitempty"`
+	Links  []SpanLink     `json:"links,omitempty"`
 }
 
 // finish records a completed span.
@@ -255,6 +358,7 @@ func (t *Tracer) finish(s *Span, dur time.Duration) {
 
 	s.mu.Lock()
 	attrs := s.attrs
+	links := s.links
 	s.mu.Unlock()
 
 	// Track the slowest kernel-labeled spans for the run digest.
@@ -281,6 +385,7 @@ func (t *Tracer) finish(s *Span, dur time.Duration) {
 		Name:   s.name,
 		Start:  s.start.Format(time.RFC3339Nano),
 		DurNS:  dur.Nanoseconds(),
+		Links:  links,
 	}
 	if len(attrs) > 0 {
 		rec.Attrs = make(map[string]any, len(attrs))

@@ -1,0 +1,208 @@
+package server
+
+import (
+	"bufio"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Structured access logging: one JSONL line per request to a modeling
+// endpoint — accepted or rejected — carrying the request ID, client, trace
+// ID, status, reject reason, byte counts, kernels streamed, and a duration
+// breakdown (queue wait / throttle wait / handler time). The same request ID
+// is echoed in the X-Request-ID response header, in JSON error bodies, and on
+// kernel-less trailer lines, so a client-side failure greps straight to the
+// server-side record. Disabled (Config.AccessLog == nil) the request path
+// generates no IDs, wraps no bodies, and writes nothing.
+
+// AccessRecord is the JSONL schema of one access-log line
+// (docs/OBSERVABILITY.md documents it as the access-log contract).
+type AccessRecord struct {
+	Time      string `json:"ts"` // RFC3339Nano, request arrival
+	RequestID string `json:"request_id"`
+	Client    string `json:"client,omitempty"` // fairness key: X-Client-ID or remote host
+	// Trace is the obs trace ID (same value as the "trace" field of span
+	// records, rendered in hex inside traceparent headers); 0 when the
+	// request was untraced.
+	Trace          uint64  `json:"trace,omitempty"`
+	Endpoint       string  `json:"endpoint"`
+	Status         int     `json:"status"`
+	Reason         string  `json:"reason,omitempty"` // reject/failure taxonomy, "" on success
+	BytesIn        int64   `json:"bytes_in"`
+	BytesOut       int64   `json:"bytes_out"`
+	Kernels        int64   `json:"kernels,omitempty"` // result lines streamed (profile) or 1 (model)
+	ThrottleWaitMS float64 `json:"throttle_wait_ms,omitempty"`
+	QueueWaitMS    float64 `json:"queue_wait_ms,omitempty"`
+	HandlerMS      float64 `json:"handler_ms"`
+	TotalMS        float64 `json:"total_ms"`
+}
+
+// AccessLog is a concurrency-safe JSONL sink. Every line is flushed as it is
+// written (an access log is a forensics tool — it must be complete up to the
+// crash), and write errors are dropped: diagnostics never fail serving.
+type AccessLog struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	closer io.Closer
+	lines  atomic.Uint64
+}
+
+// NewAccessLog returns an access log writing JSONL records to w. If w is
+// also an io.Closer, Close closes it after flushing.
+func NewAccessLog(w io.Writer) *AccessLog {
+	l := &AccessLog{w: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		l.closer = c
+	}
+	return l
+}
+
+// Write appends one record. Nil-safe (a nil log drops the record).
+func (l *AccessLog) Write(rec AccessRecord) {
+	if l == nil {
+		return
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	l.mu.Lock()
+	l.w.Write(line)
+	l.w.WriteByte('\n')
+	l.w.Flush()
+	l.mu.Unlock()
+	l.lines.Add(1)
+}
+
+// Lines returns the number of records written.
+func (l *AccessLog) Lines() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.lines.Load()
+}
+
+// Flush flushes buffered data to the sink (a no-op in practice — Write
+// flushes per line — but cheap insurance around reload boundaries).
+func (l *AccessLog) Flush() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Flush()
+}
+
+// Close flushes and closes the sink. Nil-safe.
+func (l *AccessLog) Close() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	if l.closer != nil {
+		return l.closer.Close()
+	}
+	return nil
+}
+
+// reqInfo is the per-request bookkeeping protect() threads through the
+// request: identity for the access log and /statusz, plus the duration
+// breakdown the admission path fills in. Fields written before the handler
+// runs (id, endpoint, client, start, waits, body wrapper) are read-only
+// afterwards; fields shared with /statusz readers are atomics.
+type reqInfo struct {
+	seq      uint64 // process-unique sequence number ( /statusz key )
+	id       string // request ID; "" when the access log is disabled
+	endpoint string
+	client   string
+	start    time.Time
+
+	traceID atomic.Uint64 // set by the handler once the span exists
+	kernels atomic.Int64  // result lines streamed so far
+
+	// Same-goroutine fields (admission and handler):
+	queueWait    time.Duration
+	throttleWait time.Duration
+	reason       string        // reject/failure taxonomy; "" = success
+	body         *countingBody // non-nil only when the access log is on
+}
+
+// setReason records the request's failure taxonomy (first one wins; nil-safe).
+func (ri *reqInfo) setReason(reason string) {
+	if ri == nil || ri.reason != "" {
+		return
+	}
+	ri.reason = reason
+}
+
+// countKernel bumps the streamed-kernel count (nil-safe).
+func (ri *reqInfo) countKernel() {
+	if ri == nil {
+		return
+	}
+	ri.kernels.Add(1)
+}
+
+// requestID renders a process-unique request ID: a random per-process prefix
+// (so IDs from restarts never collide in an appended log) plus the sequence
+// number.
+func (s *Server) requestID(seq uint64) string {
+	return fmt.Sprintf("%08x-%06d", uint32(s.reqBase), seq)
+}
+
+// randomReqBase seeds the per-process request-ID prefix.
+func randomReqBase() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err == nil {
+		return binary.LittleEndian.Uint64(b[:])
+	}
+	return uint64(time.Now().UnixNano())
+}
+
+// reqInfoOf recovers the request bookkeeping from the response writer the
+// middleware installed; nil for unwrapped writers (direct handler tests).
+func reqInfoOf(w http.ResponseWriter) *reqInfo {
+	if t, ok := w.(*trackingWriter); ok {
+		return t.ri
+	}
+	return nil
+}
+
+// countingBody counts request-body bytes for the access log.
+type countingBody struct {
+	rc io.ReadCloser
+	n  int64
+}
+
+func (b *countingBody) Read(p []byte) (int, error) {
+	n, err := b.rc.Read(p)
+	b.n += int64(n)
+	return n, err
+}
+
+func (b *countingBody) Close() error { return b.rc.Close() }
+
+// trackRequest registers an in-flight request for /statusz.
+func (s *Server) trackRequest(ri *reqInfo) {
+	s.inflightMu.Lock()
+	s.inflightReqs[ri.seq] = ri
+	s.inflightMu.Unlock()
+}
+
+// untrackRequest removes it once the response is complete.
+func (s *Server) untrackRequest(ri *reqInfo) {
+	s.inflightMu.Lock()
+	delete(s.inflightReqs, ri.seq)
+	s.inflightMu.Unlock()
+}

@@ -1,0 +1,289 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"extrapdnn/internal/cliutil"
+	"extrapdnn/internal/measurement"
+)
+
+// newLoggedServer builds a regression server with an access log writing into
+// the returned buffer.
+func newLoggedServer(t testing.TB, cfg Config) (*Server, *bytes.Buffer) {
+	t.Helper()
+	var buf bytes.Buffer
+	cfg.AccessLog = NewAccessLog(&buf)
+	return newRegServer(t, cfg), &buf
+}
+
+// accessLines parses every access-log line, failing the test on anything
+// malformed: the log is JSONL by contract, no exceptions.
+func accessLines(t testing.TB, buf *bytes.Buffer) []AccessRecord {
+	t.Helper()
+	var recs []AccessRecord
+	for i, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var rec AccessRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("access log line %d is not valid JSON: %v\n%s", i, err, line)
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+// TestAccessLogWellFormed drives one request of every outcome class through
+// the server and checks the contract: every request to a modeling endpoint —
+// accepted or rejected — produces exactly one valid JSONL line whose status,
+// reason, and counts match what the client saw.
+func TestAccessLogWellFormed(t *testing.T) {
+	s, buf := newLoggedServer(t, Config{Workers: 1, MaxBodyBytes: 2048})
+
+	okBody := setBody(t, noisySet(7, 0.02, func(x float64) float64 { return 2 * x }))
+	do := func(method, path string, body []byte) *httptest.ResponseRecorder {
+		var rd *bytes.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		} else {
+			rd = bytes.NewReader(nil)
+		}
+		req := httptest.NewRequest(method, path, rd)
+		req.Header.Set(clientIDHeader, "log-test")
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, req)
+		return w
+	}
+
+	// One request per outcome; the expected log line rides along.
+	okModel := do(http.MethodPost, "/v1/model", okBody)
+	profBody := profileBody(t, []string{"k1", "k2", "k3"}, func(i int) *measurement.Set {
+		return noisySet(int64(i+10), 0.02, func(x float64) float64 { return float64(i+1) * x })
+	})
+	okProfile := do(http.MethodPost, "/v1/profile", profBody)
+	notAllowed := do(http.MethodGet, "/v1/model", nil)
+	badReq := do(http.MethodPost, "/v1/model", []byte("{not json"))
+	bigSet := &measurement.Set{}
+	for i := 0; i < 200; i++ {
+		bigSet.Data = append(bigSet.Data, measurement.Measurement{
+			Point: measurement.Point{float64(i + 1)}, Values: []float64{1.5, 2.5},
+		})
+	}
+	oversize := do(http.MethodPost, "/v1/model", setBody(t, bigSet))
+	s.Drain()
+	draining := do(http.MethodPost, "/v1/model", okBody)
+
+	want := []struct {
+		w        *httptest.ResponseRecorder
+		endpoint string
+		status   int
+		reason   string
+		kernels  int64
+	}{
+		{okModel, "model", 200, "", 1},
+		{okProfile, "profile", 200, "", 3},
+		{notAllowed, "model", 405, "method_not_allowed", 0},
+		{badReq, "model", 400, "bad_request", 0},
+		{oversize, "model", 413, "oversize", 0},
+		{draining, "model", 503, "draining", 0},
+	}
+
+	recs := accessLines(t, buf)
+	if len(recs) != len(want) {
+		t.Fatalf("got %d access-log lines, want exactly %d (one per request):\n%s",
+			len(recs), len(want), buf.String())
+	}
+	seen := map[string]bool{}
+	for i, rec := range recs {
+		exp := want[i]
+		if exp.w.Code != exp.status {
+			t.Fatalf("request %d: HTTP status %d, expected %d", i, exp.w.Code, exp.status)
+		}
+		if rec.Endpoint != exp.endpoint || rec.Status != exp.status || rec.Reason != exp.reason {
+			t.Errorf("line %d: got endpoint=%q status=%d reason=%q, want %q/%d/%q",
+				i, rec.Endpoint, rec.Status, rec.Reason, exp.endpoint, exp.status, exp.reason)
+		}
+		if rec.Kernels != exp.kernels {
+			t.Errorf("line %d: kernels %d, want %d", i, rec.Kernels, exp.kernels)
+		}
+		if rec.RequestID == "" {
+			t.Errorf("line %d: missing request_id", i)
+		}
+		if seen[rec.RequestID] {
+			t.Errorf("line %d: duplicate request_id %q", i, rec.RequestID)
+		}
+		seen[rec.RequestID] = true
+		if rec.Client != "log-test" {
+			t.Errorf("line %d: client %q, want log-test", i, rec.Client)
+		}
+		if rec.TotalMS < 0 || rec.HandlerMS < 0 {
+			t.Errorf("line %d: negative durations: %+v", i, rec)
+		}
+		// The request ID is echoed as a response header on every request...
+		if hdr := exp.w.Header().Get("X-Request-ID"); hdr != rec.RequestID {
+			t.Errorf("line %d: X-Request-ID %q != logged request_id %q", i, hdr, rec.RequestID)
+		}
+		// ...and inside JSON error bodies, so a client error greps to the line.
+		if exp.status >= 400 {
+			var errResp ErrorResponse
+			if err := json.Unmarshal(exp.w.Body.Bytes(), &errResp); err != nil {
+				t.Errorf("line %d: error body not JSON: %v", i, err)
+			} else if errResp.RequestID != rec.RequestID {
+				t.Errorf("line %d: error-body request_id %q != logged %q", i, errResp.RequestID, rec.RequestID)
+			}
+		}
+		if exp.status == 200 && rec.BytesIn == 0 {
+			t.Errorf("line %d: bytes_in 0 on an accepted request", i)
+		}
+		if rec.BytesOut == 0 {
+			t.Errorf("line %d: bytes_out 0 (every outcome writes a body)", i)
+		}
+	}
+}
+
+// TestAccessLogThrottled checks the fairness-gate 429 is logged with its
+// reason and echoes the request ID.
+func TestAccessLogThrottled(t *testing.T) {
+	s, buf := newLoggedServer(t, Config{ClientRate: 0.001, ClientBurst: 1, ClientQueue: -1})
+	body := setBody(t, noisySet(3, 0.02, func(x float64) float64 { return x }))
+
+	var last *httptest.ResponseRecorder
+	for i := 0; i < 2; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/model", bytes.NewReader(body))
+		req.Header.Set(clientIDHeader, "greedy")
+		last = httptest.NewRecorder()
+		s.Handler().ServeHTTP(last, req)
+	}
+	if last.Code != http.StatusTooManyRequests {
+		t.Fatalf("second request: status %d, want 429", last.Code)
+	}
+	recs := accessLines(t, buf)
+	if len(recs) != 2 {
+		t.Fatalf("got %d lines, want 2", len(recs))
+	}
+	rec := recs[1]
+	if rec.Status != 429 || rec.Reason != "throttled" {
+		t.Fatalf("throttled line: %+v", rec)
+	}
+	var errResp ErrorResponse
+	if err := json.Unmarshal(last.Body.Bytes(), &errResp); err != nil || errResp.RequestID != rec.RequestID {
+		t.Fatalf("429 body request_id %q != logged %q (err %v)", errResp.RequestID, rec.RequestID, err)
+	}
+	if last.Header().Get("Retry-After") == "" {
+		t.Fatal("429 missing Retry-After")
+	}
+}
+
+// TestAccessLogStreamErrorTrailer checks a mid-stream profile failure logs
+// reason=stream_error and that the kernel-less trailer line carries the same
+// request ID as the log line — the cross-file join for stream forensics.
+func TestAccessLogStreamErrorTrailer(t *testing.T) {
+	s, buf := newLoggedServer(t, Config{Workers: 1})
+	good := profileBody(t, []string{"ok-kernel"}, func(int) *measurement.Set {
+		return noisySet(4, 0.02, func(x float64) float64 { return 3 * x })
+	})
+	body := append(good, []byte("this is not json\n")...)
+
+	req := httptest.NewRequest(http.MethodPost, "/v1/profile", bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d", w.Code)
+	}
+
+	var lines []cliutil.ResultLine
+	dec := json.NewDecoder(w.Body)
+	for dec.More() {
+		var line cliutil.ResultLine
+		if err := dec.Decode(&line); err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, line)
+	}
+	if len(lines) != 2 || lines[1].Error == "" {
+		t.Fatalf("want good line + trailer, got %+v", lines)
+	}
+	// Kernel result lines never carry a request ID (results files must stay
+	// byte-identical to local runs); the trailer does.
+	if lines[0].RequestID != "" {
+		t.Fatalf("kernel line unexpectedly carries request_id: %+v", lines[0])
+	}
+	if lines[1].RequestID == "" {
+		t.Fatal("trailer line missing request_id")
+	}
+
+	recs := accessLines(t, buf)
+	if len(recs) != 1 {
+		t.Fatalf("got %d log lines, want 1", len(recs))
+	}
+	if recs[0].Reason != "stream_error" || recs[0].Kernels != 1 {
+		t.Fatalf("log line: %+v", recs[0])
+	}
+	if recs[0].RequestID != lines[1].RequestID {
+		t.Fatalf("trailer request_id %q != logged %q", lines[1].RequestID, recs[0].RequestID)
+	}
+}
+
+// TestAccessLogDisabledAddsNothing pins the disabled-path contract: without
+// an access log there are no request IDs anywhere — no response header, no
+// error-body field, no trailer field — so responses are byte-identical to the
+// pre-observability wire format.
+func TestAccessLogDisabledAddsNothing(t *testing.T) {
+	s := newRegServer(t, Config{Workers: 1})
+
+	w := postModel(t, s, []byte("{not json"))
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("status %d", w.Code)
+	}
+	if h := w.Header().Get("X-Request-ID"); h != "" {
+		t.Fatalf("X-Request-ID %q present with access log disabled", h)
+	}
+	if strings.Contains(w.Body.String(), "request_id") {
+		t.Fatalf("error body leaks request_id with access log disabled: %s", w.Body.String())
+	}
+
+	good := profileBody(t, []string{"k"}, func(int) *measurement.Set {
+		return noisySet(4, 0.02, func(x float64) float64 { return 3 * x })
+	})
+	body := append(good, []byte("garbage\n")...)
+	pw := httptest.NewRecorder()
+	s.Handler().ServeHTTP(pw, httptest.NewRequest(http.MethodPost, "/v1/profile", bytes.NewReader(body)))
+	if strings.Contains(pw.Body.String(), "request_id") {
+		t.Fatalf("trailer leaks request_id with access log disabled: %s", pw.Body.String())
+	}
+
+	// Nil AccessLog methods are all safe no-ops.
+	var nilLog *AccessLog
+	nilLog.Write(AccessRecord{})
+	if nilLog.Lines() != 0 || nilLog.Flush() != nil || nilLog.Close() != nil {
+		t.Fatal("nil AccessLog methods must be no-ops")
+	}
+}
+
+// TestAccessLogResponsesByteIdentical checks a successful profile stream is
+// byte-for-byte the same with and without the access log: the log observes,
+// it never changes results.
+func TestAccessLogResponsesByteIdentical(t *testing.T) {
+	body := profileBody(t, []string{"a", "b"}, func(i int) *measurement.Set {
+		return noisySet(int64(i+20), 0.02, func(x float64) float64 { return float64(i+2) * x })
+	})
+	run := func(s *Server) string {
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/v1/profile", bytes.NewReader(body)))
+		if w.Code != http.StatusOK {
+			t.Fatalf("status %d", w.Code)
+		}
+		return w.Body.String()
+	}
+	plain := run(newRegServer(t, Config{Workers: 1}))
+	logged, _ := newLoggedServer(t, Config{Workers: 1})
+	if got := run(logged); got != plain {
+		t.Fatalf("logged response differs from plain response:\n%s\nvs\n%s", got, plain)
+	}
+}

@@ -85,9 +85,12 @@ func NewModelResponse(rep core.Report) ModelResponse {
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
-// ErrorResponse is the JSON body of every non-2xx response.
+// ErrorResponse is the JSON body of every non-2xx response. RequestID is set
+// when the daemon runs with an access log (-access-log), matching the
+// X-Request-ID response header and the request's access-log line.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // HealthResponse is the body of GET /healthz. Status is "ok" while serving
@@ -106,4 +109,45 @@ type HealthResponse struct {
 	InFlight         int64   `json:"in_flight"`
 	CacheHits        uint64  `json:"adapt_cache_hits"`
 	CacheMisses      uint64  `json:"adapt_cache_misses"`
+}
+
+// StatuszRequest is one in-flight request in the /statusz live table.
+type StatuszRequest struct {
+	Seq      uint64 `json:"seq"`
+	ID       string `json:"id,omitempty"` // request ID; absent without an access log
+	Endpoint string `json:"endpoint"`
+	Client   string `json:"client,omitempty"`
+	// Trace is the request's obs trace ID (hex-rendered in TraceHex); 0/""
+	// until the handler opens its span, or when tracing is off.
+	TraceHex   string  `json:"trace,omitempty"`
+	AgeSeconds float64 `json:"age_seconds"`
+	Kernels    int64   `json:"kernels,omitempty"`
+}
+
+// StatuszResponse is the JSON body of GET /statusz?format=json — the live
+// introspection view: what is the daemon doing right now, and with which
+// resources. The default (text) rendering carries the same fields.
+type StatuszResponse struct {
+	Status           string  `json:"status"` // "ok" or "draining"
+	UptimeSeconds    float64 `json:"uptime_seconds"`
+	ReloadGeneration uint64  `json:"reload_generation"`
+	Requests         uint64  `json:"requests_total"`
+	Kernels          uint64  `json:"kernels_total"`
+
+	LimiterUsed     int `json:"limiter_used"`     // modeling slots occupied
+	LimiterCapacity int `json:"limiter_capacity"` // MaxConcurrent
+	FairnessClients int `json:"fairness_clients"` // tracked fairness buckets (0 = gate off)
+	FairnessWaiters int `json:"fairness_waiters"` // requests queued in fairness queues
+
+	CacheHits      uint64 `json:"adapt_cache_hits"`
+	CacheMisses    uint64 `json:"adapt_cache_misses"`
+	CacheEvictions uint64 `json:"adapt_cache_evictions"`
+
+	TraceInstalled  bool   `json:"trace_installed"`
+	TraceSample     int    `json:"trace_sample"` // 1 = every trace
+	TraceSpans      uint64 `json:"trace_spans_total"`
+	TraceSampledOut uint64 `json:"trace_sampled_out_total"`
+	AccessLogLines  uint64 `json:"access_log_lines,omitempty"`
+
+	InFlight []StatuszRequest `json:"in_flight"`
 }

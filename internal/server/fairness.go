@@ -148,6 +148,20 @@ func (f *fairness) unwait(client string) {
 	}
 }
 
+// occupancy reports the tracked clients and the waiters currently queued in
+// per-client fairness queues (for /statusz). Zeros on a nil (disabled) gate.
+func (f *fairness) occupancy() (clients, waiters int) {
+	if f == nil {
+		return 0, 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, b := range f.clients {
+		waiters += b.waiters
+	}
+	return len(f.clients), waiters
+}
+
 // sweep drops buckets that have been idle past their own burst horizon;
 // called with f.mu held, only when the map hits maxClients.
 func (f *fairness) sweep(now time.Time) {

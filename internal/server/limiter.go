@@ -24,26 +24,31 @@ func newLimiter(n int, timeout time.Duration) *limiter {
 	return &limiter{slots: make(chan struct{}, n), timeout: timeout}
 }
 
-// acquire takes a slot, waiting up to the queue timeout. It returns nil on
-// success, errBusy on timeout, or ctx's error when the caller vanished while
-// queued.
-func (l *limiter) acquire(ctx context.Context) error {
+// acquire takes a slot, waiting up to the queue timeout. It returns how long
+// the caller queued (0 on the uncontended fast path — no clock read there)
+// and nil on success, errBusy on timeout, or ctx's error when the caller
+// vanished while queued.
+func (l *limiter) acquire(ctx context.Context) (time.Duration, error) {
 	select {
 	case l.slots <- struct{}{}:
-		return nil
+		return 0, nil
 	default:
 	}
 	obsQueueWaits.Inc()
+	start := time.Now()
 	t := time.NewTimer(l.timeout)
 	defer t.Stop()
 	select {
 	case l.slots <- struct{}{}:
-		return nil
+		return time.Since(start), nil
 	case <-ctx.Done():
-		return ctx.Err()
+		return time.Since(start), ctx.Err()
 	case <-t.C:
-		return errBusy
+		return time.Since(start), errBusy
 	}
 }
 
 func (l *limiter) release() { <-l.slots }
+
+// occupancy reports the slots in use and the capacity (for /statusz).
+func (l *limiter) occupancy() (used, capacity int) { return len(l.slots), cap(l.slots) }

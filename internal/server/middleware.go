@@ -3,27 +3,90 @@ package server
 import (
 	"encoding/json"
 	"net/http"
+	"time"
 
 	"extrapdnn/internal/cliutil"
 	"extrapdnn/internal/obs"
 )
 
-// Panic isolation for the modeling endpoints. The parallel pipeline already
-// isolates per-kernel panics (one crashing kernel becomes one error result
-// line), but a panic in the handler itself — a decode edge case, a bug in the
-// response encoding — would otherwise tear the connection down mid-write: the
-// client of a streaming campaign sees a connection reset it cannot tell apart
-// from a network fault and retries work the server will deterministically
-// crash on again. The middleware converts such panics into protocol-level
-// failures instead: a 500 JSON error when the response has not started, and a
-// kernel-less NDJSON trailer line (the same shape as a mid-stream input
-// failure) when result lines are already on the wire — either way the client
-// gets a clean, fatal, diagnosable error, never a torn stream.
+// Request middleware of the modeling endpoints: per-request bookkeeping
+// (request ID, /statusz registration, access-log emission, latency
+// histograms) wrapped around panic isolation.
+//
+// Panic isolation: the parallel pipeline already isolates per-kernel panics
+// (one crashing kernel becomes one error result line), but a panic in the
+// handler itself — a decode edge case, a bug in the response encoding — would
+// otherwise tear the connection down mid-write: the client of a streaming
+// campaign sees a connection reset it cannot tell apart from a network fault
+// and retries work the server will deterministically crash on again. The
+// middleware converts such panics into protocol-level failures instead: a 500
+// JSON error when the response has not started, and a kernel-less NDJSON
+// trailer line (the same shape as a mid-stream input failure) when result
+// lines are already on the wire — either way the client gets a clean, fatal,
+// diagnosable error, never a torn stream.
 
-// protect wraps a modeling handler with panic recovery.
+// protect wraps a modeling handler with per-request bookkeeping and panic
+// recovery.
 func (s *Server) protect(endpoint string, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		tw := &trackingWriter{ResponseWriter: w}
+		ri := &reqInfo{
+			seq:      s.reqSeq.Add(1),
+			endpoint: endpoint,
+			client:   clientID(r),
+			start:    time.Now(),
+		}
+		if s.accessLog != nil {
+			// Request IDs, body byte counts, and response header echo exist
+			// only for the access log; with it off the request path allocates
+			// nothing for them.
+			ri.id = s.requestID(ri.seq)
+			ri.body = &countingBody{rc: r.Body}
+			r.Body = ri.body
+			w.Header().Set("X-Request-ID", ri.id)
+		}
+		tw := &trackingWriter{ResponseWriter: w, ri: ri}
+		s.trackRequest(ri)
+
+		// Deferred LIFO: the recovery defer below runs first (so a panic's 500
+		// is already in tw.status), then this one writes the access line.
+		defer func() {
+			s.untrackRequest(ri)
+			status := tw.status
+			if status == 0 {
+				// The handler wrote nothing: either an implicit 200 with an
+				// empty body, or the client vanished and there was nobody to
+				// answer. The reason taxonomy tells them apart.
+				status = http.StatusOK
+			}
+			total := time.Since(ri.start)
+			observeRequestSeconds(endpoint, status, total)
+			if s.accessLog == nil {
+				return
+			}
+			handler := total - ri.queueWait - ri.throttleWait
+			if handler < 0 {
+				handler = 0
+			}
+			rec := AccessRecord{
+				Time:           ri.start.Format(time.RFC3339Nano),
+				RequestID:      ri.id,
+				Client:         ri.client,
+				Trace:          ri.traceID.Load(),
+				Endpoint:       endpoint,
+				Status:         status,
+				Reason:         ri.reason,
+				BytesOut:       tw.bytes,
+				Kernels:        ri.kernels.Load(),
+				ThrottleWaitMS: ms(ri.throttleWait),
+				QueueWaitMS:    ms(ri.queueWait),
+				HandlerMS:      ms(handler),
+				TotalMS:        ms(total),
+			}
+			if ri.body != nil {
+				rec.BytesIn = ri.body.n
+			}
+			s.accessLog.Write(rec)
+		}()
 		defer func() {
 			p := recover()
 			if p == nil {
@@ -33,6 +96,7 @@ func (s *Server) protect(endpoint string, h func(http.ResponseWriter, *http.Requ
 				panic(p)
 			}
 			obsPanics.Inc()
+			ri.setReason("panic")
 			if !tw.started {
 				writeError(tw, http.StatusInternalServerError, "internal error: %v", p)
 				return
@@ -41,7 +105,7 @@ func (s *Server) protect(endpoint string, h func(http.ResponseWriter, *http.Requ
 			// the body as the kernel-less trailer clients treat as fatal.
 			if endpoint == "profile" {
 				enc := json.NewEncoder(tw)
-				enc.Encode(cliutil.ResultLine{Error: "internal error in result stream"})
+				enc.Encode(cliutil.ResultLine{Error: "internal error in result stream", RequestID: ri.id})
 				tw.Flush()
 			}
 		}()
@@ -52,23 +116,34 @@ func (s *Server) protect(endpoint string, h func(http.ResponseWriter, *http.Requ
 var obsPanics = obs.NewCounter("extrapdnn_server_panics_total",
 	"Handler panics converted into 500s or stream trailers by the recovery middleware.")
 
-// trackingWriter records whether the response has started, so the recovery
-// path knows whether a status code can still be sent. It forwards Flush and
-// unwraps for http.NewResponseController, keeping the streaming handler's
-// full-duplex and per-line flushing intact.
+// trackingWriter records whether the response has started, the status code,
+// and the bytes written, and carries the request bookkeeping to the handler
+// (reqInfoOf). It forwards Flush and unwraps for http.NewResponseController,
+// keeping the streaming handler's full-duplex and per-line flushing intact.
 type trackingWriter struct {
 	http.ResponseWriter
+	ri      *reqInfo
 	started bool
+	status  int
+	bytes   int64
 }
 
 func (t *trackingWriter) WriteHeader(code int) {
+	if !t.started {
+		t.status = code
+	}
 	t.started = true
 	t.ResponseWriter.WriteHeader(code)
 }
 
 func (t *trackingWriter) Write(b []byte) (int, error) {
+	if !t.started {
+		t.status = http.StatusOK
+	}
 	t.started = true
-	return t.ResponseWriter.Write(b)
+	n, err := t.ResponseWriter.Write(b)
+	t.bytes += int64(n)
+	return n, err
 }
 
 func (t *trackingWriter) Flush() {

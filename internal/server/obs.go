@@ -1,6 +1,10 @@
 package server
 
-import "extrapdnn/internal/obs"
+import (
+	"time"
+
+	"extrapdnn/internal/obs"
+)
 
 // Server metric handles, registered once at package init (see internal/obs:
 // labels are baked into the handles, so the request path never formats or
@@ -47,3 +51,42 @@ var (
 	obsProfileSeconds = obs.NewHistogram("extrapdnn_server_profile_seconds",
 		"Wall time of /v1/profile requests.", obs.ExpBuckets(0.001, 2, 18))
 )
+
+// server_request_seconds{endpoint,status}: total request wall time — queue
+// and throttle waits included, rejects included — broken down by endpoint and
+// status class. Unlike extrapdnn_server_{model,profile}_seconds (which time
+// only successful modeling), this family is the SLO view: every request to a
+// modeling endpoint lands in exactly one bucket pair. Handles are baked per
+// (endpoint, class) at init so the request path only indexes.
+var obsRequestSeconds = map[string][3]*obs.Histogram{
+	"model":   requestSecondsFamily("model"),
+	"profile": requestSecondsFamily("profile"),
+}
+
+func requestSecondsFamily(endpoint string) [3]*obs.Histogram {
+	const name = "extrapdnn_server_request_seconds"
+	const help = "Total request wall time (waits and rejects included), by endpoint and status class."
+	buckets := obs.ExpBuckets(0.001, 2, 18)
+	return [3]*obs.Histogram{
+		obs.NewHistogram(name, help, buckets, "endpoint", endpoint, "status", "2xx"),
+		obs.NewHistogram(name, help, buckets, "endpoint", endpoint, "status", "4xx"),
+		obs.NewHistogram(name, help, buckets, "endpoint", endpoint, "status", "5xx"),
+	}
+}
+
+// observeRequestSeconds records one finished request into its
+// (endpoint, status class) histogram.
+func observeRequestSeconds(endpoint string, status int, d time.Duration) {
+	family, ok := obsRequestSeconds[endpoint]
+	if !ok {
+		return
+	}
+	idx := 0
+	switch {
+	case status >= 500:
+		idx = 2
+	case status >= 400:
+		idx = 1
+	}
+	family[idx].Observe(d.Seconds())
+}

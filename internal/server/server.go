@@ -38,6 +38,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -102,17 +103,28 @@ type Config struct {
 	// this many token intervals waits for its token instead of 429ing
 	// (< 0 means 0 — reject immediately; 0 means DefaultClientQueue).
 	ClientQueue int
+	// AccessLog, when non-nil, receives one JSONL record per request to a
+	// modeling endpoint (accepted or rejected) and enables request IDs:
+	// echoed as X-Request-ID, in error bodies, and on trailer lines. Nil
+	// disables access logging with zero request-path overhead.
+	AccessLog *AccessLog
 }
 
 // Server is the HTTP modeling service. Create with New, mount Handler on an
 // http.Server, and call Drain when shutdown begins so health checks steer new
 // traffic away while in-flight requests complete.
 type Server struct {
-	cfg     Config
-	limiter *limiter
-	fair    *fairness
-	mux     *http.ServeMux
-	start   time.Time
+	cfg       Config
+	limiter   *limiter
+	fair      *fairness
+	mux       *http.ServeMux
+	start     time.Time
+	accessLog *AccessLog
+	reqBase   uint64 // random per-process request-ID prefix
+
+	reqSeq       atomic.Uint64
+	inflightMu   sync.Mutex
+	inflightReqs map[uint64]*reqInfo // /statusz's live request table
 
 	// modeler is the current adaptive modeler. Requests load it exactly once
 	// at admission and keep that reference for their whole lifetime, so Swap
@@ -162,20 +174,24 @@ func New(cfg Config) (*Server, error) {
 		clientQueue = 0
 	}
 	s := &Server{
-		cfg:        cfg,
-		limiter:    newLimiter(maxConc, queueTimeout),
-		fair:       newFairness(cfg.ClientRate, clientBurst, clientQueue),
-		mux:        http.NewServeMux(),
-		start:      time.Now(),
-		workers:    workers,
-		maxBody:    maxBody,
-		readOpts:   profile.ReadOptions{Read: measurement.ReadConfig{NoSanitize: cfg.NoSanitize}},
-		measureCfg: measurement.ReadConfig{NoSanitize: cfg.NoSanitize},
+		cfg:          cfg,
+		limiter:      newLimiter(maxConc, queueTimeout),
+		fair:         newFairness(cfg.ClientRate, clientBurst, clientQueue),
+		mux:          http.NewServeMux(),
+		start:        time.Now(),
+		accessLog:    cfg.AccessLog,
+		reqBase:      randomReqBase(),
+		inflightReqs: make(map[uint64]*reqInfo),
+		workers:      workers,
+		maxBody:      maxBody,
+		readOpts:     profile.ReadOptions{Read: measurement.ReadConfig{NoSanitize: cfg.NoSanitize}},
+		measureCfg:   measurement.ReadConfig{NoSanitize: cfg.NoSanitize},
 	}
 	s.modeler.Store(cfg.Modeler)
 	s.mux.HandleFunc("/v1/model", s.protect("model", s.handleModel))
 	s.mux.HandleFunc("/v1/profile", s.protect("profile", s.handleProfile))
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/statusz", s.handleStatusz)
 	s.mux.Handle("/metrics", obs.MetricsHandler())
 	s.mux.Handle("/metrics.json", obs.JSONHandler())
 	return s, nil
@@ -222,14 +238,20 @@ func (s *Server) Requests() uint64 { return s.requests.Load() }
 // /v1/model requests count one kernel each).
 func (s *Server) Kernels() uint64 { return s.kernels.Load() }
 
-// writeError emits the uniform JSON error body.
+// writeError emits the uniform JSON error body, echoing the request ID when
+// the access log assigned one (so a client error message greps straight to
+// the server's access-log line).
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	if status == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", "1")
 	}
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(ErrorResponse{Error: fmt.Sprintf(format, args...)})
+	resp := ErrorResponse{Error: fmt.Sprintf(format, args...)}
+	if ri := reqInfoOf(w); ri != nil {
+		resp.RequestID = ri.id
+	}
+	json.NewEncoder(w).Encode(resp)
 }
 
 // writeThrottled emits the fairness gate's 429 with a Retry-After that names
@@ -238,7 +260,11 @@ func writeThrottled(w http.ResponseWriter, retryAfter time.Duration) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(retryAfter)))
 	w.WriteHeader(http.StatusTooManyRequests)
-	json.NewEncoder(w).Encode(ErrorResponse{Error: "client over its request rate, honor Retry-After"})
+	resp := ErrorResponse{Error: "client over its request rate, honor Retry-After"}
+	if ri := reqInfoOf(w); ri != nil {
+		resp.RequestID = ri.id
+	}
+	json.NewEncoder(w).Encode(resp)
 }
 
 // admit runs the shared front gate of the modeling endpoints: method check,
@@ -246,13 +272,16 @@ func writeThrottled(w http.ResponseWriter, retryAfter time.Duration) {
 // limiter. It returns false after writing the rejection response; on true the
 // caller owns one slot and must call done().
 func (s *Server) admit(w http.ResponseWriter, r *http.Request) (done func(), ok bool) {
+	ri := reqInfoOf(w)
 	if r.Method != http.MethodPost {
+		ri.setReason("method_not_allowed")
 		w.Header().Set("Allow", http.MethodPost)
 		writeError(w, http.StatusMethodNotAllowed, "use POST")
 		return nil, false
 	}
 	if s.draining.Load() {
 		obsRejectedDraining.Inc()
+		ri.setReason("draining")
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return nil, false
 	}
@@ -263,17 +292,22 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) (done func(), ok 
 		wait, retryAfter, admitted := s.fair.reserve(client, time.Now())
 		if !admitted {
 			obsRejectedThrottled.Inc()
+			ri.setReason("throttled")
 			writeThrottled(w, retryAfter)
 			return nil, false
 		}
 		if wait > 0 {
 			obsThrottleWaits.Inc()
+			if ri != nil {
+				ri.throttleWait = wait
+			}
 			t := time.NewTimer(wait)
 			select {
 			case <-t.C:
 			case <-r.Context().Done():
 				t.Stop()
 				s.fair.unwait(client)
+				ri.setReason("client_gone")
 				return nil, false // client vanished while queued
 			}
 			t.Stop()
@@ -286,14 +320,21 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) (done func(), ok 
 		s.inFlight.Add(-1)
 		obsInFlight.Add(-1)
 	}
-	if err := s.limiter.acquire(r.Context()); err != nil {
+	queued, err := s.limiter.acquire(r.Context())
+	if ri != nil {
+		ri.queueWait = queued
+	}
+	if err != nil {
 		release()
 		if errors.Is(err, errBusy) {
 			obsRejectedBusy.Inc()
+			ri.setReason("busy")
 			writeError(w, http.StatusServiceUnavailable, "all modeling slots busy, retry later")
+		} else {
+			// A context error means the client vanished while queued; there
+			// is nobody left to answer.
+			ri.setReason("client_gone")
 		}
-		// A context error means the client vanished while queued; there is
-		// nobody left to answer.
 		return nil, false
 	}
 	s.requests.Add(1)
@@ -301,6 +342,43 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) (done func(), ok 
 		s.limiter.release()
 		release()
 	}, true
+}
+
+// requestSpan opens the server.request span for a modeling request, joining
+// the client's trace when the request carries a traceparent header
+// (docs/OBSERVABILITY.md). The header is only looked at when a tracer is
+// reachable — with tracing off this is two context probes and one atomic
+// load, no header parse, no allocation. The span carries the per-client
+// fairness key, the admission-wait breakdown, and the request ID, and its
+// trace ID is published to the access log and /statusz.
+func (s *Server) requestSpan(w http.ResponseWriter, r *http.Request, endpoint string) (context.Context, *obs.Span, *reqInfo) {
+	ctx := r.Context()
+	ri := reqInfoOf(w)
+	if obs.ActiveTracer(ctx) == nil {
+		return ctx, nil, ri
+	}
+	ctx = obs.AdoptTraceParent(ctx, r.Header.Get(obs.TraceParentHeader))
+	ctx, span := obs.StartSpan(ctx, "server.request")
+	if span == nil {
+		return ctx, nil, ri
+	}
+	span.SetString("endpoint", endpoint)
+	if ri != nil {
+		if ri.client != "" {
+			span.SetString("client", ri.client)
+		}
+		if ri.id != "" {
+			span.SetString("request_id", ri.id)
+		}
+		if ri.throttleWait > 0 {
+			span.SetFloat("throttle_wait_ms", ms(ri.throttleWait))
+		}
+		if ri.queueWait > 0 {
+			span.SetFloat("queue_wait_ms", ms(ri.queueWait))
+		}
+		ri.traceID.Store(span.TraceID())
+	}
+	return ctx, span, ri
 }
 
 // handleModel serves POST /v1/model: one measurement set in, one report out.
@@ -315,11 +393,8 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	modeler := s.currentModeler() // pinned: a hot reload never swaps mid-request
 	obsReqModel.Inc()
 	start := time.Now()
-	ctx, span := obs.StartSpan(r.Context(), "server.request")
-	if span != nil {
-		span.SetString("endpoint", "model")
-		defer span.End()
-	}
+	ctx, span, ri := s.requestSpan(w, r, "model")
+	defer span.End()
 
 	set, err := measurement.ReadJSONWith(http.MaxBytesReader(w, r.Body, s.maxBody), s.measureCfg)
 	if err != nil {
@@ -330,14 +405,17 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		if ctx.Err() != nil {
 			obsDisconnects.Inc()
+			ri.setReason("client_gone")
 			return // client gone; nobody to answer
 		}
 		obsErrModel.Inc()
+		ri.setReason("model_failed")
 		span.SetString("error", err.Error())
 		writeError(w, http.StatusUnprocessableEntity, "modeling failed: %v", err)
 		return
 	}
 	s.kernels.Add(1)
+	ri.countKernel()
 	obsKernels.Inc()
 	obsModelSeconds.Observe(time.Since(start).Seconds())
 	w.Header().Set("Content-Type", "application/json")
@@ -352,8 +430,10 @@ func (s *Server) rejectBody(w http.ResponseWriter, span *obs.Span, endpoint stri
 	if errors.As(err, &tooLarge) {
 		status = http.StatusRequestEntityTooLarge
 		obsRejectedOversize.Inc()
+		reqInfoOf(w).setReason("oversize")
 	} else {
 		obsRejectedBadRequest.Inc()
+		reqInfoOf(w).setReason("bad_request")
 	}
 	if endpoint == "model" {
 		obsErrModel.Inc()
@@ -385,11 +465,8 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	modeler := s.currentModeler() // pinned: the whole campaign runs on one network
 	obsReqProfile.Inc()
 	start := time.Now()
-	ctx, span := obs.StartSpan(r.Context(), "server.request")
-	if span != nil {
-		span.SetString("endpoint", "profile")
-		defer span.End()
-	}
+	ctx, span, ri := s.requestSpan(w, r, "profile")
+	defer span.End()
 
 	sc, err := profile.NewScannerWith(http.MaxBytesReader(w, r.Body, s.maxBody), s.readOpts)
 	if err != nil {
@@ -449,6 +526,7 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 			}
 			entries++
 			s.kernels.Add(1)
+			ri.countKernel()
 			obsKernels.Inc()
 			return nil
 		})
@@ -461,13 +539,15 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		// connection is dead — nothing more to write.
 		obsDisconnects.Inc()
 		obsErrProfile.Inc()
+		ri.setReason("disconnect")
 		return
 	case errors.Is(streamErr, errEmitPanic):
 		// Recovered emission panic: the stream is intact up to the last good
 		// line; the failure travels as the fatal kernel-less trailer.
 		obsErrProfile.Inc()
+		ri.setReason("emit_panic")
 		span.SetString("error", streamErr.Error())
-		enc.Encode(cliutil.ResultLine{Error: streamErr.Error()})
+		enc.Encode(trailerLine(ri, streamErr))
 		if flusher != nil {
 			flusher.Flush()
 		}
@@ -477,13 +557,15 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		// The response is already 200 and N clean lines long, so the error
 		// travels as a kernel-less trailer line clients treat as fatal.
 		obsErrProfile.Inc()
+		ri.setReason("stream_error")
 		span.SetString("error", streamErr.Error())
-		enc.Encode(cliutil.ResultLine{Error: streamErr.Error()})
+		enc.Encode(trailerLine(ri, streamErr))
 		return
 	default:
 		// Emit-side write error: the connection broke between lines.
 		obsDisconnects.Inc()
 		obsErrProfile.Inc()
+		ri.setReason("disconnect")
 		return
 	}
 	obsProfileSeconds.Observe(time.Since(start).Seconds())
@@ -510,6 +592,19 @@ func isProfileDecodeErr(err error) bool {
 	// require threading a marker through Stream, so the scanner's stable
 	// prefix is the contract here (profile package tests pin it).
 	return strings.HasPrefix(err.Error(), "profile:")
+}
+
+// trailerLine builds the kernel-less trailer for a mid-stream failure,
+// carrying the request ID (when the access log assigned one) so the client's
+// error message correlates with the server's access-log line. Trailer lines
+// never reach results files, so the extra field cannot break checkpoint
+// byte-identity.
+func trailerLine(ri *reqInfo, streamErr error) cliutil.ResultLine {
+	line := cliutil.ResultLine{Error: streamErr.Error()}
+	if ri != nil {
+		line.RequestID = ri.id
+	}
+	return line
 }
 
 // resultLine maps one modeled entry onto the shared JSONL result format —

@@ -1,0 +1,150 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"extrapdnn/internal/obs"
+)
+
+// GET /statusz: live introspection of the daemon — what is executing right
+// now (with trace IDs, so a slow request found here greps straight into the
+// trace file), plus capacity occupancy, cache effectiveness, and tracing/
+// access-log state. Human-readable text by default; ?format=json (or an
+// Accept header preferring application/json) returns StatuszResponse. Unlike
+// /healthz (a machine readiness contract) statusz is for operators: it is
+// deliberately exempt from the limiter and fairness gates so it stays
+// reachable while the daemon is saturated.
+
+// handleStatusz serves GET /statusz.
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	resp := s.statusz()
+	if wantsJSON(r) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(resp)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	writeStatuszText(w, resp)
+}
+
+// wantsJSON reports whether the request asked for the JSON rendering.
+func wantsJSON(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "json" {
+		return true
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "application/json") && !strings.Contains(accept, "text/plain")
+}
+
+// statusz snapshots the live view.
+func (s *Server) statusz() StatuszResponse {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	used, capacity := s.limiter.occupancy()
+	clients, waiters := s.fair.occupancy()
+	cache := s.currentModeler().CacheStats()
+	tracer := obs.CurrentTracer()
+	tstats := tracer.Stats()
+
+	resp := StatuszResponse{
+		Status:           status,
+		UptimeSeconds:    time.Since(s.start).Seconds(),
+		ReloadGeneration: s.generation.Load(),
+		Requests:         s.requests.Load(),
+		Kernels:          s.kernels.Load(),
+		LimiterUsed:      used,
+		LimiterCapacity:  capacity,
+		FairnessClients:  clients,
+		FairnessWaiters:  waiters,
+		CacheHits:        cache.Hits,
+		CacheMisses:      cache.Misses,
+		CacheEvictions:   cache.Evictions,
+		TraceInstalled:   tracer != nil,
+		TraceSample:      tracer.SampleEvery(),
+		TraceSpans:       tstats.Spans,
+		TraceSampledOut:  tstats.SampledOut,
+		AccessLogLines:   s.accessLog.Lines(),
+	}
+
+	now := time.Now()
+	s.inflightMu.Lock()
+	for _, ri := range s.inflightReqs {
+		req := StatuszRequest{
+			Seq:        ri.seq,
+			ID:         ri.id,
+			Endpoint:   ri.endpoint,
+			Client:     ri.client,
+			AgeSeconds: now.Sub(ri.start).Seconds(),
+			Kernels:    ri.kernels.Load(),
+		}
+		if trace := ri.traceID.Load(); trace != 0 {
+			req.TraceHex = fmt.Sprintf("%016x", trace)
+		}
+		resp.InFlight = append(resp.InFlight, req)
+	}
+	s.inflightMu.Unlock()
+	sort.Slice(resp.InFlight, func(i, j int) bool { return resp.InFlight[i].Seq < resp.InFlight[j].Seq })
+	return resp
+}
+
+// writeStatuszText renders the human view.
+func writeStatuszText(w http.ResponseWriter, resp StatuszResponse) {
+	fmt.Fprintf(w, "modelerd statusz\n")
+	fmt.Fprintf(w, "status:            %s\n", resp.Status)
+	fmt.Fprintf(w, "uptime:            %s\n", time.Duration(resp.UptimeSeconds*float64(time.Second)).Round(time.Second))
+	fmt.Fprintf(w, "reload generation: %d\n", resp.ReloadGeneration)
+	fmt.Fprintf(w, "requests total:    %d (%d kernels)\n", resp.Requests, resp.Kernels)
+	fmt.Fprintf(w, "limiter:           %d/%d slots in use\n", resp.LimiterUsed, resp.LimiterCapacity)
+	if resp.FairnessClients > 0 || resp.FairnessWaiters > 0 {
+		fmt.Fprintf(w, "fairness:          %d clients tracked, %d waiting\n", resp.FairnessClients, resp.FairnessWaiters)
+	} else {
+		fmt.Fprintf(w, "fairness:          gate off or idle\n")
+	}
+	fmt.Fprintf(w, "adapt cache:       %d hits, %d misses, %d evictions\n", resp.CacheHits, resp.CacheMisses, resp.CacheEvictions)
+	switch {
+	case !resp.TraceInstalled:
+		fmt.Fprintf(w, "tracing:           off\n")
+	case resp.TraceSample > 1:
+		fmt.Fprintf(w, "tracing:           on, 1 in %d traces (%d spans, %d sampled out)\n",
+			resp.TraceSample, resp.TraceSpans, resp.TraceSampledOut)
+	default:
+		fmt.Fprintf(w, "tracing:           on, every trace (%d spans)\n", resp.TraceSpans)
+	}
+	if resp.AccessLogLines > 0 {
+		fmt.Fprintf(w, "access log:        %d lines\n", resp.AccessLogLines)
+	}
+	fmt.Fprintf(w, "in flight:         %d request(s)\n", len(resp.InFlight))
+	for _, req := range resp.InFlight {
+		id := req.ID
+		if id == "" {
+			id = "#" + strconv.FormatUint(req.Seq, 10)
+		}
+		line := fmt.Sprintf("  %-16s %-8s age=%-8s", id, req.Endpoint,
+			time.Duration(req.AgeSeconds*float64(time.Second)).Round(time.Millisecond))
+		if req.Client != "" {
+			line += " client=" + req.Client
+		}
+		if req.TraceHex != "" {
+			line += " trace=" + req.TraceHex
+		}
+		if req.Kernels > 0 {
+			line += fmt.Sprintf(" kernels=%d", req.Kernels)
+		}
+		fmt.Fprintln(w, line)
+	}
+}

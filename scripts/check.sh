@@ -73,7 +73,15 @@ go test -run 'TestAdaptCacheHitAllocations' -count=1 .
 go test -bench 'BenchmarkModelProfileCached/hit' -benchtime 2x -benchmem -run '^$' .
 
 echo "==> observability disabled-path allocation gate (metrics/spans off => zero allocations)"
-go test -run 'TestObsDisabledAllocations|TestObsEnabledMetricsAllocationFree' -count=1 ./internal/obs/
+go test -run 'TestObsDisabledAllocations|TestObsEnabledMetricsAllocationFree|TestTracePropagationDisabledZeroAlloc' -count=1 ./internal/obs/
+
+echo "==> trace propagation gate (client traceparent joins server spans; chaos-faulted campaign = one trace across both files)"
+go test -race -count=1 -run 'TestTracePropagation|TestChaosResetResumeSingleTrace|TestTraceDisabledNoHeader' ./internal/client/
+go test -race -count=1 -run 'TestAdoptTraceParent|TestDeterministicSampler|TestSpanLinks' ./internal/obs/
+go test -count=1 ./internal/tracemerge/
+
+echo "==> access-log and statusz gate (every request => exactly one JSONL line, rejects included; live in-flight table)"
+go test -race -count=1 -run 'TestAccessLog|TestStatusz|TestRequestSeconds' ./internal/server/
 
 echo "==> streaming campaign gate (O(1) scanner memory, bounded in-flight, checkpoint/resume bit-identity)"
 go test -count=1 -run 'TestScannerBoundedMemory' ./internal/profile/
